@@ -1,0 +1,59 @@
+"""Write-path exhibit: checkpointing to compute-local NVM.
+
+The related work ([33], hybrid checkpointing) uses local NVM as a
+checkpoint target.  This bench drives the full write path — journal
+barriers, program-time ladders, RMW — with a checkpoint-burst workload
+and contrasts the media and file-system effects on writes.
+"""
+
+from __future__ import annotations
+
+from conftest import save_exhibit
+
+from repro.core import make_cnl_device
+from repro.nvm import SLC, TLC
+from repro.ssd.request import PosixRequest
+from repro.trace import PosixTrace, replay
+
+MiB = 1024 * 1024
+
+
+def checkpoint_trace(bursts: int = 6, burst_bytes: int = 8 * MiB) -> PosixTrace:
+    """Back-to-back whole-state dumps (one file, rewritten per burst)."""
+    t = PosixTrace(label="checkpoint")
+    for _b in range(bursts):
+        t.append(PosixRequest("write", 0, 0, burst_bytes))
+    return t
+
+
+def _bw(fs_name, kind):
+    path = make_cnl_device(fs_name, kind, 32 * MiB)
+    return replay(path, checkpoint_trace()).bandwidth_mb
+
+
+def test_checkpoint_write_path(benchmark, output_dir):
+    def run():
+        out = {}
+        for kind in (SLC, TLC):
+            for fs in ("UFS", "EXT4", "BTRFS"):
+                out[(fs, kind.name)] = _bw(fs, kind)
+        return out
+
+    bws = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Checkpoint writes to compute-local NVM (MB/s)"]
+    lines.append(f"{'fs':<8}{'SLC':>9}{'TLC':>9}")
+    for fs in ("UFS", "EXT4", "BTRFS"):
+        lines.append(
+            f"{fs:<8}{bws[(fs, 'SLC')]:9.1f}{bws[(fs, 'TLC')]:9.1f}"
+        )
+    save_exhibit(output_dir, "ext_checkpoint", "\n".join(lines))
+
+    # programs are slower than reads: write bandwidth sits well below
+    # the ~3.1 GB/s read ceiling of the same interface
+    assert all(bw < 3000 for bw in bws.values())
+    # the TLC program ladder (440-6000 us) punishes writes vs SLC
+    for fs in ("UFS", "EXT4", "BTRFS"):
+        assert bws[(fs, "TLC")] < bws[(fs, "SLC")]
+    # UFS skips the journal/CoW machinery on the write path too
+    assert bws[("UFS", "SLC")] >= bws[("EXT4", "SLC")]
+    assert bws[("UFS", "SLC")] >= bws[("BTRFS", "SLC")]

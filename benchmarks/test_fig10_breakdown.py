@@ -1,0 +1,54 @@
+"""Figure 10: execution-time and parallelism decompositions (TLC, PCM)."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import save_exhibit
+
+from repro.experiments import figure10
+
+
+def test_figure10_decompositions(benchmark, output_dir, workload):
+    fd = benchmark.pedantic(
+        figure10, kwargs=dict(workload=workload), rounds=1, iterations=1
+    )
+    save_exhibit(output_dir, "figure10", fd.text)
+    br = fd.data["breakdown"]
+    pal = fd.data["parallelism"]
+
+    # every decomposition is a proper partition
+    for cell in list(br.values()) + list(pal.values()):
+        assert sum(cell.values()) == pytest.approx(1.0, abs=1e-6)
+
+    # 10a/10c: ION spends far more in non-overlapped DMA than any CNL row
+    for kind in ("TLC", "PCM"):
+        ion_dma = br[("ION-GPFS", kind)]["non_overlapped_dma"]
+        for label in ("CNL-EXT2", "CNL-UFS", "CNL-NATIVE-16"):
+            assert ion_dma > 2 * br[(label, kind)]["non_overlapped_dma"]
+
+    # UFS "drastically reduces" bus-activity time vs traditional FSes
+    def bus(label, kind):
+        b = br[(label, kind)]
+        return b["flash_bus"] + b["channel_bus"]
+
+    for kind in ("TLC", "PCM"):
+        assert bus("CNL-UFS", kind) < bus("CNL-EXT2", kind)
+
+    # toward NATIVE the cell activation dominates — "nearly ideal"
+    b = br[("CNL-NATIVE-16", "TLC")]
+    assert b["cell"] == max(b.values())
+    assert b["cell"] > 0.8
+
+    # PCM's tiny cell times leave the interface visible (bus share
+    # larger than TLC's at the same design point)
+    assert bus("CNL-EXT2", "PCM") > bus("CNL-EXT2", "TLC")
+
+    # 10b: ION-local TLC parks at PAL3, almost never PAL4
+    assert pal[("ION-GPFS", "TLC")]["PAL3"] > 0.9
+    assert pal[("ION-GPFS", "TLC")]["PAL4"] < 0.05
+    # UFS rows almost entirely reach PAL4
+    for label in ("CNL-UFS", "CNL-NATIVE-16"):
+        assert pal[(label, "TLC")]["PAL4"] > 0.95
+    # 10d: PCM is almost entirely PAL4 regardless of file system
+    for label in ("ION-GPFS", "CNL-UFS", "CNL-NATIVE-16"):
+        assert pal[(label, "PCM")]["PAL4"] > 0.9

@@ -1,0 +1,24 @@
+"""Figure 1: network vs NVM bandwidth trend and crossover."""
+
+from __future__ import annotations
+
+from conftest import save_exhibit
+
+from repro.experiments import figure1
+
+
+def test_figure1_bandwidth_trend(benchmark, output_dir):
+    fd = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    save_exhibit(output_dir, "figure1", fd.text)
+
+    series = fd.data
+    cross = series["crossover"]
+    # the paper's thesis: NVM bandwidth growth out-paces both network
+    # families, overtaking the InfiniBand trend around the paper's era
+    assert cross["nvm_doubling_years"] < series["infiniband"]["doubling_years"]
+    assert cross["nvm_doubling_years"] < series["fibre-channel"]["doubling_years"]
+    assert 2005 < cross["nvm_vs_infiniband_year"] < 2023
+    # every family's fitted growth is positive
+    for fam in ("infiniband", "fibre-channel", "flash-ssd", "nvm-future"):
+        a, _b = series[fam]["fit"]
+        assert a > 0

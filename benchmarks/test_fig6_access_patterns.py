@@ -1,0 +1,23 @@
+"""Figure 6: POSIX vs sub-GPFS block access patterns."""
+
+from __future__ import annotations
+
+from conftest import save_exhibit
+
+from repro.experiments import figure6
+
+
+def test_figure6_access_patterns(benchmark, output_dir):
+    fd = benchmark.pedantic(
+        figure6, kwargs=dict(panels=16, panel_mb=4), rounds=1, iterations=1
+    )
+    save_exhibit(output_dir, "figure6", fd.text)
+
+    pos, gpfs = fd.data["posix"], fd.data["gpfs"]
+    # the compute-node stream is largely sequential ramps...
+    assert pos["sequential_fraction"] > 0.9
+    # ...which GPFS striping divides up and scatters (the figure's point)
+    assert gpfs["sequential_fraction"] < pos["sequential_fraction"]
+    assert gpfs["stride_entropy"] > 2 * pos["stride_entropy"]
+    # the sub-GPFS trace has strictly more, smaller accesses
+    assert len(gpfs["addresses"]) > len(pos["addresses"])

@@ -1,0 +1,35 @@
+"""Figures 8a/8b: device-level improvements (lanes, encoding, NVM bus)."""
+
+from __future__ import annotations
+
+from conftest import save_exhibit
+
+from repro.experiments import figure8
+
+
+def test_figure8_device_scaling(benchmark, output_dir, workload):
+    fd = benchmark.pedantic(
+        figure8, kwargs=dict(workload=workload), rounds=1, iterations=1
+    )
+    save_exhibit(output_dir, "figure8", fd.text)
+    a = fd.data["achieved"]
+    r = fd.data["remaining"]
+
+    for kind in ("SLC", "MLC", "TLC", "PCM"):
+        # BRIDGE-16: doubling lanes under 8b/10b + SDR bus gains little
+        gain = a[("CNL-BRIDGE-16", kind)] / a[("CNL-UFS", kind)]
+        assert 1.0 <= gain < 1.15
+        # NATIVE-8 beats BRIDGE-16 by ~2x despite half the lanes
+        assert 1.7 < a[("CNL-NATIVE-8", kind)] / a[("CNL-BRIDGE-16", kind)] < 2.8
+        # NATIVE-16 is the fastest configuration
+        assert a[("CNL-NATIVE-16", kind)] >= a[("CNL-NATIVE-8", kind)]
+
+    # at NATIVE-16 the media itself becomes the limit: TLC lowest,
+    # PCM highest (Fig. 8a's right-hand group)
+    n16 = {k: a[("CNL-NATIVE-16", k)] for k in ("SLC", "MLC", "TLC", "PCM")}
+    assert n16["TLC"] < n16["MLC"] <= n16["PCM"]
+    assert n16["TLC"] < n16["SLC"] <= n16["PCM"]
+
+    # Fig. 8b: as the interface opens up, NAND headroom collapses
+    for kind in ("SLC", "MLC", "TLC"):
+        assert r[("CNL-NATIVE-16", kind)] < 0.25 * r[("CNL-UFS", kind)]

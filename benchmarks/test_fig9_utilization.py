@@ -1,0 +1,41 @@
+"""Figures 9a/9b: channel- and package-level utilization."""
+
+from __future__ import annotations
+
+from conftest import save_exhibit
+
+from repro.experiments import figure9
+
+
+def test_figure9_utilization(benchmark, output_dir, workload):
+    fd = benchmark.pedantic(
+        figure9, kwargs=dict(workload=workload), rounds=1, iterations=1
+    )
+    save_exhibit(output_dir, "figure9", fd.text)
+    chan = fd.data["channel"]
+    pkg = fd.data["package"]
+
+    # ION-GPFS: striping keeps "more channels utilized simultaneously"
+    # (high channel engagement) while the packages do little work
+    assert chan[("ION-GPFS", "TLC")] > 80
+    assert pkg[("ION-GPFS", "TLC")] < 60
+    assert pkg[("ION-GPFS", "TLC")] < chan[("ION-GPFS", "TLC")]
+
+    # UFS-based rows reach near-full channel utilization everywhere
+    for label in ("CNL-UFS", "CNL-BRIDGE-16", "CNL-NATIVE-8", "CNL-NATIVE-16"):
+        for kind in ("SLC", "MLC", "TLC", "PCM"):
+            assert chan[(label, kind)] > 90
+
+    # package utilization climbs with the interface: the NATIVE rows
+    # "reach greater than 80% of the average package bandwidth" on NAND
+    assert pkg[("CNL-NATIVE-16", "TLC")] > 80
+    assert pkg[("CNL-NATIVE-16", "TLC")] > pkg[("CNL-UFS", "TLC")]
+    assert pkg[("CNL-UFS", "TLC")] > pkg[("CNL-EXT2", "TLC")]
+
+    # PCM's fast cells mean low package busy-time under every FS
+    for label in ("ION-GPFS", "CNL-EXT2", "CNL-UFS"):
+        assert pkg[(label, "PCM")] < pkg[(label, "TLC")]
+
+    # all values are valid percentages
+    for d in (chan, pkg):
+        assert all(0.0 <= v <= 100.0 for v in d.values())

@@ -1,0 +1,33 @@
+"""Future-device exhibit: the Figure-1 expectation points, built.
+
+Figure 1 extrapolates to a "Future PCIe SSD" (~8 GB/s) and a "Future
+Multi-channel PCM-SSD" (~16 GB/s).  This bench constructs those devices
+(native PCIe 3.0, DDR-800, growing channel counts, UFS) and checks the
+extrapolation holds in the simulator.
+"""
+
+from __future__ import annotations
+
+from conftest import save_exhibit
+
+from repro.experiments.future import future_device_sweep
+
+
+def test_future_multichannel_devices(benchmark, output_dir):
+    result = benchmark.pedantic(future_device_sweep, rounds=1, iterations=1)
+    save_exhibit(output_dir, "ext_future", result.render())
+    bw = result.bandwidth_mb
+
+    # the "Future PCIe SSD (expectation)" point: ~8 GB/s is reachable
+    # with today's channel counts on a native interface
+    assert bw[("TLC", 8)] > 6000
+    # the "Future Multi-channel PCM-SSD (expectation)" point: ~16 GB/s
+    # once channels double — PCM rides the wall of PCIe 3.0 x16
+    assert bw[("PCM", 16)] > 14000
+    # more channels help until the host interface binds
+    assert bw[("PCM", 16)] > bw[("PCM", 8)]
+    assert abs(bw[("PCM", 32)] - bw[("PCM", 16)]) / bw[("PCM", 16)] < 0.05
+    # TLC needs more channels than PCM to approach the same wall: its
+    # slow cells are the constraint at 8 channels
+    assert bw[("TLC", 8)] / bw[("PCM", 8)] < 0.65
+    assert bw[("TLC", 32)] / bw[("PCM", 32)] > 0.9

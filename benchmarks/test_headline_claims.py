@@ -1,0 +1,34 @@
+"""The paper's headline numbers (Abstract, Sections 4.3/4.4/7)."""
+
+from __future__ import annotations
+
+from conftest import save_exhibit
+
+from repro.experiments import compute_headline
+
+
+def test_headline_claims(benchmark, output_dir, workload):
+    hr = benchmark.pedantic(
+        compute_headline, kwargs=dict(workload=workload), rounds=1, iterations=1
+    )
+    save_exhibit(output_dir, "headline", hr.render())
+
+    # "10.3 times over traditional ION-local NVM solutions" (average)
+    assert 8.5 < hr.average_native16_over_ion < 13.0
+    # "an incredible factor of 16" for PCM; "8 times" for TLC
+    assert 11 < hr.native16_over_ion["PCM"] < 19
+    assert 6 < hr.native16_over_ion["TLC"] < 10
+    # worst-case CNL gains ordered TLC < MLC < SLC, all positive
+    g = hr.worst_cnl_gain
+    assert 0 <= g["TLC"] < g["MLC"] < g["SLC"]
+    # BTRFS ~2x ext2 on TLC; ext4-L ~ +1 GB/s over ext4
+    assert 1.5 < hr.btrfs_over_ext2_tlc < 3.5
+    assert 500 < hr.ext4l_minus_ext4_mb["TLC"] < 2200
+    # lanes alone are marginal; the native redesign is worth ~2x
+    assert hr.bridge16_over_ufs8 < 1.15
+    assert 1.7 < hr.native8_over_bridge16 < 2.8
+    # the three stage gains (architecture, software, hardware) are all
+    # positive and hardware > software, as in the conclusion
+    assert hr.cnl_baseline_gain > 0
+    assert hr.software_gain > 0
+    assert hr.hardware_gain > hr.software_gain

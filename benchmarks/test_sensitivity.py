@@ -1,0 +1,21 @@
+"""Robustness exhibit: the conclusions survive calibration changes."""
+
+from __future__ import annotations
+
+from conftest import save_exhibit
+
+from repro.experiments import sensitivity_analysis
+
+
+def test_sensitivity_of_conclusions(benchmark, output_dir):
+    report = benchmark.pedantic(sensitivity_analysis, rounds=1, iterations=1)
+    save_exhibit(output_dir, "ext_sensitivity", report.render())
+
+    assert len(report.cases) == 7  # baseline + 3 knobs x 2 directions
+    assert report.all_hold
+    # the ION baseline knob moves the headline ratio, the others don't
+    ratios = {(c.knob, c.setting): c.native16_over_ion for c in report.cases}
+    base = ratios[("baseline", "1.00x")]
+    assert ratios[("gpfs-efficiency", "0.75x")] > base
+    assert ratios[("gpfs-efficiency", "1.25x")] < base
+    assert ratios[("fs-readahead", "0.75x")] == base  # independent paths

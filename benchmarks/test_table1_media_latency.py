@@ -1,0 +1,26 @@
+"""Table 1: NVM media latencies (and the timing model built on them)."""
+
+from __future__ import annotations
+
+from conftest import save_exhibit
+
+from repro.experiments import table1
+from repro.nvm import KINDS
+
+
+def test_table1_media_latencies(benchmark, output_dir):
+    fd = benchmark.pedantic(table1, rounds=1, iterations=1)
+    save_exhibit(output_dir, "table1", fd.text)
+
+    rows = fd.data
+    # Table-1 values verbatim
+    assert rows["SLC"]["read_ns"] == 25_000
+    assert rows["MLC"]["read_ns"] == 50_000
+    assert rows["TLC"]["read_ns"] == 150_000
+    assert rows["SLC"]["page_bytes"] == 2048
+    assert rows["TLC"]["erase_ns"] == 3_000_000
+    assert max(rows["MLC"]["program_ladder_ns"]) == 2_200_000
+    assert max(rows["TLC"]["program_ladder_ns"]) == 6_000_000
+    # per-die read bandwidth ordering that drives Figures 7/8
+    bw = {k.name: k.die_read_bw() for k in KINDS}
+    assert bw["PCM"] > bw["SLC"] >= bw["MLC"] > bw["TLC"]

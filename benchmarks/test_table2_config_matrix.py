@@ -1,0 +1,34 @@
+"""Table 2: the thirteen evaluated configurations, built and validated."""
+
+from __future__ import annotations
+
+from conftest import save_exhibit
+
+from repro.experiments import TABLE2_CONFIGS, table2
+from repro.nvm import MLC
+
+MiB = 1024 * 1024
+
+
+def _build_all():
+    fd = table2()
+    paths = [cfg.build(MLC, 16 * MiB) for cfg in TABLE2_CONFIGS]
+    return fd, paths
+
+
+def test_table2_configuration_matrix(benchmark, output_dir):
+    fd, paths = benchmark.pedantic(_build_all, rounds=1, iterations=1)
+    save_exhibit(output_dir, "table2", fd.text)
+
+    assert len(paths) == 13
+    # row 1 is the ION baseline; the rest are compute-node-local
+    assert paths[0].location == "ION"
+    assert all(p.location == "CNL" for p in paths[1:])
+    # every path is immediately usable: format + preload succeeds
+    for p in paths:
+        p.format_and_preload({0: 16 * MiB})
+    # the three device-improvement rows differ only in the intended knobs
+    b16, n8, n16 = paths[-3], paths[-2], paths[-1]
+    assert b16.device.host.bridged and not n8.device.host.bridged
+    assert n8.device.bus.name == "DDR-800"
+    assert n16.device.host.bytes_per_sec > n8.device.host.bytes_per_sec

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Cluster-level view: pre-staging data to compute-local NVM.
+
+Section 3.1: with compute-local SSDs, the data set is pre-loaded from
+the ION magnetic storage before the job starts, overlapped with the
+previous job's execution.  This example simulates that migration on
+the Carver OoC partition with the DES engine, then shows a DataCutter
+filter pipeline (the middleware the paper's application runs on)
+processing panels as a dataflow.
+
+Run:  python examples/cluster_preload.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import carver_ooc_partition, simulate_preload
+from repro.nvm import MLC
+from repro.ooc import EOS, Dataflow, EndOfStream, Filter
+
+GiB = 1 << 30
+
+
+def preload_study() -> None:
+    cluster = carver_ooc_partition(local_nvm=MLC)
+    print(f"cluster: {len(cluster.compute_nodes)} CNs "
+          f"(each with a local {MLC.name} SSD), "
+          f"{len(cluster.io_nodes)} IONs with FC-attached RAID\n")
+    print(f"{'data/CN':>9} {'prev job':>9} {'preload':>9} {'hidden':>7}")
+    for data_gib in (1, 4, 16):
+        for prev_minutes in (0, 10):
+            rep = simulate_preload(
+                cluster,
+                bytes_per_cn=data_gib * GiB,
+                previous_job_ns=int(prev_minutes * 60e9),
+            )
+            print(f"{data_gib:7d}G {prev_minutes:7d}m "
+                  f"{rep.preload_end_ns / 60e9:8.1f}m "
+                  f"{rep.hidden_fraction * 100:6.0f}%")
+    print("\na modest previous job hides the pre-load entirely, taking")
+    print("the staging I/O off the critical path (Section 3.1).\n")
+
+
+class PanelSource(Filter):
+    """Emits panel descriptors at the storage read rate."""
+
+    def logic(self, sim):
+        for p in range(16):
+            yield sim.timeout(2_600_000)  # 8 MiB panel at ~3.1 GB/s
+            yield self.outputs[0].put(("panel", p))
+        yield self.outputs[0].put(EOS)
+
+
+class SpmmFilter(Filter):
+    """Multiplies each panel against Psi (modelled compute time)."""
+
+    def logic(self, sim):
+        while True:
+            item = yield self.inputs[0].get()
+            if isinstance(item, EndOfStream):
+                break
+            yield sim.timeout(1_800_000)  # per-panel SpMM
+            self.items_processed += 1
+            yield self.outputs[0].put(("y", item[1]))
+        yield self.outputs[0].put(EOS)
+
+
+class Reducer(Filter):
+    def __init__(self, name):
+        super().__init__(name)
+        self.count = 0
+
+    def logic(self, sim):
+        while True:
+            item = yield self.inputs[0].get()
+            if isinstance(item, EndOfStream):
+                break
+            self.count += 1
+
+
+def dataflow_study() -> None:
+    df = Dataflow()
+    src = df.add(PanelSource("read-H"))
+    spmm = df.add(SpmmFilter("spmm"))
+    red = df.add(Reducer("reduce"))
+    df.connect(src, spmm, capacity=2)  # DOoC prefetch depth
+    df.connect(spmm, red)
+    end = df.run()
+    print("DataCutter dataflow: read-H -> spmm -> reduce")
+    print(f"  16 panels pipelined in {end / 1e6:.1f} ms "
+          f"(I/O alone would take {16 * 2.6:.1f} ms — the filters overlap")
+    print("  compute with storage exactly as DOoC intends).")
+
+
+if __name__ == "__main__":
+    preload_study()
+    dataflow_study()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Exploring the future: interfaces, lanes and NVM buses (Section 4.4).
+
+Walks the paper's device-improvement ladder — bridged PCIe 2.0 x8,
+x16, native PCIe 3.0 x8 and x16 with a DDR-800 NVM bus — for each NVM
+medium, and frames it with the Figure-1 bandwidth-trend crossover that
+motivates the whole exercise.
+
+Run:  python examples/device_future.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Workload, figure1_series, run_config
+
+MiB = 1024 * 1024
+LADDER = ("CNL-UFS", "CNL-BRIDGE-16", "CNL-NATIVE-8", "CNL-NATIVE-16")
+
+
+def main() -> None:
+    series = figure1_series()
+    cross = series["crossover"]
+    print("Figure-1 context: NVM bandwidth doubles every "
+          f"{cross['nvm_doubling_years']:.1f} years vs InfiniBand's "
+          f"{cross['infiniband_doubling_years']:.1f} — the trends cross "
+          f"around {cross['nvm_vs_infiniband_year']:.0f}.\n")
+
+    workload = Workload(panels=12, panel_bytes=8 * MiB, iterations=1)
+    print(f"{'config':<16}" + "".join(f"{k:>9}" for k in ("SLC", "MLC", "TLC", "PCM")))
+    table = {}
+    for label in LADDER:
+        row = []
+        for kind in ("SLC", "MLC", "TLC", "PCM"):
+            r = run_config(label, kind, workload, with_remaining=False)
+            table[(label, kind)] = r.bandwidth_mb
+            row.append(f"{r.bandwidth_mb:9.0f}")
+        print(f"{label:<16}" + "".join(row))
+
+    print("\ntake-aways (all in MB/s):")
+    b16 = table[("CNL-BRIDGE-16", "SLC")] / table[("CNL-UFS", "SLC")]
+    n8 = table[("CNL-NATIVE-8", "SLC")] / table[("CNL-BRIDGE-16", "SLC")]
+    print(f"  doubling lanes under the bridge buys only {100 * (b16 - 1):.0f}% —")
+    print("  the 8b/10b encoding and the SDR-400 NVM bus are the wall;")
+    print(f"  going native (128b/130b + DDR-800) is worth {n8:.1f}x at the")
+    print("  same 8 lanes, and at 16 lanes the *media* finally becomes")
+    print("  the limit: TLC saturates its cells while PCM keeps going.")
+
+
+if __name__ == "__main__":
+    main()

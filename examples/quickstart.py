@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: replay an out-of-core workload on a compute-local SSD.
+
+Builds the paper's simulated device (8 channels / 64 packages / 128
+dies of MLC NAND behind bridged PCIe 2.0 x8), formats it with ext4 and
+with the paper's UFS, replays the same out-of-core eigensolver trace on
+both, and prints the achieved bandwidth plus the utilization metrics
+from Figures 7 and 9.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import make_cnl_device
+from repro.nvm import MLC
+from repro.trace import ooc_eigensolver_trace, replay
+
+MiB = 1024 * 1024
+
+
+def main() -> None:
+    # one LOBPCG iteration's worth of Hamiltonian panel reads (96 MiB)
+    trace = ooc_eigensolver_trace(panels=12, panel_bytes=8 * MiB, iterations=1)
+    data_bytes = trace.total_bytes
+    print(f"workload: {len(trace)} POSIX reads, {data_bytes // MiB} MiB total\n")
+
+    for fs_name in ("EXT4", "UFS"):
+        path = make_cnl_device(fs_name, MLC, data_bytes)
+        summary = replay(path, trace, posix_window=2)
+        m = summary.metrics
+        print(f"CNL-{fs_name} on {MLC.name}:")
+        print(f"  bandwidth     {summary.bandwidth_mb:8.1f} MB/s")
+        print(f"  channel util  {m.channel_utilization * 100:8.1f} %")
+        print(f"  package util  {m.package_utilization * 100:8.1f} %")
+        print(f"  PAL4 share    {m.parallelism['PAL4'] * 100:8.1f} %")
+        print(f"  overhead I/O  {m.overhead_bytes / 1024:8.1f} KiB "
+              "(journal + metadata)")
+        print()
+
+    print("UFS wins by issuing the application's large requests whole —")
+    print("no splitting, no journal, no kernel window — so every die,")
+    print("plane and channel of the SSD is engaged at once.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro: reproduction of "Exploring the Future of Out-Of-Core Computing
+with Compute-Local Non-Volatile Memory" (Jung et al., SC '13).
+
+The package provides:
+
+* :mod:`repro.sim` — discrete-event engine and statistics,
+* :mod:`repro.nvm` — NVM media models (SLC/MLC/TLC/PCM, Table 1),
+* :mod:`repro.ssd` — SSD geometry, FTL, transaction timing, metrics,
+* :mod:`repro.interconnect` — PCIe/SATA/InfiniBand link models,
+* :mod:`repro.fs` — behavioural file-system models (ext2..ext4-L, XFS,
+  JFS, BTRFS, ReiserFS, GPFS),
+* :mod:`repro.core` — the paper's contribution: the Unified File System
+  (UFS) and the compute-local NVM architecture,
+* :mod:`repro.cluster` — Carver-style cluster (CN/ION) models,
+* :mod:`repro.ooc` — the out-of-core eigensolver workload (LOBPCG,
+  block SpMM, DOoC middleware, DataCutter),
+* :mod:`repro.trace` — POSIX/block tracing and replay,
+* :mod:`repro.experiments` — the Table-2 configuration matrix and the
+  per-figure reproduction harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,109 @@
+"""Command-line reproduction harness.
+
+Usage::
+
+    python -m repro list                    # available exhibits
+    python -m repro figure7                 # regenerate one exhibit
+    python -m repro all                     # regenerate everything
+    python -m repro headline                # the headline claims
+    python -m repro figure7 --scale 0.5     # smaller workload
+    python -m repro all -o results/         # write exhibits to a dir
+
+Each exhibit prints the same rows/series the paper plots; ``--out``
+additionally writes one text file per exhibit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .experiments import (
+    Workload,
+    anticache_experiment,
+    compute_headline,
+    figure1,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+)
+
+MiB = 1024 * 1024
+
+
+def _workload(scale: float) -> Workload:
+    return Workload(panels=max(2, int(round(12 * scale))), panel_bytes=8 * MiB)
+
+
+def _exhibits(scale: float):
+    w = _workload(scale)
+    return {
+        "figure1": lambda: figure1().text,
+        "table1": lambda: table1().text,
+        "table2": lambda: table2().text,
+        "figure6": lambda: figure6().text,
+        "figure7": lambda: figure7(w).text,
+        "figure8": lambda: figure8(w).text,
+        "figure9": lambda: figure9(w).text,
+        "figure10": lambda: figure10(w).text,
+        "headline": lambda: compute_headline(w).render(),
+        "anticache": lambda: anticache_experiment().render(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures from the simulation.",
+    )
+    parser.add_argument(
+        "exhibit",
+        help="exhibit name, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (default 1.0 = 96 MiB/client)",
+    )
+    parser.add_argument(
+        "-o",
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write exhibit text files into",
+    )
+    args = parser.parse_args(argv)
+
+    exhibits = _exhibits(args.scale)
+    if args.exhibit == "list":
+        print("\n".join(exhibits))
+        return 0
+    names = list(exhibits) if args.exhibit == "all" else [args.exhibit]
+    unknown = [n for n in names if n not in exhibits]
+    if unknown:
+        print(f"unknown exhibit(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(exhibits)}", file=sys.stderr)
+        return 2
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        t0 = time.time()
+        text = exhibits[name]()
+        elapsed = time.time() - t0
+        print(text)
+        print(f"[{name}: {elapsed:.1f}s]\n")
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Cluster models: Carver topology, DES links, pre-staging engine."""
+
+from .carver import ClusterSpec, carver, carver_ooc_partition
+from .distributed import DistributedMemoryDesign, OocNvmDesign, SolverKernel
+from .ion import IonServiceConfig, IonServiceReport, simulate_ion_service
+from .network import SharedLink
+from .nodes import ComputeNode, DiskArray, IONode
+from .preload import PreloadReport, simulate_preload
+
+__all__ = [
+    "ClusterSpec",
+    "DistributedMemoryDesign",
+    "OocNvmDesign",
+    "SolverKernel",
+    "carver",
+    "carver_ooc_partition",
+    "SharedLink",
+    "IonServiceConfig",
+    "IonServiceReport",
+    "simulate_ion_service",
+    "ComputeNode",
+    "IONode",
+    "DiskArray",
+    "PreloadReport",
+    "simulate_preload",
+]

@@ -1,0 +1,74 @@
+"""The Carver cluster (Figure 3) and its OoC partition.
+
+Carver, at LBNL's Computational Research Division: 1202 compute nodes
+(9984 cores) on QDR 4X InfiniBand (4 GB/s), with 10 I/O nodes (48
+cores) carrying 20 PCIe SSDs; 40 CNs and 320 cores are dedicated to
+out-of-core computation alongside those IONs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..interconnect.links import INFINIBAND_QDR_4X, LinkSpec
+from ..nvm.kinds import MLC, NVMKind
+from .nodes import ComputeNode, IONode
+
+__all__ = ["ClusterSpec", "carver", "carver_ooc_partition"]
+
+
+@dataclass
+class ClusterSpec:
+    """A cluster: nodes, fabric, and derived topology facts."""
+
+    name: str
+    compute_nodes: list[ComputeNode] = field(default_factory=list)
+    io_nodes: list[IONode] = field(default_factory=list)
+    fabric: LinkSpec = INFINIBAND_QDR_4X
+
+    @property
+    def total_cores(self) -> int:
+        return sum(cn.cores for cn in self.compute_nodes) + sum(
+            io.cores for io in self.io_nodes
+        )
+
+    @property
+    def total_ssds(self) -> int:
+        return sum(io.ssds for io in self.io_nodes) + sum(
+            0 if cn.diskless else 1 for cn in self.compute_nodes
+        )
+
+    @property
+    def cns_per_ion_ssd(self) -> float:
+        ssds = sum(io.ssds for io in self.io_nodes)
+        return len(self.compute_nodes) / ssds if ssds else float("inf")
+
+
+def carver() -> ClusterSpec:
+    """The full Carver system of Figure 3 (1202 CNs / 10 IONs)."""
+    cns = [ComputeNode(node_id=i, cores=8) for i in range(1202)]
+    # 9984 cores total: 1202*8 = 9616 compute + 10 ION nodes hold the rest
+    ions = [IONode(node_id=i, cores=4, ssds=2, ssd_kind=MLC) for i in range(10)]
+    return ClusterSpec(name="carver", compute_nodes=cns, io_nodes=ions)
+
+
+def carver_ooc_partition(local_nvm: NVMKind | None = None) -> ClusterSpec:
+    """The OoC partition: 40 CNs (320 cores), 10 IONs, 20 PCIe SSDs.
+
+    Pass ``local_nvm`` to model the paper's migration of the SSDs into
+    the compute nodes (Figure 2b): each CN gains a local device and the
+    IONs keep only their magnetic storage for pre-staging.
+    """
+    cns = [
+        ComputeNode(node_id=i, cores=8, local_nvm=local_nvm) for i in range(40)
+    ]
+    ions = [
+        IONode(
+            node_id=i,
+            cores=4,
+            ssds=0 if local_nvm is not None else 2,
+            ssd_kind=None if local_nvm is not None else MLC,
+        )
+        for i in range(10)
+    ]
+    return ClusterSpec(name="carver-ooc", compute_nodes=cns, io_nodes=ions)

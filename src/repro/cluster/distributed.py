@@ -1,0 +1,118 @@
+"""Distributed-memory vs out-of-core NVM solve-time models (Section 1).
+
+The paper's motivation: "The traditional solution ... is to utilize
+shared, distributed memories across the cluster ... a cluster with an
+aggregate amount of memory large enough to bring the entire dataset in
+at the start", which is expensive in capital and energy and "place[s]
+hard limits on the size of H".  The NVM alternative keeps a small
+number of nodes and streams H from storage each iteration.
+
+These models estimate per-iteration time of the LOBPCG kernel under
+both designs:
+
+* **distributed memory** — H partitioned across node DRAM; each
+  iteration does a local SpMM plus the communication-intensive part
+  (Psi allgather + reduction traffic over the fabric),
+* **out-of-core NVM** — fewer nodes; each iteration streams the local
+  H partition from storage (ION-remote or compute-local NVM) and
+  overlaps it with the same local SpMM.
+
+They are deliberately first-order (bandwidth/latency/flop-rate terms
+only) — enough to reproduce the crossovers the introduction argues
+from, not a cycle-accurate cluster simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from ..interconnect.links import INFINIBAND_QDR_4X, LinkSpec
+
+__all__ = ["SolverKernel", "DistributedMemoryDesign", "OocNvmDesign"]
+
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class SolverKernel:
+    """Shape of one LOBPCG iteration over a stored Hamiltonian."""
+
+    h_bytes: int  # serialized sparse H
+    n: int  # dimension
+    block_cols: int = 10  # Psi width (paper: "about 10-20 columns")
+    flops_per_h_byte: float = 0.17  # ~2 flops per (value+index) byte per col
+
+    @property
+    def spmm_flops(self) -> float:
+        return self.h_bytes * self.flops_per_h_byte * self.block_cols
+
+    @property
+    def psi_bytes(self) -> int:
+        return self.n * self.block_cols * 8
+
+
+@dataclass(frozen=True)
+class DistributedMemoryDesign:
+    """H in aggregate DRAM across ``nodes`` nodes."""
+
+    nodes: int
+    mem_per_node_bytes: int = 24 * GiB
+    flops_per_node: float = 8 * 10.4e9  # 8 cores x ~10.4 GFLOP/s (Carver era)
+    fabric: LinkSpec = INFINIBAND_QDR_4X
+    #: fraction of memory usable for H (OS, Psi, buffers take the rest)
+    usable_mem_fraction: float = 0.7
+
+    def feasible(self, kernel: SolverKernel) -> bool:
+        """Does H fit in aggregate usable memory? (the 'hard limit')"""
+        usable = self.nodes * self.mem_per_node_bytes * self.usable_mem_fraction
+        return kernel.h_bytes <= usable
+
+    def min_nodes(self, kernel: SolverKernel) -> int:
+        """Nodes needed just to *hold* H in memory."""
+        per_node = self.mem_per_node_bytes * self.usable_mem_fraction
+        return max(1, math.ceil(kernel.h_bytes / per_node))
+
+    def iteration_ns(self, kernel: SolverKernel) -> float:
+        """One SpMM sweep: parallel compute + Psi allgather."""
+        if not self.feasible(kernel):
+            return math.inf
+        compute = kernel.spmm_flops / (self.nodes * self.flops_per_node) * 1e9
+        # ring allgather of the distributed Psi block: every node
+        # receives the whole Psi once per iteration
+        bw = self.fabric.effective_bytes_per_sec
+        comm = kernel.psi_bytes * 1e9 / bw + 2 * self.fabric.per_request_ns * max(
+            1, self.nodes - 1
+        )
+        return compute + comm
+
+
+@dataclass(frozen=True)
+class OocNvmDesign:
+    """H streamed from storage each iteration on ``nodes`` nodes."""
+
+    nodes: int
+    storage_bytes_per_sec: float  # per-node streaming rate of H panels
+    flops_per_node: float = 8 * 10.4e9
+    fabric: LinkSpec = INFINIBAND_QDR_4X
+    overlap: float = 1.0  # I/O-compute overlap (DOoC pipelines fully)
+
+    def iteration_ns(self, kernel: SolverKernel) -> float:
+        """One sweep: max(stream H partition, compute) + Psi allgather."""
+        io = kernel.h_bytes / self.nodes / self.storage_bytes_per_sec * 1e9
+        compute = kernel.spmm_flops / (self.nodes * self.flops_per_node) * 1e9
+        bw = self.fabric.effective_bytes_per_sec
+        comm = kernel.psi_bytes * 1e9 / bw + 2 * self.fabric.per_request_ns * max(
+            1, self.nodes - 1
+        )
+        if self.overlap >= 1.0:
+            body = max(io, compute)
+        else:
+            body = max(io, compute) + (1.0 - self.overlap) * min(io, compute)
+        return body + comm
+
+    def io_bound(self, kernel: SolverKernel) -> bool:
+        io = kernel.h_bytes / self.nodes / self.storage_bytes_per_sec * 1e9
+        compute = kernel.spmm_flops / (self.nodes * self.flops_per_node) * 1e9
+        return io > compute

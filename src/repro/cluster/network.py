@@ -1,0 +1,50 @@
+"""DES network links for cluster-level simulation.
+
+A :class:`SharedLink` serializes message payloads at the link's
+effective bandwidth (from :mod:`repro.interconnect`) with per-message
+latency; concurrent senders contend FIFO, which is how the ION's QDR
+port divides between its compute nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..interconnect.links import LinkSpec
+from ..sim import Resource, Simulator
+
+__all__ = ["SharedLink"]
+
+
+class SharedLink:
+    """A full-duplex link shared by many DES processes."""
+
+    def __init__(self, sim: Simulator, spec: LinkSpec, name: str = ""):
+        self.sim = sim
+        self.spec = spec
+        self.name = name or spec.name
+        self._wire = Resource(sim, capacity=1, name=self.name)
+        self.bytes_moved = 0
+
+    def transfer(self, nbytes: int) -> Generator:
+        """(process fragment) Move ``nbytes``; yields until delivered."""
+        if nbytes < 0:
+            raise ValueError("negative transfer")
+        yield self._wire.acquire()
+        try:
+            self.bytes_moved += nbytes
+            yield self.sim.timeout(self.spec.request_ns(nbytes))
+        finally:
+            self._wire.release()
+
+    @property
+    def busy_ns(self) -> int:
+        """Total time the wire has been held."""
+        total = sum(e - s for s, e in self._wire.busy_intervals)
+        if self._wire._busy_since is not None:
+            total += self.sim.now - self._wire._busy_since
+        return total
+
+    def utilization(self, now: int | None = None) -> float:
+        t = self.sim.now if now is None else now
+        return self.busy_ns / t if t > 0 else 0.0

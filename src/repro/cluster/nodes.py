@@ -1,0 +1,57 @@
+"""Cluster node descriptions (Figure 3's component inventory)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..interconnect.links import FIBRE_CHANNEL_8G, LinkSpec
+from ..nvm.kinds import NVMKind
+
+__all__ = ["ComputeNode", "IONode", "DiskArray"]
+
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class DiskArray:
+    """A Fibre-Channel-attached RAID enclosure on an ION."""
+
+    disks: int = 8
+    disk_bw_bytes: int = 120 * 1024 * 1024  # sustained per spindle
+    raid_efficiency: float = 0.8
+    link: LinkSpec = FIBRE_CHANNEL_8G
+
+    @property
+    def bytes_per_sec(self) -> float:
+        raw = self.disks * self.disk_bw_bytes * self.raid_efficiency
+        return min(raw, self.link.effective_bytes_per_sec)
+
+
+@dataclass
+class ComputeNode:
+    """A compute node: cores, memory, and (in the CNL design) a local SSD."""
+
+    node_id: int
+    cores: int = 8
+    memory_bytes: int = 24 * GiB
+    local_nvm: Optional[NVMKind] = None  # None = diskless (Fig. 2a style)
+
+    @property
+    def diskless(self) -> bool:
+        return self.local_nvm is None
+
+
+@dataclass
+class IONode:
+    """An I/O node: GPFS server, PCIe SSDs and FC-attached disks."""
+
+    node_id: int
+    cores: int = 4
+    ssds: int = 2
+    ssd_kind: Optional[NVMKind] = None
+    disk_arrays: tuple[DiskArray, ...] = field(default_factory=lambda: (DiskArray(),))
+
+    @property
+    def disk_bytes_per_sec(self) -> float:
+        return sum(d.bytes_per_sec for d in self.disk_arrays)

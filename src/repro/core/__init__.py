@@ -1,0 +1,18 @@
+"""The paper's primary contribution: UFS + compute-local NVM glue."""
+
+from .architecture import StoragePath, make_cnl_device, make_ion_device
+from .cache import CachedRunResult, CacheStats, NvmBlockCache, simulate_cached_run
+from .ufs import UfsObject, UnifiedFileSystem, superpage_bytes
+
+__all__ = [
+    "UnifiedFileSystem",
+    "UfsObject",
+    "superpage_bytes",
+    "StoragePath",
+    "make_cnl_device",
+    "make_ion_device",
+    "NvmBlockCache",
+    "CacheStats",
+    "CachedRunResult",
+    "simulate_cached_run",
+]

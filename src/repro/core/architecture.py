@@ -1,0 +1,152 @@
+"""Architecture builders: ION-local vs compute-local NVM (Figure 2).
+
+These helpers assemble a complete storage path — file system (or UFS),
+host interface, SSD — for the two cluster archetypes the paper
+compares:
+
+* :func:`make_ion_device` — Figure 2a: the SSD lives on an I/O node;
+  compute nodes reach it over QDR InfiniBand through GPFS, sharing the
+  device and the link (Carver's OoC partition runs 2 CNs per PCIe SSD:
+  40 CNs over 20 SSDs),
+* :func:`make_cnl_device` — Figure 2b: the SSD sits in the compute
+  node on PCIe, formatted with a local file system or driven raw by
+  UFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..fs.base import FileSystemModel
+from ..fs.registry import make_fs
+from ..interconnect import (
+    INFINIBAND_QDR_4X,
+    HostPath,
+    bridged_pcie2,
+    native_pcie3,
+    network_path,
+)
+from ..nvm.bus import DDR800, ONFI3_SDR400, BusSpec
+from ..nvm.kinds import NVMKind
+from ..ssd.controller import SSDevice
+from ..ssd.geometry import Geometry
+from .ufs import UnifiedFileSystem
+
+__all__ = ["StoragePath", "make_cnl_device", "make_ion_device"]
+
+#: Carver OoC partition: 40 CNs / 20 ION PCIe SSDs (Figure 3).
+ION_CLIENTS_PER_SSD = 2
+
+#: GPFS client-stack efficiency over IPoIB/verbs on QDR (the stack the
+#: paper's traces crossed).  Yields ~0.9 GB/s per CN, matching the
+#: paper's ION-GPFS bars, which "run up against the throughput limit
+#: for QDR Infiniband" as delivered end-to-end by GPFS.
+GPFS_CLIENT_EFFICIENCY = 0.24
+
+
+@dataclass
+class StoragePath:
+    """A fully-assembled storage path ready for trace replay."""
+
+    name: str
+    device: SSDevice
+    fs: FileSystemModel
+    clients: int = 1
+    location: str = "CNL"  # "CNL" | "ION"
+
+    def format_and_preload(self, file_sizes: dict[int, int]) -> None:
+        """Lay out the files and pre-stage their contents on the NVM."""
+        layout = self.fs.format(file_sizes)
+        need = max(layout.device_bytes, getattr(self.fs, "allocated_bytes", 0))
+        if need > self.device.ftl.n_logical_pages * self.device.geom.page_bytes:
+            raise ValueError(
+                f"{self.name}: device logical space too small for layout"
+            )
+        self.device.preload(need)
+
+
+def _geometry(kind: NVMKind) -> Geometry:
+    """The paper's device: 8 channels / 64 packages / 128 dies."""
+    return Geometry(kind=kind)
+
+
+def _logical_bytes(data_bytes: int) -> int:
+    """Logical space: data + CoW/journal/metadata zones + slack."""
+    return int(data_bytes * 2.0) + 512 * 1024 * 1024
+
+
+def make_cnl_device(
+    fs_name: str,
+    kind: NVMKind,
+    data_bytes: int,
+    lanes: int = 8,
+    native: bool = False,
+    bus: Optional[BusSpec] = None,
+    seed: int = 1013,
+) -> StoragePath:
+    """A compute-node-local SSD behind a local FS or UFS (Figure 2b).
+
+    ``native=False`` gives the bridged PCIe 2.0 + ONFi SDR-400 device
+    of Figure 5a; ``native=True`` the PCIe 3.0 + DDR-800 device of
+    Figure 5b.  ``lanes`` selects 8 or 16 PCIe lanes (Section 4.4).
+    """
+    geom = _geometry(kind)
+    host: HostPath = native_pcie3(lanes) if native else bridged_pcie2(lanes)
+    nvm_bus = bus if bus is not None else (DDR800 if native else ONFI3_SDR400)
+    is_ufs = fs_name.upper() == "UFS"
+    fs: FileSystemModel
+    if is_ufs:
+        fs = UnifiedFileSystem(geom, seed=seed)
+    else:
+        fs = make_fs(fs_name, seed=seed)
+    device = SSDevice(
+        geometry=geom,
+        bus=nvm_bus,
+        host=host,
+        logical_bytes=_logical_bytes(data_bytes),
+        readahead_bytes=fs.readahead_bytes,
+        name=f"CNL-{fs_name}",
+        command_overhead_ns=0 if is_ufs else 5_000,
+    )
+    return StoragePath(
+        name=f"CNL-{fs_name.upper()}", device=device, fs=fs, clients=1, location="CNL"
+    )
+
+
+def make_ion_device(
+    kind: NVMKind,
+    data_bytes: int,
+    clients: int = ION_CLIENTS_PER_SSD,
+    seed: int = 1013,
+    gpfs_efficiency: Optional[float] = None,
+) -> StoragePath:
+    """The ION-resident SSD reached through GPFS over QDR IB (Fig. 2a).
+
+    The host path models the CN-side GPFS client stack (RPC latency,
+    IPoIB/verbs efficiency); ``clients`` compute nodes multiplex onto
+    the one device, as in Carver's OoC partition.  ``gpfs_efficiency``
+    overrides the calibrated per-client stack efficiency (used by the
+    sensitivity analysis).
+    """
+    geom = _geometry(kind)
+    eff = GPFS_CLIENT_EFFICIENCY if gpfs_efficiency is None else gpfs_efficiency
+    host = network_path(
+        INFINIBAND_QDR_4X,
+        sharers=clients,
+        rpc_overhead_ns=60_000,
+        server_efficiency=eff * clients,
+    )
+    fs = make_fs("GPFS", seed=seed)
+    device = SSDevice(
+        geometry=geom,
+        bus=ONFI3_SDR400,
+        host=host,
+        logical_bytes=_logical_bytes(data_bytes) * max(1, clients),
+        readahead_bytes=fs.readahead_bytes,
+        name="ION-GPFS",
+        command_overhead_ns=5_000,
+    )
+    return StoragePath(
+        name="ION-GPFS", device=device, fs=fs, clients=clients, location="ION"
+    )

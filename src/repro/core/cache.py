@@ -1,0 +1,214 @@
+"""Cache-managed compute-local NVM — the design the paper argues against.
+
+Section 1: prior compute-local NVM work (FlashTier, Mercury; the
+paper's refs [25, 28, 29]) "solely consider the local NVM as a large
+and algorithmically-managed cache ... these cache solutions may take
+many hours or even days to 'heat up', which will nullify any benefits
+distributed OoC applications could reap from them.  [F]or a
+general-purpose caching layer to work properly, the fundamental
+expectation that data is accessed more than once in a constrained
+window of time must hold true, which is often not the case ... the act
+of caching and evicting the data itself may very well slow down the
+execution."
+
+This module provides a faithful block-granular NVM cache model plus a
+simulator that runs the OoC trace through it against remote (ION)
+backing storage, so the argument can be made quantitatively and
+compared with the paper's application-managed pre-load (UFS).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..interconnect.host import HostPath
+from ..trace.posix import PosixTrace
+
+__all__ = ["CacheStats", "NvmBlockCache", "CachedRunResult", "simulate_cached_run"]
+
+MiB = 1024 * 1024
+
+
+@dataclass
+class CacheStats:
+    """Byte-level cache accounting."""
+
+    hit_bytes: int = 0
+    miss_bytes: int = 0
+    fill_bytes: int = 0
+    evicted_bytes: int = 0
+    write_through_bytes: int = 0
+
+    @property
+    def accessed_bytes(self) -> int:
+        return self.hit_bytes + self.miss_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accessed_bytes
+        return self.hit_bytes / total if total else 0.0
+
+
+class NvmBlockCache:
+    """An LRU block cache over a compute-local NVM device.
+
+    ``capacity_bytes`` of NVM front remote storage in ``block_bytes``
+    units.  Reads of resident blocks hit; misses fill the block (read
+    amplification up to one block per miss).  Writes allocate/dirty
+    blocks (write-back) or additionally pass through (write-through).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_bytes: int = 1 * MiB,
+        write_policy: str = "write-back",
+    ):
+        if capacity_bytes < block_bytes:
+            raise ValueError("capacity smaller than one block")
+        if write_policy not in ("write-back", "write-through"):
+            raise ValueError(f"unknown write policy {write_policy!r}")
+        self.capacity_blocks = capacity_bytes // block_bytes
+        self.block_bytes = block_bytes
+        self.write_policy = write_policy
+        self.stats = CacheStats()
+        self._lru: "OrderedDict[tuple[int, int], bool]" = OrderedDict()  # key->dirty
+
+    def _blocks(self, file_id: int, offset: int, nbytes: int):
+        bb = self.block_bytes
+        first = offset // bb
+        last = (offset + nbytes - 1) // bb
+        for b in range(first, last + 1):
+            lo = max(offset, b * bb)
+            hi = min(offset + nbytes, (b + 1) * bb)
+            yield (file_id, b), hi - lo
+
+    def _touch(self, key: tuple[int, int], dirty: bool) -> int:
+        """Insert/refresh a block; returns evicted dirty bytes."""
+        evicted_dirty = 0
+        if key in self._lru:
+            self._lru[key] = self._lru[key] or dirty
+            self._lru.move_to_end(key)
+            return 0
+        while len(self._lru) >= self.capacity_blocks:
+            _old, was_dirty = self._lru.popitem(last=False)
+            self.stats.evicted_bytes += self.block_bytes
+            if was_dirty:
+                evicted_dirty += self.block_bytes
+        self._lru[key] = dirty
+        return evicted_dirty
+
+    def read(self, file_id: int, offset: int, nbytes: int) -> tuple[int, int, int]:
+        """Returns (hit_bytes, miss_bytes, fill_bytes)."""
+        hit = miss = fill = 0
+        for key, span in self._blocks(file_id, offset, nbytes):
+            if key in self._lru:
+                self._lru.move_to_end(key)
+                hit += span
+            else:
+                miss += span
+                fill += self.block_bytes  # whole-block fill
+                self._touch(key, dirty=False)
+        self.stats.hit_bytes += hit
+        self.stats.miss_bytes += miss
+        self.stats.fill_bytes += fill
+        return hit, miss, fill
+
+    def write(self, file_id: int, offset: int, nbytes: int) -> tuple[int, int]:
+        """Returns (local_bytes, remote_bytes) to be written."""
+        remote = 0
+        for key, span in self._blocks(file_id, offset, nbytes):
+            dirty_evicted = self._touch(key, dirty=(self.write_policy == "write-back"))
+            remote += dirty_evicted
+        if self.write_policy == "write-through":
+            remote += nbytes
+            self.stats.write_through_bytes += nbytes
+        return nbytes, remote
+
+    @property
+    def resident_blocks(self) -> int:
+        return len(self._lru)
+
+    def warm_fraction(self, working_set_bytes: int) -> float:
+        """Resident fraction of a working set of the given size."""
+        resident = self.resident_blocks * self.block_bytes
+        return min(1.0, resident / working_set_bytes) if working_set_bytes else 1.0
+
+
+@dataclass
+class CachedRunResult:
+    """Timing of an OoC trace run through a cache-managed local NVM."""
+
+    stats: CacheStats
+    elapsed_ns: int
+    local_io_ns: int
+    remote_io_ns: int
+    warmup_ns: int  # time until the first window with >90% hit rate
+    warmed_up: bool
+    bandwidth_mb: float = field(init=False)
+    total_bytes: int = 0
+
+    def __post_init__(self):
+        self.bandwidth_mb = (
+            self.total_bytes * 1e9 / self.elapsed_ns / 1e6 if self.elapsed_ns else 0.0
+        )
+
+
+def simulate_cached_run(
+    trace: PosixTrace,
+    cache: NvmBlockCache,
+    local_bytes_per_sec: float,
+    remote: HostPath,
+    warm_window: int = 32,
+) -> CachedRunResult:
+    """Run a POSIX trace through the cache over remote backing storage.
+
+    Hits move at the local NVM rate; misses pay the remote path for the
+    *whole block fill* (the "act of caching ... itself may very well
+    slow down the execution"), then the local rate.  The warm-up time
+    is when a sliding window of requests first exceeds 90 % hits.
+    """
+    t = 0
+    local_ns = remote_ns = 0
+    warmup_ns = 0
+    warmed = False
+    window: list[float] = []
+    for req in trace:
+        if req.op == "read":
+            hit, miss, fill = cache.read(req.file_id, req.offset, req.nbytes)
+            dt_remote = remote.per_request_ns + int(
+                fill * 1e9 / remote.per_client_bytes_per_sec
+            ) if fill else 0
+            dt_local = int(req.nbytes * 1e9 / local_bytes_per_sec)
+            window.append(hit / max(1, hit + miss))
+        else:
+            local, rem = cache.write(req.file_id, req.offset, req.nbytes)
+            dt_remote = (
+                remote.per_request_ns
+                + int(rem * 1e9 / remote.per_client_bytes_per_sec)
+                if rem
+                else 0
+            )
+            dt_local = int(local * 1e9 / local_bytes_per_sec)
+            window.append(1.0)
+        t += dt_local + dt_remote
+        local_ns += dt_local
+        remote_ns += dt_remote
+        if not warmed:
+            if len(window) > warm_window:
+                window.pop(0)
+            if len(window) == warm_window and sum(window) / warm_window > 0.9:
+                warmed = True
+                warmup_ns = t
+    if not warmed:
+        warmup_ns = t  # never heated up within the run
+    return CachedRunResult(
+        stats=cache.stats,
+        elapsed_ns=t,
+        local_io_ns=local_ns,
+        remote_io_ns=remote_ns,
+        warmup_ns=warmup_ns,
+        warmed_up=warmed,
+        total_bytes=trace.total_bytes,
+    )

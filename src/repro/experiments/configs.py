@@ -1,0 +1,125 @@
+"""The Table-2 configuration matrix.
+
+Table 2 of the paper lists the thirteen evaluated software/hardware
+configurations.  Each row varies the storage location (ION vs
+compute-node-local), the file system, the SSD controller front-end
+(bridged vs native), the PCIe generation / NVM bus, and the lane count:
+
+======================  ==========  =========  ============  =====
+Location-FileSystem     Controller  PCIe Bus   NVM Interface  Lanes
+======================  ==========  =========  ============  =====
+ION-GPFS                Bridged     2.0        SDR 400MHz     8
+CNL-JFS .. CNL-EXT4-L   Bridged     2.0        SDR 400MHz     8
+CNL-UFS                 Bridged     2.0        SDR 400MHz     8
+CNL-UFS ("BRIDGE-16")   Bridged     2.0        SDR 400MHz     16
+CNL-UFS ("NATIVE-8")    Native      3.0        DDR 800MHz     8
+CNL-UFS ("NATIVE-16")   Native      3.0        DDR 800MHz     16
+======================  ==========  =========  ============  =====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.architecture import StoragePath, make_cnl_device, make_ion_device
+from ..fs.registry import LOCAL_FS_NAMES
+from ..nvm.kinds import KINDS, NVMKind
+
+__all__ = [
+    "ExpConfig",
+    "TABLE2_CONFIGS",
+    "FS_SWEEP_LABELS",
+    "DEVICE_SWEEP_LABELS",
+    "config_by_label",
+]
+
+
+@dataclass(frozen=True)
+class ExpConfig:
+    """One Table-2 row."""
+
+    label: str  # figure label, e.g. "CNL-NATIVE-16"
+    location: str  # "ION" | "CNL"
+    fs: str  # file system (or "UFS")
+    controller: str  # "Bridged" | "Native"
+    pcie: str  # "2.0" | "3.0"
+    bus: str  # "SDR-400" | "DDR-800"
+    lanes: int
+
+    def build(self, kind: NVMKind, data_bytes: int, seed: int = 1013) -> StoragePath:
+        """Assemble the storage path for this row."""
+        if self.location == "ION":
+            return make_ion_device(kind, data_bytes, seed=seed)
+        return make_cnl_device(
+            self.fs,
+            kind,
+            data_bytes,
+            lanes=self.lanes,
+            native=(self.controller == "Native"),
+            seed=seed,
+        )
+
+    def table_row(self) -> tuple[str, str, str, int]:
+        """(location-fs, controller, bus description, lanes)."""
+        loc_fs = f"{self.location}-{self.fs}"
+        bus_desc = f"{self.pcie}/{'SDR 400MHz' if self.bus == 'SDR-400' else 'DDR 800MHz'}"
+        return (loc_fs, self.controller, bus_desc, self.lanes)
+
+
+def _cnl_bridged(fs: str) -> ExpConfig:
+    return ExpConfig(
+        label=f"CNL-{fs}",
+        location="CNL",
+        fs=fs,
+        controller="Bridged",
+        pcie="2.0",
+        bus="SDR-400",
+        lanes=8,
+    )
+
+
+#: All thirteen Table-2 rows, in the paper's order.
+TABLE2_CONFIGS: tuple[ExpConfig, ...] = (
+    ExpConfig("ION-GPFS", "ION", "GPFS", "Bridged", "2.0", "SDR-400", 8),
+    *(_cnl_bridged(fs) for fs in LOCAL_FS_NAMES),
+    _cnl_bridged("UFS"),
+    ExpConfig("CNL-BRIDGE-16", "CNL", "UFS", "Bridged", "2.0", "SDR-400", 16),
+    ExpConfig("CNL-NATIVE-8", "CNL", "UFS", "Native", "3.0", "DDR-800", 8),
+    ExpConfig("CNL-NATIVE-16", "CNL", "UFS", "Native", "3.0", "DDR-800", 16),
+)
+
+#: Figure-7/9 configurations (ION + the file-system sweep).
+FS_SWEEP_LABELS = (
+    "ION-GPFS",
+    "CNL-JFS",
+    "CNL-BTRFS",
+    "CNL-XFS",
+    "CNL-REISERFS",
+    "CNL-EXT2",
+    "CNL-EXT3",
+    "CNL-EXT4",
+    "CNL-EXT4-L",
+    "CNL-UFS",
+)
+
+#: Figure-8 configurations (the device-improvement sweep).
+DEVICE_SWEEP_LABELS = (
+    "CNL-UFS",
+    "CNL-BRIDGE-16",
+    "CNL-NATIVE-8",
+    "CNL-NATIVE-16",
+)
+
+_BY_LABEL = {c.label: c for c in TABLE2_CONFIGS}
+
+
+def config_by_label(label: str) -> ExpConfig:
+    """Look up a Table-2 row by its figure label."""
+    try:
+        return _BY_LABEL[label]
+    except KeyError:
+        raise KeyError(f"unknown config {label!r}; have {sorted(_BY_LABEL)}") from None
+
+
+#: re-export for convenience in the harness
+ALL_KINDS = KINDS

@@ -1,0 +1,145 @@
+"""Capital and energy comparison: big-DRAM cluster vs NVM designs.
+
+Section 1: distributed memory "represent[s] very tangible costs to the
+system builder ... in terms of initial capital investment for the
+memory and network and high energy use of both over time", while NVM
+accelerators are "low-power SSDs instead of huge amounts of memory".
+This extension quantifies that motivation with 2013-era component
+models and the solve-time estimates of
+:mod:`repro.cluster.distributed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.distributed import DistributedMemoryDesign, OocNvmDesign, SolverKernel
+from ..interconnect import bridged_pcie2, network_path
+from ..interconnect.links import INFINIBAND_QDR_4X
+
+__all__ = ["ComponentCosts", "DesignPoint", "capacity_study"]
+
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class ComponentCosts:
+    """2013-era capital ($) and power (W) component models."""
+
+    dram_usd_per_gib: float = 10.0
+    ssd_usd_per_gib: float = 1.0
+    node_base_usd: float = 3500.0
+    ib_port_usd: float = 600.0
+    node_base_w: float = 250.0
+    dram_w_per_gib: float = 0.4
+    ssd_w: float = 25.0
+    ib_port_w: float = 9.0
+
+    def node_usd(self, mem_gib: float, ssd_gib: float) -> float:
+        return (
+            self.node_base_usd
+            + self.dram_usd_per_gib * mem_gib
+            + self.ssd_usd_per_gib * ssd_gib
+            + self.ib_port_usd
+        )
+
+    def node_w(self, mem_gib: float, has_ssd: bool) -> float:
+        return (
+            self.node_base_w
+            + self.dram_w_per_gib * mem_gib
+            + (self.ssd_w if has_ssd else 0.0)
+            + self.ib_port_w
+        )
+
+
+@dataclass
+class DesignPoint:
+    """One cluster design evaluated for a given problem size."""
+
+    name: str
+    nodes: int
+    feasible: bool
+    iteration_ms: float
+    capital_usd: float
+    power_w: float
+    energy_j_per_iteration: float = field(init=False)
+
+    def __post_init__(self):
+        self.energy_j_per_iteration = (
+            self.power_w * self.iteration_ms / 1e3 if self.feasible else float("inf")
+        )
+
+
+def capacity_study(
+    h_gib: float,
+    n: int | None = None,
+    costs: ComponentCosts = ComponentCosts(),
+    ooc_nodes: int = 40,
+    mem_per_node_gib: float = 24.0,
+    ssd_gib_per_node: float = 512.0,
+) -> list[DesignPoint]:
+    """Compare three designs for a Hamiltonian of ``h_gib`` GiB.
+
+    * ``distributed-DRAM`` — the minimum node count whose aggregate
+      memory holds H (the traditional design),
+    * ``ION-NVM`` — ``ooc_nodes`` diskless CNs streaming H from ION
+      SSDs over GPFS/InfiniBand (the prior-work design, Fig. 2a),
+    * ``CNL-NVM`` — the same nodes with compute-local SSDs (Fig. 2b).
+    """
+    h_bytes = int(h_gib * GiB)
+    # CI-style density: tens of kB of matrix per row (thousands of
+    # nonzeros), so Psi stays tall-skinny relative to H
+    kernel = SolverKernel(
+        h_bytes=h_bytes, n=n if n is not None else max(1000, h_bytes // 50_000)
+    )
+
+    out: list[DesignPoint] = []
+
+    dram = DistributedMemoryDesign(
+        nodes=DistributedMemoryDesign(
+            nodes=1, mem_per_node_bytes=int(mem_per_node_gib * GiB)
+        ).min_nodes(kernel),
+        mem_per_node_bytes=int(mem_per_node_gib * GiB),
+    )
+    out.append(
+        DesignPoint(
+            name="distributed-DRAM",
+            nodes=dram.nodes,
+            feasible=dram.feasible(kernel),
+            iteration_ms=dram.iteration_ns(kernel) / 1e6,
+            capital_usd=dram.nodes * costs.node_usd(mem_per_node_gib, 0),
+            power_w=dram.nodes * costs.node_w(mem_per_node_gib, has_ssd=False),
+        )
+    )
+
+    ion_rate = network_path(
+        INFINIBAND_QDR_4X, sharers=2, server_efficiency=0.48
+    ).per_client_bytes_per_sec
+    ion = OocNvmDesign(nodes=ooc_nodes, storage_bytes_per_sec=ion_rate)
+    # ION SSDs are shared infrastructure: half an SSD per CN (Carver)
+    out.append(
+        DesignPoint(
+            name="ION-NVM",
+            nodes=ooc_nodes,
+            feasible=True,
+            iteration_ms=ion.iteration_ns(kernel) / 1e6,
+            capital_usd=ooc_nodes
+            * (costs.node_usd(mem_per_node_gib, 0) + 0.5 * costs.ssd_usd_per_gib * ssd_gib_per_node),
+            power_w=ooc_nodes
+            * (costs.node_w(mem_per_node_gib, has_ssd=False) + 0.5 * costs.ssd_w),
+        )
+    )
+
+    cnl_rate = bridged_pcie2(8).bytes_per_sec
+    cnl = OocNvmDesign(nodes=ooc_nodes, storage_bytes_per_sec=cnl_rate)
+    out.append(
+        DesignPoint(
+            name="CNL-NVM",
+            nodes=ooc_nodes,
+            feasible=True,
+            iteration_ms=cnl.iteration_ns(kernel) / 1e6,
+            capital_usd=ooc_nodes * costs.node_usd(mem_per_node_gib, ssd_gib_per_node),
+            power_w=ooc_nodes * costs.node_w(mem_per_node_gib, has_ssd=True),
+        )
+    )
+    return out

@@ -1,0 +1,93 @@
+"""Future-device exploration: the Figure-1 "expectation" points.
+
+Figure 1 plots two forward-looking points — "Future PCIe SSD
+(expectation)" (~8 GB/s) and "Future Multi-channel PCM-SSD
+(expectation)" (~16 GB/s).  This extension builds those devices in the
+simulator: native PCIe 3.0 SSDs with DDR-800 NVM buses and growing
+channel counts, and checks which medium can actually exploit the extra
+channels (PCM's fast cells scale; NAND saturates on its cell arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.architecture import StoragePath
+from ..core.ufs import UnifiedFileSystem
+from ..interconnect import native_pcie3
+from ..nvm.bus import DDR800
+from ..nvm.kinds import NVMKind, kind_by_name
+from ..ssd.controller import SSDevice
+from ..ssd.geometry import Geometry
+from ..trace.replay import replay
+from ..trace.synth import ooc_eigensolver_trace
+
+__all__ = ["FutureSweepResult", "future_device_sweep"]
+
+MiB = 1024 * 1024
+
+
+@dataclass
+class FutureSweepResult:
+    """Bandwidth per (kind, channels) design point, MB/s."""
+
+    lanes: int
+    bandwidth_mb: dict[tuple[str, int], float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        kinds = sorted({k for k, _c in self.bandwidth_mb})
+        channels = sorted({c for _k, c in self.bandwidth_mb})
+        lines = [
+            f"Future devices: native PCIe3 x{self.lanes}, DDR-800, channel sweep "
+            "(MB/s)",
+            f"{'kind':<6}" + "".join(f"{c:>4}ch" for c in channels),
+        ]
+        for k in kinds:
+            lines.append(
+                f"{k:<6}"
+                + "".join(f"{self.bandwidth_mb[(k, c)]:>6.0f}" for c in channels)
+            )
+        return "\n".join(lines)
+
+
+def _future_device(kind: NVMKind, channels: int, lanes: int, data_bytes: int) -> StoragePath:
+    geom = Geometry(
+        kind=kind,
+        channels=channels,
+        packages_per_channel=8,
+        dies_per_package=2,
+        planes_per_die=2,
+    )
+    fs = UnifiedFileSystem(geom)
+    device = SSDevice(
+        geometry=geom,
+        bus=DDR800,
+        host=native_pcie3(lanes),
+        logical_bytes=2 * data_bytes + (512 << 20),
+        readahead_bytes=None,
+        name=f"future-{kind.name}-{channels}ch",
+        command_overhead_ns=0,
+    )
+    return StoragePath(
+        name=f"FUTURE-{kind.name}-{channels}ch", device=device, fs=fs
+    )
+
+
+def future_device_sweep(
+    kinds: tuple[str, ...] = ("TLC", "SLC", "PCM"),
+    channels: tuple[int, ...] = (8, 16, 32),
+    lanes: int = 16,
+    panels: int = 12,
+    panel_bytes: int = 8 * MiB,
+) -> FutureSweepResult:
+    """Sweep channel counts for future native UFS devices."""
+    out = FutureSweepResult(lanes=lanes)
+    data_bytes = panels * panel_bytes
+    for kind_name in kinds:
+        kind = kind_by_name(kind_name)
+        for ch in channels:
+            path = _future_device(kind, ch, lanes, data_bytes)
+            trace = ooc_eigensolver_trace(panels=panels, panel_bytes=panel_bytes)
+            summary = replay(path, trace, posix_window=2)
+            out.bandwidth_mb[(kind.name, ch)] = summary.bandwidth_mb
+    return out

@@ -1,0 +1,117 @@
+"""Headline claims of the paper (Sections 4.3, 4.4 and 7).
+
+* worst-CNL over ION-GPFS per kind ("7 %, 78 %, and 108 % for TLC,
+  MLC, and SLC"),
+* BTRFS ~2x ext2 on TLC; ext4-L ~= ext4 + ~1 GB/s,
+* BRIDGE-16 only marginally above UFS-8; NATIVE-8 ~2x BRIDGE-16,
+* PCM 16x and TLC 8x from ION-GPFS to CNL-NATIVE-16,
+* "10.3 times over traditional ION-local NVM solutions" on average,
+* CNL baseline +108 % vs ION; software (UFS) +52 %; hardware +250 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .report import kv_lines
+from .runner import DEFAULT_WORKLOAD, Workload, run_config
+
+__all__ = ["HeadlineResults", "compute_headline"]
+
+LOW_FS = ("CNL-EXT2", "CNL-EXT3", "CNL-JFS", "CNL-REISERFS")
+ALL_LOCAL_FS = (
+    "CNL-JFS",
+    "CNL-BTRFS",
+    "CNL-XFS",
+    "CNL-REISERFS",
+    "CNL-EXT2",
+    "CNL-EXT3",
+    "CNL-EXT4",
+    "CNL-EXT4-L",
+)
+
+
+@dataclass
+class HeadlineResults:
+    """Measured values for every headline claim."""
+
+    ion_mb: dict[str, float] = field(default_factory=dict)
+    worst_cnl_gain: dict[str, float] = field(default_factory=dict)
+    btrfs_over_ext2_tlc: float = 0.0
+    ext4l_minus_ext4_mb: dict[str, float] = field(default_factory=dict)
+    bridge16_over_ufs8: float = 0.0
+    native8_over_bridge16: float = 0.0
+    native16_over_ion: dict[str, float] = field(default_factory=dict)
+    average_native16_over_ion: float = 0.0
+    cnl_baseline_gain: float = 0.0  # avg CNL-FS vs ION
+    software_gain: float = 0.0  # UFS vs avg CNL-FS
+    hardware_gain: float = 0.0  # NATIVE-16 vs UFS-8
+
+    def render(self) -> str:
+        pairs = {
+            "avg NATIVE-16 / ION (paper 10.3x)": f"{self.average_native16_over_ion:.1f}x",
+            "TLC NATIVE-16 / ION (paper ~8x)": f"{self.native16_over_ion['TLC']:.1f}x",
+            "PCM NATIVE-16 / ION (paper ~16x)": f"{self.native16_over_ion['PCM']:.1f}x",
+            "worst-CNL gain TLC (paper +7%)": f"{100*self.worst_cnl_gain['TLC']:+.0f}%",
+            "worst-CNL gain MLC (paper +78%)": f"{100*self.worst_cnl_gain['MLC']:+.0f}%",
+            "worst-CNL gain SLC (paper +108%)": f"{100*self.worst_cnl_gain['SLC']:+.0f}%",
+            "BTRFS/EXT2 on TLC (paper ~2x)": f"{self.btrfs_over_ext2_tlc:.1f}x",
+            "EXT4-L - EXT4 on TLC (paper ~1 GB/s)": f"{self.ext4l_minus_ext4_mb['TLC']:.0f} MB/s",
+            "BRIDGE-16 / UFS-8 (paper: marginal)": f"{self.bridge16_over_ufs8:.2f}x",
+            "NATIVE-8 / BRIDGE-16 (paper ~2x)": f"{self.native8_over_bridge16:.2f}x",
+            "CNL baseline vs ION (paper +108%)": f"{100*self.cnl_baseline_gain:+.0f}%",
+            "software (UFS) gain (paper +52%)": f"{100*self.software_gain:+.0f}%",
+            "hardware (native) gain (paper +250%)": f"{100*self.hardware_gain:+.0f}%",
+        }
+        return kv_lines("Headline claims: paper vs measured", pairs)
+
+
+def compute_headline(workload: Workload = DEFAULT_WORKLOAD) -> HeadlineResults:
+    """Run the configurations behind every headline claim."""
+    kinds = ("SLC", "MLC", "TLC", "PCM")
+    r = HeadlineResults()
+
+    bw: dict[tuple[str, str], float] = {}
+
+    def get(label: str, kind: str) -> float:
+        key = (label, kind)
+        if key not in bw:
+            bw[key] = run_config(label, kind, workload).bandwidth_mb
+        return bw[key]
+
+    for kind in kinds:
+        r.ion_mb[kind] = get("ION-GPFS", kind)
+    for kind in ("SLC", "MLC", "TLC"):
+        worst = min(get(lbl, kind) for lbl in LOW_FS)
+        r.worst_cnl_gain[kind] = worst / r.ion_mb[kind] - 1.0
+
+    r.btrfs_over_ext2_tlc = get("CNL-BTRFS", "TLC") / get("CNL-EXT2", "TLC")
+    for kind in ("TLC", "SLC"):
+        r.ext4l_minus_ext4_mb[kind] = get("CNL-EXT4-L", kind) - get("CNL-EXT4", kind)
+
+    # device sweep claims use SLC (any NAND kind shows the same shape)
+    r.bridge16_over_ufs8 = get("CNL-BRIDGE-16", "SLC") / get("CNL-UFS", "SLC")
+    r.native8_over_bridge16 = get("CNL-NATIVE-8", "SLC") / get("CNL-BRIDGE-16", "SLC")
+
+    for kind in kinds:
+        r.native16_over_ion[kind] = get("CNL-NATIVE-16", kind) / r.ion_mb[kind]
+    r.average_native16_over_ion = float(
+        np.mean([r.native16_over_ion[k] for k in kinds])
+    )
+
+    # section-7 aggregate gains, averaged over kinds
+    cnl_avg = {
+        kind: float(np.mean([get(lbl, kind) for lbl in ALL_LOCAL_FS])) for kind in kinds
+    }
+    r.cnl_baseline_gain = float(
+        np.mean([cnl_avg[k] / r.ion_mb[k] for k in kinds]) - 1.0
+    )
+    r.software_gain = float(
+        np.mean([get("CNL-UFS", k) / cnl_avg[k] for k in kinds]) - 1.0
+    )
+    r.hardware_gain = float(
+        np.mean([get("CNL-NATIVE-16", k) / get("CNL-UFS", k) for k in kinds]) - 1.0
+    )
+    return r

@@ -1,0 +1,67 @@
+"""Text rendering of the reproduced tables and figures.
+
+Every figure's harness prints the same rows/series the paper plots, in
+a fixed-width layout suitable for diffing between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["grid_table", "percent_table", "kv_lines"]
+
+
+def grid_table(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Mapping[tuple[str, str], float],
+    fmt: str = "{:9.1f}",
+    unit: str = "",
+) -> str:
+    """Render a rows x cols numeric grid (configs x NVM kinds)."""
+    width = max(12, max(len(r) for r in row_labels) + 1)
+    head = " " * width + "".join(f"{c:>10}" for c in col_labels)
+    lines = [title + (f" [{unit}]" if unit else ""), head]
+    for r in row_labels:
+        cells = "".join(
+            f"{fmt.format(values[(r, c)]):>10}" if (r, c) in values else f"{'-':>10}"
+            for c in col_labels
+        )
+        lines.append(f"{r:<{width}}" + cells)
+    return "\n".join(lines)
+
+
+def percent_table(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Mapping[tuple[str, str], Mapping[str, float]],
+    keys: Iterable[str],
+) -> str:
+    """Render stacked-percentage decompositions (Figure 10 style)."""
+    lines = [title]
+    keys = list(keys)
+    for c in col_labels:
+        lines.append(f"-- {c} --")
+        head = f"{'config':<16}" + "".join(f"{k[:12]:>14}" for k in keys)
+        lines.append(head)
+        for r in row_labels:
+            cell = values.get((r, c))
+            if cell is None:
+                continue
+            row = f"{r:<16}" + "".join(f"{100*cell.get(k, 0.0):>13.1f}%" for k in keys)
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def kv_lines(title: str, pairs: Mapping[str, object]) -> str:
+    """Simple aligned key/value listing."""
+    width = max(len(k) for k in pairs) + 2
+    lines = [title]
+    for k, v in pairs.items():
+        if isinstance(v, float):
+            lines.append(f"  {k:<{width}}{v:,.2f}")
+        else:
+            lines.append(f"  {k:<{width}}{v}")
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Sensitivity of the headline results to calibration choices.
+
+The reproduction calibrates three knobs with no direct ground truth:
+the GPFS client-stack efficiency (sets the ION baseline), the file
+systems' read-ahead windows (set the CNL-FS mid-field), and the
+device-FTL command overhead.  This analysis perturbs each knob and
+checks whether the paper's *qualitative* results survive:
+
+* CNL-NATIVE-16 improves on ION-GPFS by roughly an order of magnitude,
+* UFS beats the block-mapped file systems,
+* TLC remains the worst medium at the native design point.
+
+A reproduction whose conclusions flipped under a 25 % knob change
+would not be credible; this module shows they do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.architecture import make_cnl_device, make_ion_device
+from ..nvm.kinds import kind_by_name
+from ..trace.replay import replay
+from .runner import Workload
+
+__all__ = ["SensitivityReport", "sensitivity_analysis"]
+
+MiB = 1024 * 1024
+
+
+@dataclass
+class SensitivityCase:
+    """One perturbed run's key ratios."""
+
+    knob: str
+    setting: str
+    native16_over_ion: float
+    ufs_over_ext2: float
+    tlc_is_slowest_native: bool
+
+    @property
+    def conclusions_hold(self) -> bool:
+        return (
+            self.native16_over_ion > 5.0
+            and self.ufs_over_ext2 > 1.5
+            and self.tlc_is_slowest_native
+        )
+
+
+@dataclass
+class SensitivityReport:
+    cases: list[SensitivityCase] = field(default_factory=list)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(c.conclusions_hold for c in self.cases)
+
+    def render(self) -> str:
+        lines = [
+            "Sensitivity: do the paper's conclusions survive knob changes?",
+            f"{'knob':<22}{'setting':<10}{'N16/ION':>9}{'UFS/EXT2':>10}"
+            f"{'TLC slowest':>13}{'holds':>7}",
+        ]
+        for c in self.cases:
+            lines.append(
+                f"{c.knob:<22}{c.setting:<10}{c.native16_over_ion:>8.1f}x"
+                f"{c.ufs_over_ext2:>9.1f}x"
+                f"{'yes' if c.tlc_is_slowest_native else 'NO':>13}"
+                f"{'yes' if c.conclusions_hold else 'NO':>7}"
+            )
+        return "\n".join(lines)
+
+
+def _case(
+    knob: str,
+    setting: str,
+    workload: Workload,
+    gpfs_efficiency: float | None = None,
+    readahead_scale: float = 1.0,
+    command_overhead_ns: int | None = None,
+) -> SensitivityCase:
+    data = workload.bytes_per_client
+    tlc = kind_by_name("TLC")
+
+    def run_cnl(fs_name: str, kind_name: str):
+        kind = kind_by_name(kind_name)
+        native = fs_name == "UFS-N16"
+        path = make_cnl_device(
+            "UFS" if native else fs_name,
+            kind,
+            data,
+            lanes=16 if native else 8,
+            native=native,
+        )
+        if readahead_scale != 1.0 and path.device.readahead_bytes:
+            path.device.readahead_bytes = int(
+                path.device.readahead_bytes * readahead_scale
+            )
+        if command_overhead_ns is not None and not native and fs_name != "UFS":
+            path.device.command_overhead_ns = command_overhead_ns
+        return replay(path, workload.traces(1), posix_window=workload.posix_window)
+
+    ion_path = make_ion_device(tlc, data, gpfs_efficiency=gpfs_efficiency)
+    ion = replay(ion_path, workload.traces(2), posix_window=workload.posix_window)
+    n16_tlc = run_cnl("UFS-N16", "TLC").bandwidth_mb
+    n16_slc = run_cnl("UFS-N16", "SLC").bandwidth_mb
+    ufs = run_cnl("UFS", "TLC").bandwidth_mb
+    ext2 = run_cnl("EXT2", "TLC").bandwidth_mb
+    return SensitivityCase(
+        knob=knob,
+        setting=setting,
+        native16_over_ion=n16_tlc / ion.bandwidth_mb,
+        ufs_over_ext2=ufs / ext2,
+        tlc_is_slowest_native=n16_tlc < n16_slc,
+    )
+
+
+def sensitivity_analysis(workload: Workload | None = None) -> SensitivityReport:
+    """Perturb each calibration knob by ±25 % and re-check conclusions."""
+    w = workload or Workload(panels=6, panel_bytes=8 * MiB)
+    report = SensitivityReport()
+    report.cases.append(_case("baseline", "1.00x", w))
+    for scale, tag in ((0.75, "0.75x"), (1.25, "1.25x")):
+        report.cases.append(
+            _case("gpfs-efficiency", tag, w, gpfs_efficiency=0.24 * scale)
+        )
+        report.cases.append(
+            _case("fs-readahead", tag, w, readahead_scale=scale)
+        )
+        report.cases.append(
+            _case(
+                "ftl-cmd-overhead", tag, w,
+                command_overhead_ns=int(5_000 * scale),
+            )
+        )
+    return report

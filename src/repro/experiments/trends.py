@@ -1,0 +1,122 @@
+"""Figure 1: bandwidth-over-time trend, networks vs NVM storage.
+
+The figure plots per-channel bandwidth (GB/s, log2 scale) of real
+high-performance network generations against NVM storage devices from
+1994-2016, showing NVM growth out-pacing point-to-point networks.  We
+reproduce it from a curated dataset of the devices the figure names,
+fit exponential growth models to each family, and locate the crossover
+the paper's argument hinges on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TrendPoint",
+    "TREND_DATA",
+    "growth_fit",
+    "doubling_time_years",
+    "crossover_year",
+    "figure1_series",
+]
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One device or network generation on the Figure-1 scatter."""
+
+    year: float
+    name: str
+    family: str  # "infiniband" | "fibre-channel" | "flash-ssd" | "nvm-future"
+    gb_per_sec: float  # per channel/link
+
+
+#: The devices Figure 1 names, with public per-channel bandwidths.
+TREND_DATA: tuple[TrendPoint, ...] = (
+    # Fibre Channel generations (1 /2 /4 /8 /16 Gb)
+    TrendPoint(1997, "FC-1G", "fibre-channel", 0.1),
+    TrendPoint(2001, "FC-2G", "fibre-channel", 0.2),
+    TrendPoint(2004, "FC-4G", "fibre-channel", 0.4),
+    TrendPoint(2008, "FC-8G", "fibre-channel", 0.8),
+    TrendPoint(2011, "FC-16G", "fibre-channel", 1.6),
+    # InfiniBand per-4X-port payload (SDR..FDR)
+    TrendPoint(2001, "IB-SDR-4X", "infiniband", 1.0),
+    TrendPoint(2005, "IB-DDR-4X", "infiniband", 2.0),
+    TrendPoint(2008, "IB-QDR-4X", "infiniband", 4.0),
+    TrendPoint(2011, "IB-FDR-4X", "infiniband", 6.8),
+    # flash / NVM SSDs named on the figure
+    TrendPoint(1995, "A25FB", "flash-ssd", 0.004),
+    TrendPoint(1996, "Winchester", "flash-ssd", 0.008),
+    TrendPoint(2004, "ST-Zeus", "flash-ssd", 0.05),
+    TrendPoint(2008, "Intel-X25", "flash-ssd", 0.25),
+    TrendPoint(2009, "SF-1000", "flash-ssd", 0.26),
+    TrendPoint(2009, "ioDrive", "flash-ssd", 0.7),
+    TrendPoint(2011, "Z-Drive R4", "flash-ssd", 2.8),
+    TrendPoint(2011, "ioDrive2", "flash-ssd", 1.5),
+    TrendPoint(2012, "ioDrive Octal", "flash-ssd", 6.0),
+    TrendPoint(2005, "Silicon Disk II (RAM-SSD)", "nvm-future", 0.13),
+    TrendPoint(2011, "Onyx PCM Prototype", "nvm-future", 0.4),
+    TrendPoint(2012, "NonFlash-NVM SSD", "nvm-future", 2.4),
+    TrendPoint(2015, "Future PCIe SSD", "nvm-future", 8.0),
+    TrendPoint(2016, "Future Multi-channel PCM-SSD", "nvm-future", 16.0),
+)
+
+
+def _family(points, family: str):
+    return [p for p in points if p.family == family]
+
+
+def growth_fit(points) -> tuple[float, float]:
+    """Least-squares exponential fit ``log2(bw) = a * year + b``.
+
+    Returns ``(a, b)``; ``1/a`` is the doubling time in years.
+    """
+    pts = list(points)
+    if len(pts) < 2:
+        raise ValueError("need at least two points to fit a trend")
+    years = np.array([p.year for p in pts])
+    log_bw = np.log2([p.gb_per_sec for p in pts])
+    a, b = np.polyfit(years, log_bw, 1)
+    return float(a), float(b)
+
+
+def doubling_time_years(points) -> float:
+    """Years per 2x bandwidth for a device family."""
+    a, _b = growth_fit(points)
+    if a <= 0:
+        return float("inf")
+    return 1.0 / a
+
+
+def crossover_year(fast_family, slow_family) -> float:
+    """Year the faster-growing family's fit overtakes the slower's."""
+    a1, b1 = growth_fit(fast_family)
+    a2, b2 = growth_fit(slow_family)
+    if a1 == a2:
+        return float("inf")
+    return (b2 - b1) / (a1 - a2)
+
+
+def figure1_series() -> dict[str, dict]:
+    """All Figure-1 series plus the derived trend statistics."""
+    out: dict[str, dict] = {}
+    families = ("infiniband", "fibre-channel", "flash-ssd", "nvm-future")
+    for fam in families:
+        pts = _family(TREND_DATA, fam)
+        a, b = growth_fit(pts)
+        out[fam] = {
+            "points": [(p.year, p.name, p.gb_per_sec) for p in pts],
+            "doubling_years": doubling_time_years(pts),
+            "fit": (a, b),
+        }
+    nvm = _family(TREND_DATA, "flash-ssd") + _family(TREND_DATA, "nvm-future")
+    ib = _family(TREND_DATA, "infiniband")
+    out["crossover"] = {
+        "nvm_vs_infiniband_year": crossover_year(nvm, ib),
+        "nvm_doubling_years": doubling_time_years(nvm),
+        "infiniband_doubling_years": doubling_time_years(ib),
+    }
+    return out

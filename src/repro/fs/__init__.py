@@ -1,0 +1,30 @@
+"""Behavioural file-system models (Section 3.2 / 4.3 of the paper)."""
+
+from .base import Extent, FileLayout, FileSystemModel, FsParams
+from .btrfs import btrfs
+from .ext import ext2, ext3, ext4, ext4_large
+from .gpfs import GpfsModel, gpfs
+from .jfs import jfs
+from .registry import FS_FACTORIES, LOCAL_FS_NAMES, make_fs
+from .reiserfs import reiserfs
+from .xfs import xfs
+
+__all__ = [
+    "FsParams",
+    "FileLayout",
+    "FileSystemModel",
+    "Extent",
+    "ext2",
+    "ext3",
+    "ext4",
+    "ext4_large",
+    "xfs",
+    "jfs",
+    "btrfs",
+    "reiserfs",
+    "gpfs",
+    "GpfsModel",
+    "FS_FACTORIES",
+    "LOCAL_FS_NAMES",
+    "make_fs",
+]

@@ -1,0 +1,302 @@
+"""Behavioural file-system model base.
+
+Section 4.2 of the paper reduces each file system to *how it mutates
+the application's access pattern* between the POSIX interface and the
+block device: block sizing, request splitting/coalescing limits,
+allocation fragmentation, journaling and metadata traffic injected
+"in the midst of the rest of the data accesses".  This module provides
+that transform as an explicit, parameterized model:
+
+* :class:`FsParams` — the per-file-system behavioural parameters,
+* :class:`FileLayout` — a deterministic extent allocation of the files
+  (fragmentation, alignment),
+* :class:`FileSystemModel` — translates :class:`PosixRequest` streams
+  into :class:`CommandGroup` streams for the SSD replay engine.
+
+The concrete Linux file systems (ext2/3/4, ext4-L, XFS, JFS, BTRFS,
+ReiserFS) are parameterizations in their own modules; GPFS adds the
+striping transform; the paper's UFS (in :mod:`repro.core.ufs`) bypasses
+this machinery entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple, Optional
+
+import numpy as np
+
+from ..ssd.request import CommandGroup, DeviceCommand, PosixRequest
+
+__all__ = ["FsParams", "Extent", "FileLayout", "FileSystemModel"]
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FsParams:
+    """Behavioural parameters of one file system.
+
+    ``readahead_bytes`` is the kernel read-ahead / in-flight window the
+    file system sustains for a sequential stream; ``max_request_bytes``
+    the largest block-layer request it lets the elevator coalesce (the
+    knob the paper turns for ext4-L); ``alloc_run_bytes`` the typical
+    contiguous extent the allocator achieves before jumping, and
+    ``alloc_gap_blocks`` the typical jump distance in blocks (odd gaps
+    destroy NVM page alignment, costing read amplification on media
+    with pages larger than the FS block).
+    """
+
+    name: str
+    block_bytes: int = 4 * KiB
+    max_request_bytes: int = 512 * KiB
+    readahead_bytes: int = 512 * KiB
+    alloc_run_bytes: int = 4 * MiB
+    alloc_gap_blocks: int = 5
+    #: journaling mode: None, "ordered" (metadata journal, data first)
+    #: or "data" (full data journaling, data written twice)
+    journaling: Optional[str] = None
+    #: journal commit record size and journal descriptor bytes per MiB
+    journal_commit_bytes: int = 4 * KiB
+    journal_desc_bytes_per_mib: int = 4 * KiB
+    #: one small metadata read every this many data bytes (indirect
+    #: blocks for block-mapped FSes, tree nodes for extent FSes)
+    metadata_read_interval_bytes: int = 64 * MiB
+    metadata_read_bytes: int = 4 * KiB
+    #: copy-on-write allocation for overwrites (BTRFS)
+    cow: bool = False
+    seed: int = 1013
+
+    def __post_init__(self):
+        if self.block_bytes < 512 or self.block_bytes & (self.block_bytes - 1):
+            raise ValueError("block_bytes must be a power of two >= 512")
+        if self.max_request_bytes < self.block_bytes:
+            raise ValueError("max_request_bytes smaller than a block")
+        if self.journaling not in (None, "ordered", "data"):
+            raise ValueError(f"unknown journaling mode {self.journaling!r}")
+
+
+class Extent(NamedTuple):
+    """One contiguous file-offset -> LBA mapping run (bytes)."""
+
+    file_off: int
+    lba: int
+    length: int
+
+
+class FileLayout:
+    """Deterministic extent layout of a set of files.
+
+    The data zone starts at LBA 0; the journal and metadata zones sit
+    past the data zone, mimicking their distant on-disk placement that
+    makes journal/metadata traffic *random* relative to the data
+    stream.
+    """
+
+    def __init__(self, params: FsParams, file_sizes: dict[int, int]):
+        self.params = params
+        self.extents: dict[int, list[Extent]] = {}
+        rng = np.random.default_rng(params.seed)
+        bb = params.block_bytes
+        cursor = 0
+        for file_id in sorted(file_sizes):
+            size = file_sizes[file_id]
+            if size <= 0:
+                raise ValueError(f"file {file_id} has non-positive size")
+            runs: list[Extent] = []
+            off = 0
+            while off < size:
+                run = int(params.alloc_run_bytes * (0.75 + 0.5 * rng.random()))
+                run = max(bb, (run // bb) * bb)
+                run = min(run, size - off)
+                runs.append(Extent(off, cursor, run))
+                off += run
+                # allocator jump: a few blocks of slack/metadata between
+                # extents; odd block counts break NVM page alignment
+                gap = int(rng.integers(1, max(2, params.alloc_gap_blocks + 1))) * bb
+                cursor += run + gap
+            self.extents[file_id] = runs
+        self.data_zone_end = cursor
+        # copy-on-write allocation zone past the data
+        self.cow_lba = self._align_up(cursor, MiB)
+        self.cow_bytes = 128 * MiB
+        self._cow_head = 0
+        # journal zone: 128 MiB circular log past the CoW zone
+        self.journal_lba = self.cow_lba + self.cow_bytes
+        self.journal_bytes = 128 * MiB
+        self._journal_head = 0
+        # metadata zone past the journal
+        self.metadata_lba = self.journal_lba + self.journal_bytes
+        self.metadata_bytes = 64 * MiB
+        self._rng = rng
+
+    @staticmethod
+    def _align_up(x: int, align: int) -> int:
+        return -(-x // align) * align
+
+    @property
+    def device_bytes(self) -> int:
+        """Logical device size needed to hold everything."""
+        return self.metadata_lba + self.metadata_bytes
+
+    def lookup(self, file_id: int, offset: int, nbytes: int) -> list[tuple[int, int]]:
+        """Map a file extent to ``(lba, length)`` runs."""
+        if file_id not in self.extents:
+            raise KeyError(f"unknown file {file_id}")
+        runs = []
+        remaining = nbytes
+        pos = offset
+        for ext in self.extents[file_id]:
+            if remaining <= 0:
+                break
+            lo = max(pos, ext.file_off)
+            hi = min(pos + remaining, ext.file_off + ext.length)
+            if hi > lo:
+                runs.append((ext.lba + (lo - ext.file_off), hi - lo))
+                remaining -= hi - lo
+                pos = hi
+        if remaining > 0:
+            raise ValueError(
+                f"extent [{offset}, {offset + nbytes}) exceeds file {file_id}"
+            )
+        return runs
+
+    def journal_alloc(self, nbytes: int) -> int:
+        """Next journal LBA (circular log)."""
+        lba = self.journal_lba + (self._journal_head % (self.journal_bytes // 2))
+        self._journal_head += nbytes
+        return lba
+
+    def cow_alloc(self, nbytes: int) -> int:
+        """Next copy-on-write allocation LBA (circular over its zone)."""
+        lba = self.cow_lba + (self._cow_head % (self.cow_bytes // 2))
+        self._cow_head += nbytes
+        return lba
+
+    def metadata_block(self, key: int) -> int:
+        """Deterministic LBA of a metadata structure."""
+        span = self.metadata_bytes // self.params.block_bytes
+        idx = (key * 2654435761) % span
+        return self.metadata_lba + idx * self.params.block_bytes
+
+
+class FileSystemModel:
+    """Translate POSIX requests into device command groups."""
+
+    def __init__(self, params: FsParams):
+        self.params = params
+        self._layout: Optional[FileLayout] = None
+        self._meta_progress = 0  # bytes since the last metadata read
+
+    @property
+    def name(self) -> str:
+        return self.params.name
+
+    @property
+    def readahead_bytes(self) -> Optional[int]:
+        return self.params.readahead_bytes
+
+    def format(self, file_sizes: dict[int, int]) -> FileLayout:
+        """Lay out the files; must be called before translation."""
+        self._layout = FileLayout(self.params, file_sizes)
+        self._meta_progress = 0
+        return self._layout
+
+    @property
+    def layout(self) -> FileLayout:
+        if self._layout is None:
+            raise RuntimeError(f"{self.name}: format() not called")
+        return self._layout
+
+    # ------------------------------------------------------------------
+    def translate(self, req: PosixRequest, client: int = 0) -> CommandGroup:
+        """One POSIX request -> one command group."""
+        if req.op == "read":
+            cmds = self._translate_read(req)
+        else:
+            cmds = self._translate_write(req)
+        return CommandGroup(posix=req, commands=cmds, client=client)
+
+    def translate_all(
+        self, reqs: Iterable[PosixRequest], client: int = 0
+    ) -> list[CommandGroup]:
+        """Translate a whole trace."""
+        return [self.translate(r, client=client) for r in reqs]
+
+    # -- reads ----------------------------------------------------------
+    def _translate_read(self, req: PosixRequest) -> list[DeviceCommand]:
+        cmds: list[DeviceCommand] = []
+        runs = self.layout.lookup(req.file_id, req.offset, req.nbytes)
+        for lba, length in runs:
+            cmds.extend(self._meta_reads(length))
+            cmds.extend(self._split(op="read", lba=lba, nbytes=length))
+        return cmds
+
+    def _meta_reads(self, data_bytes: int) -> list[DeviceCommand]:
+        """Inject periodic metadata reads (indirect blocks/tree nodes)."""
+        p = self.params
+        out: list[DeviceCommand] = []
+        self._meta_progress += data_bytes
+        while self._meta_progress >= p.metadata_read_interval_bytes:
+            self._meta_progress -= p.metadata_read_interval_bytes
+            key = self._meta_progress + data_bytes
+            out.append(
+                DeviceCommand(
+                    op="read",
+                    lba=self.layout.metadata_block(key),
+                    nbytes=p.metadata_read_bytes,
+                    kind="metadata",
+                )
+            )
+        return out
+
+    def _split(self, op: str, lba: int, nbytes: int, kind: str = "data"):
+        """Chop a run into block-aligned commands <= max_request_bytes."""
+        p = self.params
+        cmds = []
+        pos = lba
+        end = lba + nbytes
+        while pos < end:
+            # respect the coalescing cap and block alignment
+            chunk_end = min(end, (pos // p.max_request_bytes + 1) * p.max_request_bytes)
+            cmds.append(DeviceCommand(op=op, lba=pos, nbytes=chunk_end - pos, kind=kind))
+            pos = chunk_end
+        return cmds
+
+    # -- writes ----------------------------------------------------------
+    def _translate_write(self, req: PosixRequest) -> list[DeviceCommand]:
+        p = self.params
+        layout = self.layout
+        cmds: list[DeviceCommand] = []
+        runs = layout.lookup(req.file_id, req.offset, req.nbytes)
+        if p.cow:
+            # copy-on-write: overwrites land in freshly allocated space
+            total = sum(length for _lba, length in runs)
+            cmds.extend(self._split("write", layout.cow_alloc(total), total))
+        else:
+            for lba, length in runs:
+                cmds.extend(self._split("write", lba, length))
+        if p.journaling == "data":
+            # full data journaling: data written twice (journal first)
+            jlba = layout.journal_alloc(req.nbytes)
+            cmds = self._split("write", jlba, req.nbytes, kind="journal") + cmds
+        if p.journaling is not None or p.cow:
+            # commit record + descriptors, then a write barrier
+            desc = p.journal_desc_bytes_per_mib * max(1, req.nbytes // MiB)
+            jlba = layout.journal_alloc(desc + p.journal_commit_bytes)
+            cmds.append(
+                DeviceCommand(
+                    op="write", lba=jlba, nbytes=desc, kind="journal"
+                )
+            )
+            cmds.append(
+                DeviceCommand(
+                    op="write",
+                    lba=jlba + desc,
+                    nbytes=p.journal_commit_bytes,
+                    kind="journal",
+                    barrier=True,
+                )
+            )
+        return cmds

@@ -1,0 +1,99 @@
+"""The extended file-system family: ext2, ext3, ext4 and tuned ext4-L.
+
+Behavioural rationale (Section 4.3 discusses all four):
+
+* **ext2** — block-mapped (indirect pointer blocks every ~4 MiB of
+  data), no journal, legacy 128 KiB read-ahead and small coalesced
+  requests; the paper's lowest performer.
+* **ext3** — ext2 plus an ordered-mode journal; reads behave like ext2
+  with marginally better allocation (reservation windows).
+* **ext4** — extent trees (few metadata reads), delayed allocation
+  (long contiguous runs), larger read-ahead; ordered journal.
+* **ext4-L** — ext4 with the paper's "large request sizes" tuning:
+  "simply turning a few kernel knobs ... related to the number of file
+  system requests that can be coalesced together at the block device
+  layer", worth about 1 GB/s in Figure 7a.
+"""
+
+from __future__ import annotations
+
+from .base import FileSystemModel, FsParams, KiB, MiB
+
+__all__ = ["ext2", "ext3", "ext4", "ext4_large"]
+
+
+def ext2(seed: int = 1013) -> FileSystemModel:
+    """ext2: block-mapped, unjournaled, small windows."""
+    return FileSystemModel(
+        FsParams(
+            name="EXT2",
+            block_bytes=4 * KiB,
+            max_request_bytes=128 * KiB,
+            readahead_bytes=368 * KiB,
+            alloc_run_bytes=512 * KiB,
+            alloc_gap_blocks=7,
+            journaling=None,
+            metadata_read_interval_bytes=4 * MiB,  # indirect blocks
+            seed=seed,
+        )
+    )
+
+
+def ext3(seed: int = 1013, data_journal: bool = False) -> FileSystemModel:
+    """ext3: ext2 allocation lineage plus a journal.
+
+    ``data_journal=True`` selects ``data=journal`` mode (full data
+    journaling: every byte written twice), the safest and slowest of
+    ext3's mount options; the default is ``data=ordered``.
+    """
+    return FileSystemModel(
+        FsParams(
+            name="EXT3-J" if data_journal else "EXT3",
+            block_bytes=4 * KiB,
+            max_request_bytes=128 * KiB,
+            readahead_bytes=384 * KiB,
+            alloc_run_bytes=1 * MiB,
+            alloc_gap_blocks=7,
+            journaling="data" if data_journal else "ordered",
+            metadata_read_interval_bytes=4 * MiB,
+            seed=seed,
+        )
+    )
+
+
+def ext4(seed: int = 1013, journal: bool = True) -> FileSystemModel:
+    """ext4: extents + delayed allocation.
+
+    ``journal=False`` models the ``^has_journal`` tuning (no jbd2 at
+    all) sometimes used for scratch file systems.
+    """
+    return FileSystemModel(
+        FsParams(
+            name="EXT4" if journal else "EXT4-NJ",
+            block_bytes=4 * KiB,
+            max_request_bytes=256 * KiB,
+            readahead_bytes=640 * KiB,
+            alloc_run_bytes=8 * MiB,
+            alloc_gap_blocks=3,
+            journaling="ordered" if journal else None,
+            metadata_read_interval_bytes=32 * MiB,  # extent-tree nodes
+            seed=seed,
+        )
+    )
+
+
+def ext4_large(seed: int = 1013) -> FileSystemModel:
+    """ext4-L: ext4 with large-request block-layer tuning (Fig. 7a)."""
+    return FileSystemModel(
+        FsParams(
+            name="EXT4-L",
+            block_bytes=4 * KiB,
+            max_request_bytes=1 * MiB,
+            readahead_bytes=2 * MiB,
+            alloc_run_bytes=8 * MiB,
+            alloc_gap_blocks=3,
+            journaling="ordered",
+            metadata_read_interval_bytes=32 * MiB,
+            seed=seed,
+        )
+    )

@@ -1,0 +1,29 @@
+"""JFS (IBM Journaled File System) behavioural model.
+
+Extent-based with a metadata journal; conservative read-ahead and
+request sizing on Linux.  Figure 7a places it at the low end of the
+compute-node-local pack, just above ext2/ext3.
+"""
+
+from __future__ import annotations
+
+from .base import FileSystemModel, FsParams, KiB, MiB
+
+__all__ = ["jfs"]
+
+
+def jfs(seed: int = 1013) -> FileSystemModel:
+    """JFS: extents, metadata journal, modest windows."""
+    return FileSystemModel(
+        FsParams(
+            name="JFS",
+            block_bytes=4 * KiB,
+            max_request_bytes=128 * KiB,
+            readahead_bytes=448 * KiB,
+            alloc_run_bytes=2 * MiB,
+            alloc_gap_blocks=5,
+            journaling="ordered",
+            metadata_read_interval_bytes=16 * MiB,
+            seed=seed,
+        )
+    )

@@ -1,0 +1,52 @@
+"""Registry of the file systems evaluated in the paper (Table 2)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import FileSystemModel
+from .btrfs import btrfs
+from .ext import ext2, ext3, ext4, ext4_large
+from .gpfs import gpfs
+from .jfs import jfs
+from .reiserfs import reiserfs
+from .xfs import xfs
+
+__all__ = ["FS_FACTORIES", "make_fs", "LOCAL_FS_NAMES"]
+
+#: name -> factory for every file system the paper evaluates besides
+#: UFS (which lives in :mod:`repro.core.ufs` since it replaces the FTL).
+FS_FACTORIES: dict[str, Callable[..., FileSystemModel]] = {
+    "GPFS": gpfs,
+    "JFS": jfs,
+    "BTRFS": btrfs,
+    "XFS": xfs,
+    "REISERFS": reiserfs,
+    "EXT2": ext2,
+    "EXT3": ext3,
+    "EXT4": ext4,
+    "EXT4-L": ext4_large,
+}
+
+#: The compute-node-local file systems, in the paper's Figure-7 order.
+LOCAL_FS_NAMES = (
+    "JFS",
+    "BTRFS",
+    "XFS",
+    "REISERFS",
+    "EXT2",
+    "EXT3",
+    "EXT4",
+    "EXT4-L",
+)
+
+
+def make_fs(name: str, seed: int = 1013) -> FileSystemModel:
+    """Instantiate a file-system model by its paper name."""
+    try:
+        factory = FS_FACTORIES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown file system {name!r}; have {sorted(FS_FACTORIES)}"
+        ) from None
+    return factory(seed=seed)

@@ -1,0 +1,29 @@
+"""ReiserFS behavioural model.
+
+B+-tree based with tail packing and an ordered journal; its tree
+traversals inject metadata reads relatively often and its block layer
+keeps moderate windows.  Mid-low placement in Figure 7a.
+"""
+
+from __future__ import annotations
+
+from .base import FileSystemModel, FsParams, KiB, MiB
+
+__all__ = ["reiserfs"]
+
+
+def reiserfs(seed: int = 1013) -> FileSystemModel:
+    """ReiserFS: B+-tree metadata, ordered journal, moderate windows."""
+    return FileSystemModel(
+        FsParams(
+            name="REISERFS",
+            block_bytes=4 * KiB,
+            max_request_bytes=256 * KiB,
+            readahead_bytes=512 * KiB,
+            alloc_run_bytes=2 * MiB,
+            alloc_gap_blocks=5,
+            journaling="ordered",
+            metadata_read_interval_bytes=8 * MiB,  # tree node reads
+            seed=seed,
+        )
+    )

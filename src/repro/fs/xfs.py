@@ -1,0 +1,30 @@
+"""XFS behavioural model.
+
+XFS is extent-based with aggressive contiguous allocation (allocation
+groups, delayed allocation) and a metadata-only journal; its block
+layer sustains fairly large coalesced requests.  In Figure 7a it sits
+mid-pack — above the block-mapped exts, below BTRFS and ext4-L.
+"""
+
+from __future__ import annotations
+
+from .base import FileSystemModel, FsParams, KiB, MiB
+
+__all__ = ["xfs"]
+
+
+def xfs(seed: int = 1013) -> FileSystemModel:
+    """XFS: extents, big allocation runs, metadata journal."""
+    return FileSystemModel(
+        FsParams(
+            name="XFS",
+            block_bytes=4 * KiB,
+            max_request_bytes=512 * KiB,
+            readahead_bytes=768 * KiB,
+            alloc_run_bytes=16 * MiB,
+            alloc_gap_blocks=3,
+            journaling="ordered",
+            metadata_read_interval_bytes=48 * MiB,
+            seed=seed,
+        )
+    )

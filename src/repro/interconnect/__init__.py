@@ -1,0 +1,26 @@
+"""Interconnect models: encoded links, bridged/native host paths."""
+
+from .host import HostPath, bridged_pcie2, native_pcie3, network_path
+from .links import (
+    ETHERNET_40G,
+    FIBRE_CHANNEL_8G,
+    INFINIBAND_QDR_4X,
+    SATA_6G,
+    LinkSpec,
+    pcie_gen2,
+    pcie_gen3,
+)
+
+__all__ = [
+    "LinkSpec",
+    "pcie_gen2",
+    "pcie_gen3",
+    "SATA_6G",
+    "INFINIBAND_QDR_4X",
+    "FIBRE_CHANNEL_8G",
+    "ETHERNET_40G",
+    "HostPath",
+    "bridged_pcie2",
+    "native_pcie3",
+    "network_path",
+]

@@ -1,0 +1,107 @@
+"""Host-side I/O paths: native PCIe, bridged SATA-behind-PCIe, network.
+
+Figure 5 of the paper contrasts two SSD front-ends:
+
+* **Bridged** (Fig. 5a): a PCIe endpoint that internally re-encodes to
+  SATA/SAS toward multiple NAND controllers.  The bridge costs protocol
+  re-encoding latency on every request and caps throughput at the
+  minimum of the PCIe link and the aggregate SATA-side capacity.
+* **Native** (Fig. 5b): NAND controllers are PCIe endpoints behind a
+  switch — no re-encoding, full PCIe 3.0 efficiency.
+
+For ION-resident storage the "host path" seen by a compute node is the
+InfiniBand network plus the parallel-file-system RPC layer; the same
+interface abstracts it so the SSD scheduler is agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .links import SATA_6G, LinkSpec, pcie_gen2, pcie_gen3
+
+__all__ = ["HostPath", "bridged_pcie2", "native_pcie3", "network_path"]
+
+
+@dataclass(frozen=True)
+class HostPath:
+    """Effective host data path used by the transaction scheduler.
+
+    ``bytes_per_sec`` is the sustained payload rate, ``per_request_ns``
+    the fixed protocol cost charged once per block request, and
+    ``sharers`` divides the bandwidth between concurrent clients (ION
+    configurations: several CNs per ION link).
+    """
+
+    name: str
+    bytes_per_sec: float
+    per_request_ns: int
+    bridged: bool = False
+    sharers: int = 1
+    link: Optional[LinkSpec] = None
+
+    @property
+    def per_client_bytes_per_sec(self) -> float:
+        return self.bytes_per_sec / max(1, self.sharers)
+
+    def transfer_ns(self, nbytes: int) -> int:
+        """Wire time for ``nbytes`` at the full (unshared) path rate."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return int(round(nbytes * 1e9 / self.bytes_per_sec))
+
+
+def bridged_pcie2(lanes: int, sata_ports: int = 8) -> HostPath:
+    """The common bridged PCIe-SSD front-end of Figure 5a.
+
+    Throughput is the min of the PCIe 2.0 link and ``sata_ports``
+    aggregated SATA 6G bridges; every request pays the SATA protocol
+    re-encoding latency on top of PCIe's.
+    """
+    pcie = pcie_gen2(lanes)
+    sata_aggregate = sata_ports * SATA_6G.effective_bytes_per_sec
+    return HostPath(
+        name=f"bridged {pcie.name} ({sata_ports}xSATA)",
+        bytes_per_sec=min(pcie.effective_bytes_per_sec, sata_aggregate),
+        per_request_ns=pcie.per_request_ns + SATA_6G.per_request_ns,
+        bridged=True,
+        link=pcie,
+    )
+
+
+def native_pcie3(lanes: int) -> HostPath:
+    """The native PCIe 3.0 front-end of Figure 5b (no bridge)."""
+    pcie = pcie_gen3(lanes)
+    return HostPath(
+        name=f"native {pcie.name}",
+        bytes_per_sec=pcie.effective_bytes_per_sec,
+        per_request_ns=pcie.per_request_ns,
+        bridged=False,
+        link=pcie,
+    )
+
+
+def network_path(
+    link: LinkSpec,
+    sharers: int = 1,
+    rpc_overhead_ns: int = 50_000,
+    server_efficiency: float = 0.85,
+) -> HostPath:
+    """A network-attached path (ION configurations).
+
+    ``sharers`` compute nodes contend for one ION link; each request
+    additionally pays a file-service RPC round trip
+    (``rpc_overhead_ns``), and the server stack delivers only
+    ``server_efficiency`` of the link payload rate.
+    """
+    if sharers < 1:
+        raise ValueError("sharers must be >= 1")
+    return HostPath(
+        name=f"{link.name} via ION (/{sharers} CNs)",
+        bytes_per_sec=link.effective_bytes_per_sec * server_efficiency,
+        per_request_ns=link.per_request_ns + rpc_overhead_ns,
+        bridged=False,
+        sharers=sharers,
+        link=link,
+    )

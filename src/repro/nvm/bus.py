@@ -1,0 +1,64 @@
+"""ONFi-style NVM channel/flash bus timing.
+
+Section 3.3 of the paper contrasts the state-of-the-art ONFi 3 bus
+(400 MHz single-data-rate, i.e. equivalent to 200 MHz DDR2) with a
+future DDR3-1600-class interface.  A channel bus moves one byte per
+transfer cycle, so:
+
+* SDR-400:  400 MT/s * 1 B = 400 MB/s per channel,
+* DDR-800:  800 MHz * 2 transfers * 1 B = 1600 MB/s per channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BusSpec", "ONFI3_SDR400", "DDR800", "bus_by_name"]
+
+
+@dataclass(frozen=True)
+class BusSpec:
+    """Timing of a shared NVM data bus.
+
+    ``mhz`` is the clock rate; DDR moves two beats per cycle.  Width is
+    one byte (the ONFi x8 interface).  ``cmd_ns`` models command/address
+    cycles plus arbitration per bus transaction.
+    """
+
+    name: str
+    mhz: int
+    ddr: bool
+    width_bytes: int = 1
+    cmd_ns: int = 200
+
+    @property
+    def bytes_per_sec(self) -> float:
+        beats = self.mhz * 1e6 * (2 if self.ddr else 1)
+        return beats * self.width_bytes
+
+    def transfer_ns(self, nbytes: int) -> int:
+        """Bus occupancy to move ``nbytes``, excluding command cycles."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return int(round(nbytes * 1e9 / self.bytes_per_sec))
+
+    def transaction_ns(self, nbytes: int) -> int:
+        """Command/address cycles plus the data movement."""
+        return self.cmd_ns + self.transfer_ns(nbytes)
+
+
+#: ONFi 3.x bus used by today's bridged devices (400 MHz SDR).
+ONFI3_SDR400 = BusSpec(name="SDR-400", mhz=400, ddr=False)
+
+#: The paper's proposed DDR3-1600-class NVM bus (800 MHz DDR).
+DDR800 = BusSpec(name="DDR-800", mhz=800, ddr=True)
+
+_BY_NAME = {b.name: b for b in (ONFI3_SDR400, DDR800)}
+
+
+def bus_by_name(name: str) -> BusSpec:
+    """Look up a bus spec by name (``"SDR-400"`` or ``"DDR-800"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown bus {name!r}; have {sorted(_BY_NAME)}") from None

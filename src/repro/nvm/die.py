@@ -1,0 +1,142 @@
+"""Die- and plane-level NVM state.
+
+A die is the smallest independently-operating unit of media.  Each die
+has ``planes`` planes that can operate concurrently on *plane-aligned*
+multi-plane commands (same block/page offset across planes); each plane
+holds ``blocks_per_plane`` erase blocks of ``pages_per_block`` pages.
+
+The die enforces the NAND erase-before-write discipline: a page may be
+programmed only if it has not been programmed since the containing
+block's last erase, and pages within a block must be programmed in
+order (the sequential-programming rule).  PCM relaxes nothing here
+because the paper models PCM behind a NOR-style block interface
+(Section 2.3), so the same discipline applies at the emulation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .kinds import NVMKind
+
+__all__ = ["Die", "OpKind", "MediaError"]
+
+
+class MediaError(Exception):
+    """Violation of media programming discipline (program-before-erase,
+    out-of-order program, bad address)."""
+
+
+class OpKind:
+    """NVM transaction-level operation kinds (string constants)."""
+
+    READ = "read"
+    WRITE = "write"
+    ERASE = "erase"
+
+    ALL = (READ, WRITE, ERASE)
+
+
+@dataclass
+class Die:
+    """State and timing of one NVM die.
+
+    ``written`` tracks, per (plane, block), the number of sequentially
+    programmed pages ("write frontier"); ``erase_count`` tracks wear.
+    """
+
+    kind: NVMKind
+    planes: int = 2
+    blocks_per_plane: int = 256
+    die_id: int = 0
+    #: simulation bookkeeping: time at which the die becomes free
+    busy_until: int = 0
+    written: np.ndarray = field(init=False, repr=False)
+    erase_count: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self.written = np.zeros((self.planes, self.blocks_per_plane), dtype=np.int32)
+        self.erase_count = np.zeros((self.planes, self.blocks_per_plane), dtype=np.int64)
+
+    # -- capacity -------------------------------------------------------
+    @property
+    def pages_per_block(self) -> int:
+        return self.kind.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        return (
+            self.planes
+            * self.blocks_per_plane
+            * self.kind.pages_per_block
+            * self.kind.page_bytes
+        )
+
+    # -- timing ---------------------------------------------------------
+    def cell_ns(self, op: str, page_in_block: int = 0, nplanes: int = 1) -> int:
+        """Cell-array occupancy of one (possibly multi-plane) operation.
+
+        Multi-plane commands operate the planes concurrently, so the
+        occupancy equals the single-plane latency (the win the paper's
+        PAL3 level captures).
+        """
+        if nplanes < 1 or nplanes > self.planes:
+            raise ValueError(f"nplanes {nplanes} outside [1, {self.planes}]")
+        if op == OpKind.READ:
+            return self.kind.read_latency_ns(page_in_block)
+        if op == OpKind.WRITE:
+            return self.kind.program_latency_ns(page_in_block)
+        if op == OpKind.ERASE:
+            return self.kind.erase_ns
+        raise ValueError(f"unknown op {op!r}")
+
+    # -- state-machine operations ----------------------------------------
+    def _check_addr(self, plane: int, block: int, page: int | None = None) -> None:
+        if not (0 <= plane < self.planes):
+            raise MediaError(f"plane {plane} out of range")
+        if not (0 <= block < self.blocks_per_plane):
+            raise MediaError(f"block {block} out of range")
+        if page is not None and not (0 <= page < self.kind.pages_per_block):
+            raise MediaError(f"page {page} out of range")
+
+    def program(self, plane: int, block: int, page: int) -> None:
+        """Program one page, enforcing sequential-in-block ordering."""
+        self._check_addr(plane, block, page)
+        frontier = self.written[plane, block]
+        if page != frontier:
+            if page < frontier:
+                raise MediaError(
+                    f"program-before-erase: plane {plane} block {block} "
+                    f"page {page} already programmed (frontier {frontier})"
+                )
+            raise MediaError(
+                f"out-of-order program: plane {plane} block {block} page "
+                f"{page}, expected {frontier}"
+            )
+        self.written[plane, block] = frontier + 1
+
+    def erase(self, plane: int, block: int) -> None:
+        """Erase one block, resetting its write frontier."""
+        self._check_addr(plane, block)
+        self.written[plane, block] = 0
+        self.erase_count[plane, block] += 1
+
+    def is_programmed(self, plane: int, block: int, page: int) -> bool:
+        """True if the page currently holds programmed data."""
+        self._check_addr(plane, block, page)
+        return page < self.written[plane, block]
+
+    def read(self, plane: int, block: int, page: int) -> None:
+        """Validate a read; reading an erased page is permitted (it just
+        returns all-ones on real media) so this only checks addressing."""
+        self._check_addr(plane, block, page)
+
+    @property
+    def max_wear(self) -> int:
+        return int(self.erase_count.max())
+
+    @property
+    def total_erases(self) -> int:
+        return int(self.erase_count.sum())

@@ -1,0 +1,129 @@
+"""Endurance and lifetime modeling (Section 2.3).
+
+The paper's media discussion: NAND "can result in an increased wear on
+specific cells ... dealt with by wear-leveling techniques"; PCM "also
+becomes worn out with overuse for writing ... [but] offers 10^3 to
+10^5 times better endurance than NAND flash", while needing
+"wear-leveling at a much lower level, specifically management for each
+GST, which might result in unreasonable memory consumption on the host"
+— which is why industry fronts PCM with flash-style block interfaces.
+
+This module estimates device lifetime under a write workload, the
+wear-leveling bookkeeping cost the paper warns about, and summarizes
+observed wear from an FTL's erase counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ssd.ftl import DeviceFTL
+from ..ssd.geometry import Geometry
+from .kinds import NVMKind
+
+__all__ = ["LifetimeEstimate", "estimate_lifetime", "wear_report", "gst_tracking_bytes"]
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class LifetimeEstimate:
+    """Projected device endurance under a steady write workload."""
+
+    kind: str
+    capacity_bytes: int
+    writes_bytes_per_day: float
+    write_amplification: float
+    endurance_cycles: int
+    total_write_budget_bytes: float
+    lifetime_years: float
+    drive_writes_per_day: float
+
+
+def estimate_lifetime(
+    geom: Geometry,
+    writes_bytes_per_day: float,
+    write_amplification: float = 1.5,
+    wear_leveling_efficiency: float = 0.9,
+) -> LifetimeEstimate:
+    """Project lifetime from Table-1 endurance and the write rate.
+
+    ``write_amplification`` covers GC/RMW traffic; the wear-leveling
+    efficiency discounts the ideal uniform-wear budget for the residual
+    imbalance real wear-leveling leaves.
+    """
+    if writes_bytes_per_day <= 0:
+        raise ValueError("write rate must be positive")
+    if write_amplification < 1.0:
+        raise ValueError("write amplification cannot be below 1")
+    if not 0 < wear_leveling_efficiency <= 1:
+        raise ValueError("wear_leveling_efficiency outside (0, 1]")
+    kind = geom.kind
+    budget = (
+        geom.capacity_bytes
+        * kind.endurance_cycles
+        * wear_leveling_efficiency
+        / write_amplification
+    )
+    days = budget / writes_bytes_per_day
+    return LifetimeEstimate(
+        kind=kind.name,
+        capacity_bytes=geom.capacity_bytes,
+        writes_bytes_per_day=writes_bytes_per_day,
+        write_amplification=write_amplification,
+        endurance_cycles=kind.endurance_cycles,
+        total_write_budget_bytes=budget,
+        lifetime_years=days / 365.25,
+        drive_writes_per_day=writes_bytes_per_day / geom.capacity_bytes,
+    )
+
+
+def gst_tracking_bytes(kind: NVMKind, capacity_bytes: int, counter_bytes: int = 4) -> int:
+    """Host memory needed to track wear per native cell group.
+
+    For PCM this is per-64-B-GST accounting — the "unreasonable memory
+    consumption on the host" (Section 2.3) that motivates fronting PCM
+    with a flash-style block interface; for NAND it is per erase block.
+    """
+    if kind.is_pcm:
+        units = capacity_bytes // kind.cell_bytes
+    else:
+        units = capacity_bytes // kind.block_bytes
+    return units * counter_bytes
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Observed wear across an FTL's erase counters."""
+
+    total_erases: int
+    max_wear: int
+    mean_wear: float
+    spread: int
+    gini: float
+
+    @property
+    def well_leveled(self) -> bool:
+        """Rule of thumb: spread within a few cycles of the mean."""
+        return self.spread <= max(4.0, 0.5 * self.mean_wear + 4.0)
+
+
+def wear_report(ftl: DeviceFTL) -> WearReport:
+    """Summarize an FTL's per-block erase distribution."""
+    erases = ftl.erases.ravel().astype(np.float64)
+    total = float(erases.sum())
+    if total == 0:
+        return WearReport(0, 0, 0.0, 0, 0.0)
+    sorted_e = np.sort(erases)
+    n = len(sorted_e)
+    cum = np.cumsum(sorted_e)
+    gini = float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+    return WearReport(
+        total_erases=int(total),
+        max_wear=int(erases.max()),
+        mean_wear=float(erases.mean()),
+        spread=int(erases.max() - erases.min()),
+        gini=gini,
+    )

@@ -1,0 +1,177 @@
+"""NVM media kinds and their Table-1 timing parameters.
+
+The paper (Table 1) evaluates four media:
+
+========  =========  ==========  ==============  ==========
+kind      page size  read (us)   write (us)      erase (us)
+========  =========  ==========  ==============  ==========
+SLC       2 kB       25          250             1500
+MLC       4 kB       50          250-2200        2500
+TLC       8 kB       150         440-6000        3000
+PCM       64 B       0.115-0.135 35              35
+========  =========  ==========  ==============  ==========
+
+PCM is exposed through a NOR-flash-style page-emulation interface
+(Section 2.3: "industry applies NOR flash memory interface logic to PCM
+by emulating block-level erase operations and page-based I/O"), so the
+SSD layer sees a 4 kB emulated page built out of 64 B GST cell groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NVMKind", "SLC", "MLC", "TLC", "PCM", "KINDS", "kind_by_name"]
+
+US = 1_000  # nanoseconds per microsecond
+
+
+@dataclass(frozen=True)
+class NVMKind:
+    """Timing/geometry description of one NVM medium.
+
+    Latencies are integer nanoseconds.  ``write_ns`` is the fastest
+    (lower-page) program time; multi-bit cells have slower upper pages,
+    described by ``program_ladder`` (one entry per page "rank" inside an
+    interleave group — NANDFlashSim's intrinsic latency variation).
+    """
+
+    name: str
+    bits_per_cell: int
+    page_bytes: int
+    pages_per_block: int
+    read_ns: int
+    write_ns: int
+    erase_ns: int
+    program_ladder: tuple[int, ...] = field(default=())
+    read_ladder: tuple[int, ...] = field(default=())
+    #: native cell-unit size (== page_bytes for NAND, 64 B for PCM)
+    cell_bytes: int = 0
+    #: internal write parallelism used by the page-emulation layer (PCM)
+    emulation_write_ways: int = 1
+    #: endurance in program/erase cycles (order of magnitude)
+    endurance_cycles: int = 100_000
+
+    def __post_init__(self):
+        if self.cell_bytes == 0:
+            object.__setattr__(self, "cell_bytes", self.page_bytes)
+        if not self.program_ladder:
+            object.__setattr__(self, "program_ladder", (self.write_ns,))
+        if not self.read_ladder:
+            object.__setattr__(self, "read_ladder", (self.read_ns,))
+
+    # -- derived timing -------------------------------------------------
+    def read_latency_ns(self, page_in_block: int = 0) -> int:
+        """Cell read (sense) time for a given page position."""
+        ladder = self.read_ladder
+        return ladder[page_in_block % len(ladder)]
+
+    def program_latency_ns(self, page_in_block: int = 0) -> int:
+        """Cell program time for a given page position.
+
+        Multi-bit NAND programs lower pages fast and upper pages slowly;
+        position in the ladder models that deterministic variation.
+        """
+        ladder = self.program_ladder
+        return ladder[page_in_block % len(ladder)]
+
+    @property
+    def avg_program_ns(self) -> float:
+        return sum(self.program_ladder) / len(self.program_ladder)
+
+    @property
+    def block_bytes(self) -> int:
+        return self.page_bytes * self.pages_per_block
+
+    def die_read_bw(self, planes: int = 1) -> float:
+        """Peak per-die sustained read bandwidth in bytes/sec.
+
+        ``planes`` > 1 assumes multi-plane sensing overlaps perfectly.
+        """
+        return self.page_bytes * planes * 1e9 / self.read_ns
+
+    def die_write_bw(self, planes: int = 1) -> float:
+        """Peak per-die sustained program bandwidth in bytes/sec."""
+        return self.page_bytes * planes * 1e9 / self.avg_program_ns
+
+    @property
+    def is_pcm(self) -> bool:
+        return self.name == "PCM"
+
+
+#: Single-level-cell NAND (Micron MT29F32G08... class parts).
+SLC = NVMKind(
+    name="SLC",
+    bits_per_cell=1,
+    page_bytes=2 * 1024,
+    pages_per_block=64,
+    read_ns=25 * US,
+    write_ns=250 * US,
+    erase_ns=1500 * US,
+    endurance_cycles=100_000,
+)
+
+#: Multi-level-cell NAND: 250-2200 us program (lower/upper page ladder).
+MLC = NVMKind(
+    name="MLC",
+    bits_per_cell=2,
+    page_bytes=4 * 1024,
+    pages_per_block=128,
+    read_ns=50 * US,
+    write_ns=250 * US,
+    erase_ns=2500 * US,
+    program_ladder=(250 * US, 2200 * US),
+    endurance_cycles=10_000,
+)
+
+#: Triple-level-cell NAND: 440-6000 us program across the 3-page ladder.
+TLC = NVMKind(
+    name="TLC",
+    bits_per_cell=3,
+    page_bytes=8 * 1024,
+    pages_per_block=192,
+    read_ns=150 * US,
+    write_ns=440 * US,
+    erase_ns=3000 * US,
+    program_ladder=(440 * US, 3000 * US, 6000 * US),
+    endurance_cycles=3_000,
+)
+
+#: Phase-change memory behind a NOR-style 4 kB page-emulation interface.
+#:
+#: Native GST access is 64 B at 115-135 ns read / 35 us write.  The
+#: emulated 4 kB page therefore senses 64 cell groups back-to-back
+#: (~125 ns each -> 8 us per page read) and programs with 8-way internal
+#: parallelism (64/8 * 35 us = 280 us per page).  Emulated block erase
+#: is a single RESET sweep (35 us) since PCM writes in place.
+PCM = NVMKind(
+    name="PCM",
+    bits_per_cell=1,
+    page_bytes=4 * 1024,
+    pages_per_block=128,
+    read_ns=8 * US,  # 64 x 125 ns sequential sensing
+    write_ns=280 * US,  # 64/8-way x 35 us
+    erase_ns=35 * US,
+    cell_bytes=64,
+    emulation_write_ways=8,
+    endurance_cycles=10_000_000,
+)
+
+#: Native PCM (GST) cell timing from Table 1, before page emulation.
+PCM_NATIVE_READ_NS = (115, 135)
+PCM_NATIVE_WRITE_NS = 35 * US
+PCM_NATIVE_ERASE_NS = 35 * US
+PCM_NATIVE_PAGE_BYTES = 64
+
+#: All media evaluated by the paper, in Table-1 order.
+KINDS: tuple[NVMKind, ...] = (SLC, MLC, TLC, PCM)
+
+_BY_NAME = {k.name: k for k in KINDS}
+
+
+def kind_by_name(name: str) -> NVMKind:
+    """Look up a medium by its Table-1 name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown NVM kind {name!r}; have {sorted(_BY_NAME)}") from None

@@ -1,0 +1,57 @@
+"""NVM package model: dies sharing a package-internal flash bus.
+
+Section 2.3: cells are grouped into dies, dies into packages, packages
+along shared channels.  Data leaving a die's page register crosses the
+package-internal bus ("flash bus" in the paper's Figure-10 taxonomy)
+and then the shared channel bus ("channel activation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bus import BusSpec
+from .die import Die
+from .kinds import NVMKind
+
+__all__ = ["Package"]
+
+
+@dataclass
+class Package:
+    """A package of ``dies_per_package`` dies behind one flash bus.
+
+    The flash bus runs at the same signalling rate as the channel bus
+    it bridges to (they are trained together under ONFi), but it is a
+    distinct resource: two dies in one package serialize on it even when
+    the channel is free.
+    """
+
+    kind: NVMKind
+    bus: BusSpec
+    dies_per_package: int = 2
+    planes_per_die: int = 2
+    blocks_per_plane: int = 256
+    package_id: int = 0
+    dies: list[Die] = field(init=False, repr=False)
+    #: simulation bookkeeping: time at which the flash bus frees up
+    bus_busy_until: int = 0
+
+    def __post_init__(self):
+        self.dies = [
+            Die(
+                kind=self.kind,
+                planes=self.planes_per_die,
+                blocks_per_plane=self.blocks_per_plane,
+                die_id=self.package_id * self.dies_per_package + i,
+            )
+            for i in range(self.dies_per_package)
+        ]
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(d.capacity_bytes for d in self.dies)
+
+    def flash_bus_ns(self, nbytes: int) -> int:
+        """Occupancy of the package-internal bus for ``nbytes``."""
+        return self.bus.transfer_ns(nbytes)

@@ -1,0 +1,59 @@
+"""The out-of-core application: Hamiltonian, LOBPCG, SpMM, DOoC, DataCutter."""
+
+from .datacutter import EOS, Dataflow, EndOfStream, Filter, Stream
+from .dooc import (
+    Chunk,
+    DataAwareScheduler,
+    DataPool,
+    DOoCStore,
+    ImmutabilityError,
+    MemoryPool,
+    Task,
+)
+from .driver import OocRun, capture_trace, run_ooc_eigensolver
+from .hamiltonian import PanelSpec, ci_hamiltonian, panel_bytes, partition_rows
+from .laf import ArrayDirective, LafContext
+from .lobpcg import LobpcgResult, lobpcg
+from .spmm import OutOfCoreOperator, PanelizedMatrix
+from .workloads import (
+    BfsResult,
+    MatmulResult,
+    PageRankResult,
+    ooc_bfs,
+    ooc_matmul,
+    ooc_pagerank,
+)
+
+__all__ = [
+    "ci_hamiltonian",
+    "partition_rows",
+    "PanelSpec",
+    "panel_bytes",
+    "lobpcg",
+    "LobpcgResult",
+    "OutOfCoreOperator",
+    "PanelizedMatrix",
+    "Chunk",
+    "DataPool",
+    "MemoryPool",
+    "DOoCStore",
+    "Task",
+    "DataAwareScheduler",
+    "ImmutabilityError",
+    "ArrayDirective",
+    "LafContext",
+    "Filter",
+    "Stream",
+    "Dataflow",
+    "EndOfStream",
+    "EOS",
+    "OocRun",
+    "run_ooc_eigensolver",
+    "capture_trace",
+    "ooc_pagerank",
+    "PageRankResult",
+    "ooc_bfs",
+    "BfsResult",
+    "ooc_matmul",
+    "MatmulResult",
+]

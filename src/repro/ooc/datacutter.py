@@ -1,0 +1,140 @@
+"""DataCutter-style filter/stream dataflow middleware.
+
+Section 2.1: "DOoC sits atop DataCutter, a middleware that abstracts
+dataflows via the concept of filters and streams.  Filters perform
+computations on flows of data, which are represented as streams running
+between producers and consumers."
+
+Filters are DES processes (so a dataflow can be co-simulated with the
+cluster models); streams are bounded FIFO queues providing back
+pressure.  A :class:`Dataflow` wires filters together and runs the
+whole graph on a :class:`~repro.sim.Simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..sim import Simulator, Store
+
+__all__ = ["EndOfStream", "Stream", "Filter", "Dataflow"]
+
+
+class EndOfStream:
+    """Sentinel flowing down a stream when its producer finishes."""
+
+    _instance: Optional["EndOfStream"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<EOS>"
+
+
+EOS = EndOfStream()
+
+
+class Stream:
+    """A bounded FIFO stream between two filters (with back pressure)."""
+
+    def __init__(self, name: str, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._store: Optional[Store] = None
+        self.items_passed = 0
+
+    def bind(self, sim: Simulator) -> None:
+        self._store = Store(sim, capacity=self.capacity, name=self.name)
+
+    def put(self, item: Any):
+        """(event) Deposit an item; blocks when the stream is full."""
+        assert self._store is not None, "stream not bound to a simulator"
+        if not isinstance(item, EndOfStream):
+            self.items_passed += 1
+        return self._store.put(item)
+
+    def get(self):
+        """(event) Take the next item in FIFO order."""
+        assert self._store is not None, "stream not bound to a simulator"
+        return self._store.get()
+
+
+class Filter:
+    """A dataflow filter: override :meth:`logic` as a DES generator.
+
+    ``logic`` receives the simulator and yields events (stream put/get,
+    timeouts).  Helper ``work(ns)`` models compute occupancy.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.inputs: list[Stream] = []
+        self.outputs: list[Stream] = []
+        self.items_processed = 0
+
+    # wiring -------------------------------------------------------------
+    def add_input(self, stream: Stream) -> "Filter":
+        self.inputs.append(stream)
+        return self
+
+    def add_output(self, stream: Stream) -> "Filter":
+        self.outputs.append(stream)
+        return self
+
+    # behaviour ------------------------------------------------------------
+    def logic(self, sim: Simulator) -> Generator:
+        """Default: map each input item through :meth:`transform`."""
+        src = self.inputs[0]
+        while True:
+            item = yield src.get()
+            if isinstance(item, EndOfStream):
+                break
+            out = self.transform(item, sim)
+            self.items_processed += 1
+            for stream in self.outputs:
+                yield stream.put(out)
+        for stream in self.outputs:
+            yield stream.put(EOS)
+
+    def transform(self, item: Any, sim: Simulator) -> Any:
+        """Identity by default; override for map-style filters."""
+        return item
+
+
+@dataclass
+class Dataflow:
+    """A filter graph runnable on a simulator."""
+
+    filters: list[Filter] = field(default_factory=list)
+    streams: list[Stream] = field(default_factory=list)
+
+    def stream(self, name: str, capacity: int = 16) -> Stream:
+        s = Stream(name, capacity=capacity)
+        self.streams.append(s)
+        return s
+
+    def add(self, f: Filter) -> Filter:
+        self.filters.append(f)
+        return f
+
+    def connect(self, producer: Filter, consumer: Filter, name: str = "",
+                capacity: int = 16) -> Stream:
+        s = self.stream(name or f"{producer.name}->{consumer.name}", capacity)
+        producer.add_output(s)
+        consumer.add_input(s)
+        return s
+
+    def run(self, sim: Optional[Simulator] = None, until: Optional[int] = None) -> int:
+        """Bind streams, start every filter, run to completion."""
+        sim = sim or Simulator()
+        for s in self.streams:
+            s.bind(sim)
+        for f in self.filters:
+            sim.process(f.logic(sim), name=f.name)
+        return sim.run(until=until)

@@ -1,0 +1,288 @@
+"""DOoC: the distributed out-of-core data storage layer and scheduler.
+
+Section 2.1 describes DOoC (the paper's refs [35, 36]) as two parts:
+
+1. a **distributed data storage layer** that lets filters reach data on
+   any node, "supports basic prefetching, automatic memory management,
+   and OoC operations using simplified semantics ... large
+   disk-located arrays are immutable once written, removing any need
+   for complicated coherency mechanisms", and
+2. a **hierarchical data-aware scheduler**, "cognizant of
+   data-dependencies", that reorders tasks to maximize parallelism.
+
+This module is a working middleware with those semantics.  Data pools
+hold immutable chunks; a node's memory pool has finite capacity with
+LRU eviction (safe because chunks are immutable); reads of non-resident
+chunks go to the backing pool and are recorded as POSIX-level I/O into
+a trace (the Section 4.2 capture point).  Section 3.1's extension —
+migration between pools and between a pool and node memory — is the
+``migrate`` operation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..ssd.request import PosixRequest
+from ..trace.posix import PosixTrace
+
+__all__ = [
+    "Chunk",
+    "DataPool",
+    "MemoryPool",
+    "DOoCStore",
+    "Task",
+    "DataAwareScheduler",
+    "ImmutabilityError",
+]
+
+
+class ImmutabilityError(Exception):
+    """Attempt to overwrite an already-written immutable chunk."""
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One immutable chunk of a distributed array."""
+
+    array: str
+    index: int
+    nbytes: int
+    file_id: int
+    offset: int
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.array, self.index)
+
+
+class DataPool:
+    """A backing data pool (the NVM/disk tier of a node or ION).
+
+    Chunks are write-once; reads and writes are appended to the pool's
+    POSIX trace with a virtual-clock issue time supplied by the caller.
+    """
+
+    def __init__(self, name: str, client: int = 0):
+        self.name = name
+        self.client = client
+        self.trace = PosixTrace(client=client, label=f"pool-{name}")
+        self._payload: dict[tuple[str, int], Any] = {}
+        self._written: set[tuple[str, int]] = set()
+
+    def write(self, chunk: Chunk, payload: Any, t_issue_ns: int = 0) -> None:
+        """Write-once store of a chunk's payload."""
+        if chunk.key in self._written:
+            raise ImmutabilityError(f"chunk {chunk.key} already written")
+        self._written.add(chunk.key)
+        self._payload[chunk.key] = payload
+        self.trace.append(
+            PosixRequest(
+                op="write",
+                file_id=chunk.file_id,
+                offset=chunk.offset,
+                nbytes=chunk.nbytes,
+                t_issue_ns=t_issue_ns,
+                tag=f"{chunk.array}[{chunk.index}]",
+            )
+        )
+
+    def read(self, chunk: Chunk, t_issue_ns: int = 0) -> Any:
+        """Read a chunk's payload, recording the POSIX access."""
+        if chunk.key not in self._written:
+            raise KeyError(f"chunk {chunk.key} never written to pool {self.name}")
+        self.trace.append(
+            PosixRequest(
+                op="read",
+                file_id=chunk.file_id,
+                offset=chunk.offset,
+                nbytes=chunk.nbytes,
+                t_issue_ns=t_issue_ns,
+                tag=f"{chunk.array}[{chunk.index}]",
+            )
+        )
+        return self._payload[chunk.key]
+
+    def holds(self, chunk: Chunk) -> bool:
+        return chunk.key in self._written
+
+
+class MemoryPool:
+    """A node's finite memory pool with LRU eviction.
+
+    Because DOoC arrays are immutable, eviction is a pure drop — no
+    write-back, no coherency traffic.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self._lru: OrderedDict[tuple[str, int], tuple[Chunk, Any]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, chunk: Chunk) -> Optional[Any]:
+        entry = self._lru.get(chunk.key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._lru.move_to_end(chunk.key)
+        self.hits += 1
+        return entry[1]
+
+    def put(self, chunk: Chunk, payload: Any) -> None:
+        if chunk.nbytes > self.capacity_bytes:
+            return  # larger than memory: stream-through, never resident
+        while self.used_bytes + chunk.nbytes > self.capacity_bytes and self._lru:
+            _key, (old, _payload) = self._lru.popitem(last=False)
+            self.used_bytes -= old.nbytes
+            self.evictions += 1
+        self._lru[chunk.key] = (chunk, payload)
+        self.used_bytes += chunk.nbytes
+
+    def drop(self, chunk: Chunk) -> None:
+        entry = self._lru.pop(chunk.key, None)
+        if entry is not None:
+            self.used_bytes -= entry[0].nbytes
+
+    @property
+    def resident(self) -> int:
+        return len(self._lru)
+
+
+class DOoCStore:
+    """Node-level facade: memory pool over a backing data pool.
+
+    ``read`` consults memory first; misses stream from the backing pool
+    (recording I/O) and optionally cache.  ``prefetch`` warms chunks
+    ahead of use — the "basic prefetching" DOoC provides.  A virtual
+    clock (nanoseconds) orders the recorded I/O; advance it with
+    ``tick`` as compute proceeds.
+    """
+
+    def __init__(
+        self,
+        pool: DataPool,
+        memory_bytes: int = 1 << 30,
+        cache_reads: bool = True,
+    ):
+        self.pool = pool
+        self.memory = MemoryPool(memory_bytes)
+        self.cache_reads = cache_reads
+        self.clock_ns = 0
+
+    def tick(self, dt_ns: int) -> None:
+        """Advance the virtual compute clock."""
+        if dt_ns < 0:
+            raise ValueError("negative tick")
+        self.clock_ns += dt_ns
+
+    def write(self, chunk: Chunk, payload: Any) -> None:
+        self.pool.write(chunk, payload, t_issue_ns=self.clock_ns)
+
+    def read(self, chunk: Chunk) -> Any:
+        payload = self.memory.get(chunk)
+        if payload is None:
+            payload = self.pool.read(chunk, t_issue_ns=self.clock_ns)
+            if self.cache_reads:
+                self.memory.put(chunk, payload)
+        return payload
+
+    def prefetch(self, chunk: Chunk) -> None:
+        """Warm a chunk into the memory pool (no-op if resident)."""
+        if self.memory.get(chunk) is None:
+            payload = self.pool.read(chunk, t_issue_ns=self.clock_ns)
+            self.memory.put(chunk, payload)
+
+    def migrate(self, chunk: Chunk, dest: DataPool) -> None:
+        """Pool-to-pool migration (the Section 3.1 DOoC+LAF extension)."""
+        payload = self.pool.read(chunk, t_issue_ns=self.clock_ns)
+        dest.write(chunk, payload, t_issue_ns=self.clock_ns)
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Task:
+    """A schedulable unit with data dependencies.
+
+    ``reads``/``writes`` are chunk keys; ``fn`` runs when the task is
+    dispatched.  ``priority`` breaks ties (lower runs earlier).
+    """
+
+    name: str
+    fn: Callable[[], Any]
+    reads: tuple[tuple[str, int], ...] = ()
+    writes: tuple[tuple[str, int], ...] = ()
+    priority: int = 0
+    result: Any = None
+    done: bool = False
+
+
+class DataAwareScheduler:
+    """Dependency-aware task scheduler with locality reordering.
+
+    Tasks writing a chunk must run before tasks reading it (dataflow
+    order).  Among ready tasks, the scheduler prefers tasks whose read
+    set is already resident in the memory pool — the "data-aware"
+    reordering of DOoC's hierarchical scheduler.
+    """
+
+    def __init__(self, store: Optional[DOoCStore] = None):
+        self.store = store
+        self.tasks: list[Task] = []
+        self.run_order: list[str] = []
+
+    def add(self, task: Task) -> Task:
+        self.tasks.append(task)
+        return task
+
+    def _producers(self) -> dict[tuple[str, int], Task]:
+        out: dict[tuple[str, int], Task] = {}
+        for t in self.tasks:
+            for key in t.writes:
+                if key in out:
+                    raise ImmutabilityError(
+                        f"chunk {key} written by both {out[key].name} and {t.name}"
+                    )
+                out[key] = t
+        return out
+
+    def run(self) -> list[Any]:
+        """Execute every task respecting dataflow order; returns results."""
+        producers = self._producers()
+        done_keys: set[tuple[str, int]] = set()
+        pending = list(self.tasks)
+        results = []
+        while pending:
+            ready = [
+                t
+                for t in pending
+                if all(k not in producers or k in done_keys for k in t.reads)
+            ]
+            if not ready:
+                names = [t.name for t in pending]
+                raise RuntimeError(f"dependency cycle among tasks {names}")
+            ready.sort(key=lambda t: (-self._locality(t), -t.priority))
+            task = ready[0]
+            task.result = task.fn()
+            task.done = True
+            results.append(task.result)
+            self.run_order.append(task.name)
+            done_keys.update(task.writes)
+            pending.remove(task)
+        return results
+
+    def _locality(self, task: Task) -> int:
+        """Number of the task's inputs already resident in memory."""
+        if self.store is None:
+            return 0
+        resident = 0
+        for key in task.reads:
+            if key in self.store.memory._lru:
+                resident += 1
+        return resident

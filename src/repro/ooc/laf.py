@@ -1,0 +1,95 @@
+"""LAF: the linear-algebra-framework directive layer over DOoC.
+
+Section 3.1: "by using a set of directives and routines exposed by
+DOoC+LAF, the OoC application is able to provide the framework enough
+knowledge about the application's workings to enable DOoC+LAF to
+transparently handle global and local scheduling of tasks and data
+migration" — OpenMP-style: the scientist declares arrays and access
+intents, the framework manages placement and prefetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import scipy.sparse as sp
+
+from .dooc import DataPool, DOoCStore
+from .spmm import OutOfCoreOperator, PanelizedMatrix
+
+__all__ = ["ArrayDirective", "LafContext"]
+
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ArrayDirective:
+    """Declared intent for one out-of-core array.
+
+    ``access`` is the dominant pattern ("stream" = sequential panel
+    sweeps, "random" = irregular); ``reuse`` hints whether caching can
+    help (OoC sweeps have reuse distances too large to cache —
+    Section 1's argument against cache-managed NVM).
+    """
+
+    name: str
+    access: str = "stream"  # "stream" | "random"
+    reuse: str = "none"  # "none" | "high"
+    prefetch_depth: int = 2
+
+    def __post_init__(self):
+        if self.access not in ("stream", "random"):
+            raise ValueError(f"unknown access pattern {self.access!r}")
+        if self.reuse not in ("none", "high"):
+            raise ValueError(f"unknown reuse hint {self.reuse!r}")
+
+
+class LafContext:
+    """Directive-driven construction of out-of-core operators."""
+
+    def __init__(
+        self,
+        node_memory_bytes: int = 256 * MiB,
+        pool: Optional[DataPool] = None,
+        client: int = 0,
+    ):
+        self.pool = pool or DataPool(name=f"nvm-{client}", client=client)
+        self.directives: dict[str, ArrayDirective] = {}
+        self._node_memory = node_memory_bytes
+        self._stores: dict[str, DOoCStore] = {}
+
+    def declare(self, directive: ArrayDirective) -> None:
+        """Register an array's access-intent directive."""
+        if directive.name in self.directives:
+            raise ValueError(f"array {directive.name!r} already declared")
+        self.directives[directive.name] = directive
+
+    def store_for(self, name: str) -> DOoCStore:
+        """The DOoC store configured per the array's directive.
+
+        Streams with no reuse disable read caching (caching would only
+        churn memory — the paper's anti-cache argument); high-reuse
+        arrays cache in node memory.
+        """
+        d = self.directives.get(name)
+        if d is None:
+            raise KeyError(f"array {name!r} not declared")
+        if name not in self._stores:
+            self._stores[name] = DOoCStore(
+                self.pool,
+                memory_bytes=self._node_memory,
+                cache_reads=(d.reuse == "high"),
+            )
+        return self._stores[name]
+
+    def out_of_core_matrix(
+        self, name: str, h: sp.spmatrix, panels: int, file_id: int = 0
+    ) -> OutOfCoreOperator:
+        """Panelize ``h`` into the pool and wrap it as an operator."""
+        d = self.directives.get(name)
+        if d is None:
+            raise KeyError(f"array {name!r} not declared")
+        store = self.store_for(name)
+        matrix = PanelizedMatrix(h, store, panels=panels, file_id=file_id)
+        return OutOfCoreOperator(matrix, prefetch_depth=d.prefetch_depth)

@@ -1,0 +1,211 @@
+"""A small deterministic discrete-event simulation (DES) engine.
+
+The engine drives the cluster-level models (network links, ION service,
+DOoC scheduler, DataCutter streams).  The fine-grained NVM transaction
+timing uses the dedicated resource-timeline scheduler in
+:mod:`repro.ssd.scheduler`, which is far faster for the millions of
+page-level operations an SSD replay generates; the two share the same
+clock conventions (integer nanoseconds).
+
+Processes are Python generators that ``yield`` *events*:
+
+* ``sim.timeout(dt)`` — resume after ``dt`` ns,
+* ``resource.acquire()`` — resume once a unit of the resource is held,
+* ``store.get()`` / ``store.put(item)`` — blocking queue operations,
+* another :class:`Event` — resume when that event fires (its value is
+  sent back into the generator).
+
+Determinism: ties in the event queue are broken by insertion sequence
+number, so identical runs replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = ["Event", "Process", "Simulator", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that was interrupted by another process."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event is *triggered* with a value, after which every registered
+    callback (usually a waiting process) runs at the trigger time.
+    """
+
+    __slots__ = ("sim", "callbacks", "triggered", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event immediately (at the current sim time)."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.sim._schedule(self.sim.now, self)
+        return self
+
+    def _fire(self) -> None:
+        self.triggered = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Process(Event):
+    """A running generator; also an event that fires on completion."""
+
+    __slots__ = ("generator", "name", "_target", "alive")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self.alive = True
+        # Bootstrap: start the process at the current time.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed(None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.alive:
+            return
+        target = self._target
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        evt = Event(self.sim)
+        evt.callbacks.append(lambda e: self._step(throw=Interrupt(cause)))
+        evt.succeed(None)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self._step(value=event.value)
+
+    def _step(self, value: Any = None, throw: Optional[BaseException] = None) -> None:
+        try:
+            if throw is not None:
+                nxt = self.generator.throw(throw)
+            else:
+                nxt = self.generator.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            if not self.triggered:
+                self.succeed(getattr(stop, "value", None))
+            return
+        if not isinstance(nxt, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {type(nxt).__name__}; "
+                "processes must yield Event instances"
+            )
+        self._target = nxt
+        if nxt.triggered:
+            # Value already known: resume on a fresh immediate event so
+            # ordering stays FIFO with respect to other ready processes.
+            relay = Event(self.sim)
+            relay.callbacks.append(self._resume)
+            relay.succeed(nxt.value)
+        else:
+            nxt.callbacks.append(self._resume)
+
+
+class Simulator:
+    """Event loop with an integer-nanosecond clock."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Event]] = []
+        self._seq = 0
+
+    # -- scheduling ---------------------------------------------------
+    def _schedule(self, when: int, event: Event) -> None:
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (int(when), self._seq, event))
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int | float, value: Any = None) -> Event:
+        """An event that fires ``delay`` ns from now."""
+        if delay < 0:
+            raise ValueError("negative delay")
+        evt = Event(self)
+        evt.value = value
+        self._schedule(self.now + int(round(delay)), evt)
+        return evt
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register ``generator`` as a process starting now."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event that fires once every event in ``events`` has fired."""
+        events = list(events)
+        done = self.event()
+        remaining = len(events)
+        if remaining == 0:
+            done.succeed([])
+            return done
+        values: list[Any] = [None] * remaining
+
+        def make_cb(i: int):
+            def cb(evt: Event):
+                nonlocal remaining
+                values[i] = evt.value
+                remaining -= 1
+                if remaining == 0 and not done.triggered:
+                    done.succeed(values)
+
+            return cb
+
+        for i, evt in enumerate(events):
+            if evt.triggered:
+                values[i] = evt.value
+                remaining -= 1
+            else:
+                evt.callbacks.append(make_cb(i))
+        if remaining == 0 and not done.triggered:
+            done.succeed(values)
+        return done
+
+    # -- running ------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final simulation time.
+        """
+        queue = self._queue
+        while queue:
+            when, _seq, event = queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(queue)
+            self.now = when
+            event._fire()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or ``None`` if idle."""
+        return self._queue[0][0] if self._queue else None

@@ -1,0 +1,163 @@
+"""Shared resources for the DES engine: counted resources and stores.
+
+These follow the familiar simpy-style protocol but stay minimal and
+deterministic (strict FIFO wakeups).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .engine import Event, Simulator
+
+__all__ = ["Resource", "Store", "Container"]
+
+
+class Resource:
+    """A counted resource with ``capacity`` units and FIFO queueing.
+
+    Usage inside a process::
+
+        yield res.acquire()
+        try:
+            ...
+        finally:
+            res.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # busy-interval accounting (for utilization reporting)
+        self._busy_since: Optional[int] = None
+        self.busy_intervals: list[tuple[int, int]] = []
+
+    def acquire(self) -> Event:
+        """Event that fires once a unit is granted to the caller."""
+        evt = self.sim.event()
+        if self.in_use < self.capacity:
+            self._grant(evt)
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def _grant(self, evt: Event) -> None:
+        if self.in_use == 0:
+            self._busy_since = self.sim.now
+        self.in_use += 1
+        evt.succeed(self)
+
+    def release(self) -> None:
+        """Return one unit; wakes the longest-waiting acquirer, if any."""
+        if self.in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        self.in_use -= 1
+        if self.in_use == 0 and self._busy_since is not None:
+            if self.sim.now > self._busy_since:
+                self.busy_intervals.append((self._busy_since, self.sim.now))
+            self._busy_since = None
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    @property
+    def queued(self) -> int:
+        """Number of acquire requests still waiting."""
+        return len(self._waiters)
+
+
+class Store:
+    """An unbounded (or bounded) FIFO item store.
+
+    ``put`` blocks when the store is full; ``get`` blocks when empty.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` has been deposited."""
+        evt = self.sim.event()
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            evt.succeed(None)
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            evt.succeed(None)
+        else:
+            self._putters.append((evt, item))
+        return evt
+
+    def get(self) -> Event:
+        """Event whose value is the next item, in FIFO order."""
+        evt = self.sim.event()
+        if self.items:
+            item = self.items.popleft()
+            evt.succeed(item)
+            if self._putters:
+                putter, pending = self._putters.popleft()
+                self.items.append(pending)
+                putter.succeed(None)
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Container:
+    """A continuous-quantity container (e.g. buffer bytes).
+
+    Supports blocking ``get(amount)`` and non-blocking ``put(amount)``.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float, init: float = 0.0, name: str = ""):
+        if init < 0 or init > capacity:
+            raise ValueError("init outside [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = init
+        self.name = name
+        self._getters: Deque[tuple[Event, float]] = deque()
+
+    def put(self, amount: float) -> None:
+        """Add ``amount``; overflow raises."""
+        if amount < 0:
+            raise ValueError("negative amount")
+        if self.level + amount > self.capacity + 1e-9:
+            raise RuntimeError(f"container {self.name!r} overflow")
+        self.level += amount
+        self._drain()
+
+    def get(self, amount: float) -> Event:
+        """Event that fires once ``amount`` has been withdrawn."""
+        if amount < 0:
+            raise ValueError("negative amount")
+        if amount > self.capacity:
+            raise ValueError("request exceeds capacity")
+        evt = self.sim.event()
+        self._getters.append((evt, amount))
+        self._drain()
+        return evt
+
+    def _drain(self) -> None:
+        while self._getters:
+            evt, amount = self._getters[0]
+            if amount <= self.level + 1e-9:
+                self.level -= amount
+                self._getters.popleft()
+                evt.succeed(amount)
+            else:
+                break

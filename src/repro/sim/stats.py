@@ -1,0 +1,131 @@
+"""Statistics collectors shared by the simulators.
+
+``TimeWeighted`` tracks a piecewise-constant signal (queue depth, busy
+flag) and integrates it over time; ``Tally`` accumulates scalar samples;
+``RateMeter`` converts byte counts over a window into bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["Tally", "TimeWeighted", "RateMeter", "percentile"]
+
+
+class Tally:
+    """Streaming scalar statistics (count / mean / variance / extrema)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        """Record one sample (Welford update)."""
+        self.count += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal."""
+
+    def __init__(self, t0: int = 0, value: float = 0.0, name: str = ""):
+        self.name = name
+        self._t_last = t0
+        self._value = value
+        self._area = 0.0
+        self._t0 = t0
+        self.maximum = value
+
+    def update(self, t: int, value: float) -> None:
+        """Signal changes to ``value`` at time ``t``."""
+        if t < self._t_last:
+            raise ValueError("time went backwards")
+        self._area += self._value * (t - self._t_last)
+        self._t_last = t
+        self._value = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def mean(self, t: Optional[int] = None) -> float:
+        """Time-average over ``[t0, t]`` (default: last update time)."""
+        t_end = self._t_last if t is None else t
+        area = self._area + self._value * max(0, t_end - self._t_last)
+        dur = t_end - self._t0
+        return area / dur if dur > 0 else self._value
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+
+class RateMeter:
+    """Bytes moved over elapsed time, reported in MB/s and GB/s."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.bytes = 0
+        self.t_first: Optional[int] = None
+        self.t_last: Optional[int] = None
+
+    def add(self, t_start: int, t_end: int, nbytes: int) -> None:
+        """Record a transfer of ``nbytes`` over ``[t_start, t_end]`` ns."""
+        self.bytes += nbytes
+        if self.t_first is None or t_start < self.t_first:
+            self.t_first = t_start
+        if self.t_last is None or t_end > self.t_last:
+            self.t_last = t_end
+
+    @property
+    def elapsed_ns(self) -> int:
+        if self.t_first is None or self.t_last is None:
+            return 0
+        return self.t_last - self.t_first
+
+    @property
+    def bytes_per_sec(self) -> float:
+        ns = self.elapsed_ns
+        return self.bytes * 1e9 / ns if ns > 0 else 0.0
+
+    @property
+    def mb_per_sec(self) -> float:
+        return self.bytes_per_sec / 1e6
+
+    @property
+    def gb_per_sec(self) -> float:
+        return self.bytes_per_sec / 1e9
+
+
+def percentile(samples, q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100])."""
+    xs = sorted(samples)
+    if not xs:
+        raise ValueError("empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError("q outside [0, 100]")
+    k = max(0, min(len(xs) - 1, int(math.ceil(q / 100.0 * len(xs))) - 1))
+    return float(xs[k])

@@ -1,0 +1,42 @@
+"""SSD models: geometry, FTL, transaction scheduling, metrics."""
+
+from .controller import ReplayResult, SSDevice
+from .des_model import DesRunStats, DesSSD
+from .ftl import DeviceFTL, FTLError, Txn
+from .geometry import PAPER_GEOMETRY_KW, Geometry, PhysAddr
+from .metrics import (
+    BREAKDOWN_KEYS,
+    PAL_KEYS,
+    RunMetrics,
+    compute_metrics,
+    media_pattern_peak,
+)
+from .queueing import PaqQueue, reorder_die_round_robin
+from .request import CommandGroup, DeviceCommand, OpCode, PosixRequest
+from .scheduler import TransactionScheduler, TxnLog
+
+__all__ = [
+    "Geometry",
+    "PhysAddr",
+    "PAPER_GEOMETRY_KW",
+    "DeviceFTL",
+    "FTLError",
+    "Txn",
+    "TransactionScheduler",
+    "TxnLog",
+    "RunMetrics",
+    "compute_metrics",
+    "media_pattern_peak",
+    "BREAKDOWN_KEYS",
+    "PAL_KEYS",
+    "SSDevice",
+    "ReplayResult",
+    "PaqQueue",
+    "DesSSD",
+    "DesRunStats",
+    "reorder_die_round_robin",
+    "CommandGroup",
+    "DeviceCommand",
+    "OpCode",
+    "PosixRequest",
+]

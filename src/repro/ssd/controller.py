@@ -1,0 +1,219 @@
+"""SSD device front-end: closed-loop replay of command streams.
+
+Ties together the FTL (address translation, GC) and the transaction
+scheduler (timing), and models the two flow-control loops that govern
+arrival times in the real stack:
+
+* the **application window** — the OoC middleware keeps a small number
+  of POSIX requests outstanding (DOoC's prefetch depth),
+* the **kernel readahead / block-layer window** — a file system keeps
+  at most ``readahead_bytes`` of block commands in flight per stream;
+  this is the knob that separates a poorly tuned file system from a
+  well tuned one (ext4 vs ext4-L) and that UFS removes entirely
+  (application-managed I/O issues arbitrarily large requests).
+
+Write barriers (journal commits) stall subsequent commands of the same
+client until the barrier completes, reproducing the serialization cost
+of journaling file systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..interconnect.host import HostPath
+from ..nvm.bus import BusSpec
+from .ftl import DeviceFTL
+from .geometry import Geometry
+from .metrics import RunMetrics, compute_metrics
+from .queueing import reorder_die_round_robin
+from .request import CommandGroup
+from .scheduler import TransactionScheduler, TxnLog
+
+__all__ = ["SSDevice", "ReplayResult"]
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a command stream against one device."""
+
+    log: TxnLog
+    group_completions: list[int]
+    metrics: RunMetrics
+    ftl_stats: dict = field(default_factory=dict)
+    #: the device-level block trace: one (t_ns, op, lba, nbytes, kind,
+    #: client) tuple per command as it reached the device — Section
+    #: 4.2's second capture level (see repro.trace.block)
+    command_log: list[tuple] = field(default_factory=list)
+
+    @property
+    def makespan_ns(self) -> int:
+        return self.metrics.makespan_ns
+
+
+class SSDevice:
+    """One simulated SSD with its FTL, buses and host attachment."""
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        bus: BusSpec,
+        host: HostPath,
+        logical_bytes: int,
+        readahead_bytes: Optional[int] = None,
+        name: str = "ssd",
+        overprovision: float = 0.125,
+        command_overhead_ns: int = 5_000,
+        queue_policy: str = "fifo",
+    ):
+        if queue_policy not in ("fifo", "paq"):
+            raise ValueError(f"unknown queue policy {queue_policy!r}")
+        self.geom = geometry
+        self.bus = bus
+        self.host = host
+        self.name = name
+        self.readahead_bytes = readahead_bytes
+        self.ftl = DeviceFTL(geometry, logical_bytes, overprovision=overprovision)
+        self.kind = geometry.kind
+        #: device-resident FTL/firmware time per command; the paper's
+        #: UFS hoists the FTL into the host and sets this to zero
+        self.command_overhead_ns = command_overhead_ns
+        #: "fifo" issues transactions in FTL order; "paq" reorders read
+        #: batches die-round-robin (physically addressed queueing)
+        self.queue_policy = queue_policy
+
+    def preload(self, nbytes: int) -> None:
+        """Install the pre-loaded data set (Section 3.1 pre-staging)."""
+        self.ftl.preload(nbytes)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        groups: Sequence[CommandGroup],
+        posix_window: int = 2,
+        start_ns: int = 0,
+    ) -> ReplayResult:
+        """Replay ``groups`` and return the full result.
+
+        ``posix_window`` is the per-client number of POSIX requests the
+        application keeps outstanding (DOoC prefetch depth >= 1).
+
+        Commands are dispatched globally in (approximate) time order
+        across all in-flight groups and clients, so overlapping POSIX
+        requests genuinely share the device — the list scheduler's
+        non-backfilling resource timelines then see transactions in the
+        order the device would.
+        """
+        if posix_window < 1:
+            raise ValueError("posix_window must be >= 1")
+        sched = TransactionScheduler(self.geom, self.bus, self.host)
+        per_req_ns = self.host.per_request_ns + self.command_overhead_ns
+        ra = self.readahead_bytes
+        ftl = self.ftl
+        paq = self.queue_policy == "paq"
+
+        # per-client bookkeeping
+        by_client: dict[int, list[tuple[int, CommandGroup]]] = {}
+        for gidx, g in enumerate(groups):
+            by_client.setdefault(g.client, []).append((gidx, g))
+        next_to_activate: dict[int, int] = {c: 0 for c in by_client}
+        completions: dict[int, list[Optional[int]]] = {
+            c: [None] * len(lst) for c, lst in by_client.items()
+        }
+        barrier_t: dict[int, int] = {c: start_ns for c in by_client}
+        group_completions: list[int] = [start_ns] * len(groups)
+
+        class _State:
+            __slots__ = (
+                "gidx", "client", "k", "cmds", "idx", "cursor",
+                "inflight", "inflight_bytes", "done",
+            )
+
+            def __init__(self, gidx, client, k, group, cursor):
+                self.gidx = gidx
+                self.client = client
+                self.k = k  # per-client group index
+                self.cmds = group.commands
+                self.idx = 0
+                self.cursor = cursor
+                self.inflight: list[tuple[int, int]] = []
+                self.inflight_bytes = 0
+                self.done = cursor
+
+        active: list[_State] = []
+
+        def activate(client: int) -> None:
+            lst = by_client[client]
+            comp = completions[client]
+            while next_to_activate[client] < len(lst):
+                k = next_to_activate[client]
+                dep = start_ns
+                if k >= posix_window:
+                    if comp[k - posix_window] is None:
+                        break  # dependency not finalized yet
+                    dep = comp[k - posix_window]
+                gidx, group = lst[k]
+                cursor = max(start_ns, group.posix.t_issue_ns, barrier_t[client], dep)
+                if not group.commands:
+                    comp[k] = cursor
+                    group_completions[gidx] = cursor
+                    next_to_activate[client] += 1
+                    continue
+                active.append(_State(gidx, client, k, group, cursor))
+                next_to_activate[client] += 1
+
+        for c in by_client:
+            activate(c)
+
+        req_id = 0
+        command_log: list[tuple] = []
+        while active:
+            # dispatch the command that would be issued earliest
+            st = min(active, key=lambda s: s.cursor)
+            cmd = st.cmds[st.idx]
+            cursor = max(st.cursor, barrier_t[st.client])
+            if ra is not None:
+                while st.inflight and st.inflight_bytes + cmd.nbytes > ra:
+                    t_done, nb = st.inflight.pop(0)
+                    st.inflight_bytes -= nb
+                    if t_done > cursor:
+                        cursor = t_done
+            txns = ftl.translate(cmd)
+            if paq and txns:
+                txns = reorder_die_round_robin(txns, self.geom)
+            cmd_arrival = cursor + per_req_ns
+            command_log.append(
+                (cmd_arrival, cmd.op, cmd.lba, cmd.nbytes, cmd.kind, st.client)
+            )
+            if txns:
+                done = sched.submit(
+                    txns, cmd_arrival, req_id, client=st.client, kind_label=cmd.kind
+                )
+            else:  # trim / no-op
+                done = cmd_arrival
+            req_id += 1
+            st.inflight.append((done, cmd.nbytes))
+            st.inflight_bytes += cmd.nbytes
+            if done > st.done:
+                st.done = done
+            st.cursor = cursor
+            if cmd.barrier:
+                st.cursor = max(st.cursor, done)
+                barrier_t[st.client] = max(barrier_t[st.client], done)
+            st.idx += 1
+            if st.idx >= len(st.cmds):
+                active.remove(st)
+                completions[st.client][st.k] = st.done
+                group_completions[st.gidx] = st.done
+                activate(st.client)
+
+        log = sched.finish()
+        metrics = compute_metrics(log, self.geom, self.bus, self.kind, self.host)
+        return ReplayResult(
+            log=log,
+            group_completions=group_completions,
+            metrics=metrics,
+            ftl_stats=dict(ftl.stats),
+            command_log=command_log,
+        )

@@ -1,0 +1,381 @@
+"""Flash translation layer (page-mapped) with GC and wear-leveling.
+
+This is the *device-resident* FTL of Figure 4a — the layer the paper's
+UFS deliberately hoists into the host (see :mod:`repro.core.ufs`, which
+reuses this machinery with a different placement policy).
+
+Responsibilities:
+
+* logical-page -> physical-page mapping (striped pre-image for
+  pre-loaded data sets, log-structured allocation for writes),
+* erase-before-write discipline via per-block write frontiers,
+* greedy garbage collection per plane unit with valid-page relocation,
+* wear accounting (erase counts) and round-robin wear-leveling of
+  free-block selection,
+* translation of byte-extent commands into page-level transactions,
+  including read-modify-write for sub-page overwrites and plane-pair
+  grouping for multi-plane command opportunities.
+
+Transactions are emitted as plain tuples
+``(op_code, flat_phys, nbytes, group_id, page_in_block)`` for the
+scheduler; ``group_id`` links plane-paired operations that execute as a
+single multi-plane command (one cell activation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import NamedTuple
+
+import numpy as np
+
+from .geometry import Geometry
+from .request import DeviceCommand, OpCode
+
+__all__ = ["Txn", "DeviceFTL", "FTLError"]
+
+
+class Txn(NamedTuple):
+    """One page-level NVM transaction."""
+
+    op: int  # OpCode
+    flat: int  # flat stripe index (physical)
+    nbytes: int  # payload bytes moved over buses/host (<= page size)
+    group: int  # multi-plane group id (-1 = ungrouped)
+    page_in_block: int  # for latency-ladder lookup
+
+
+class FTLError(Exception):
+    """Logical-space exhaustion or mapping inconsistency."""
+
+
+class DeviceFTL:
+    """Page-mapped FTL over a :class:`Geometry`.
+
+    ``logical_bytes`` bounds the logical space; it must fit in the
+    physical space minus over-provisioning.  ``gc_low_water`` is the
+    free-block count per plane unit below which GC runs.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        logical_bytes: int,
+        overprovision: float = 0.125,
+        gc_low_water: int = 2,
+    ):
+        self.geom = geometry
+        self.page_bytes = geometry.page_bytes
+        self.n_logical_pages = -(-logical_bytes // self.page_bytes)
+        usable = geometry.total_pages * (1.0 - overprovision)
+        if self.n_logical_pages > usable:
+            raise FTLError(
+                f"logical space ({self.n_logical_pages} pages) exceeds usable "
+                f"capacity ({int(usable)} pages) at OP {overprovision}"
+            )
+        self.gc_low_water = gc_low_water
+
+        U = geometry.plane_units
+        B = geometry.blocks_per_plane
+        self.map = np.full(self.n_logical_pages, -1, dtype=np.int64)
+        self.reverse: dict[int, int] = {}
+        self.valid = np.zeros((U, B), dtype=np.int32)
+        self.frontier = np.zeros((U, B), dtype=np.int32)
+        self.erases = np.zeros((U, B), dtype=np.int64)
+        # free/active block bookkeeping per plane unit
+        self.free_blocks: list[deque[int]] = [deque(range(B)) for _ in range(U)]
+        self.active_block = np.full(U, -1, dtype=np.int32)
+        self._alloc_unit = 0  # round-robin pointer over plane units
+        self._group_counter = 0
+        self.stats = {
+            "gc_runs": 0,
+            "gc_moved_pages": 0,
+            "host_writes_pages": 0,
+            "rmw_reads": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # pre-image (pre-loaded data set)
+    # ------------------------------------------------------------------
+    def preload(self, nbytes: int) -> None:
+        """Install a striped identity mapping for the first ``nbytes``.
+
+        Models the paper's pre-loading of the data set from
+        network-attached magnetic storage before computation starts
+        (Section 3.1): logical page L sits at flat stripe index L, so a
+        sequential read fans out across planes, channels, dies and
+        packages exactly as a striped sequential write would have left
+        it.
+        """
+        npages = -(-nbytes // self.page_bytes)
+        if npages > self.n_logical_pages:
+            raise FTLError("preload exceeds logical space")
+        geom = self.geom
+        U = geom.plane_units
+        ppb = geom.pages_per_block
+        self.map[:npages] = np.arange(npages, dtype=np.int64)
+        full_slots = npages // U  # page slots fully populated in every unit
+        rem = npages % U
+        full_blocks, part_pages = divmod(full_slots, ppb)
+        for u in range(U):
+            slots = full_slots + (1 if u < rem else 0)
+            fb, pp = divmod(slots, ppb)
+            for b in range(fb):
+                self.frontier[u, b] = ppb
+                self.valid[u, b] = ppb
+                if b in self.free_blocks[u]:
+                    self.free_blocks[u].remove(b)
+            if pp:
+                self.frontier[u, fb] = pp
+                self.valid[u, fb] = pp
+                if fb in self.free_blocks[u]:
+                    self.free_blocks[u].remove(fb)
+                self.active_block[u] = fb
+        del full_blocks, part_pages
+        for l in range(npages):
+            self.reverse[l] = l
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+    def translate(self, cmd: DeviceCommand) -> list[Txn]:
+        """Translate one device command into page transactions."""
+        if cmd.op == "read":
+            return self._translate_read(cmd.lba, cmd.nbytes)
+        if cmd.op == "write":
+            return self._translate_write(cmd.lba, cmd.nbytes)
+        if cmd.op == "trim":
+            self._trim(cmd.lba, cmd.nbytes)
+            return []
+        raise FTLError(f"unsupported command op {cmd.op!r}")
+
+    def _pages_of(self, lba: int, nbytes: int):
+        """Yield (logical_page, bytes_in_page) covering the extent."""
+        pb = self.page_bytes
+        end = lba + nbytes
+        page = lba // pb
+        while page * pb < end:
+            lo = max(lba, page * pb)
+            hi = min(end, (page + 1) * pb)
+            yield page, hi - lo
+            page += 1
+
+    def _translate_read(self, lba: int, nbytes: int) -> list[Txn]:
+        txns: list[Txn] = []
+        ppb = self.geom.pages_per_block
+        U = self.geom.plane_units
+        for lpage, nb in self._pages_of(lba, nbytes):
+            if lpage >= self.n_logical_pages:
+                raise FTLError(f"read beyond logical space (page {lpage})")
+            flat = self.map[lpage]
+            if flat < 0:
+                # Cold read of never-written space: map it in place so the
+                # trace replay stays well-defined (returns erased data).
+                flat = self._adopt(lpage, int(lpage))
+            txns.append(Txn(OpCode.READ, int(flat), nb, -1, (int(flat) // U) % ppb))
+        return self._group_planes(txns)
+
+    def _translate_write(self, lba: int, nbytes: int) -> list[Txn]:
+        txns: list[Txn] = []
+        ppb = self.geom.pages_per_block
+        U = self.geom.plane_units
+        pb = self.page_bytes
+        for lpage, nb in self._pages_of(lba, nbytes):
+            if lpage >= self.n_logical_pages:
+                raise FTLError(f"write beyond logical space (page {lpage})")
+            # run GC first: it may relocate this very logical page, so
+            # the old physical location must be read afterwards
+            txns.extend(self._gc_if_needed())
+            old = int(self.map[lpage])
+            if nb < pb and old >= 0:
+                # Sub-page overwrite of live data: read-modify-write.
+                self.stats["rmw_reads"] += 1
+                txns.append(Txn(OpCode.READ, old, pb - nb, -1, (old // U) % ppb))
+            flat = self._allocate()
+            if old >= 0:
+                self._invalidate(old)
+            self.map[lpage] = flat
+            self.reverse[flat] = lpage
+            self.stats["host_writes_pages"] += 1
+            txns.append(Txn(OpCode.WRITE, flat, pb, -1, (flat // U) % ppb))
+        return self._group_planes(txns)
+
+    def _trim(self, lba: int, nbytes: int) -> None:
+        for lpage, _nb in self._pages_of(lba, nbytes):
+            if lpage < self.n_logical_pages:
+                old = int(self.map[lpage])
+                if old >= 0:
+                    self._invalidate(old)
+                    self.map[lpage] = -1
+
+    def _adopt(self, lpage: int, flat: int) -> int:
+        """Bind a cold logical page to its identity-striped location.
+
+        Returns the flat index actually bound (a fresh allocation when
+        the identity slot is already occupied, keeping maps injective).
+        """
+        if flat in self.reverse:
+            flat = self._allocate()
+            self.map[lpage] = flat
+            self.reverse[flat] = lpage
+            return flat
+        u = flat % self.geom.plane_units
+        s = flat // self.geom.plane_units
+        b, p = divmod(s, self.geom.pages_per_block)
+        self.map[lpage] = flat
+        self.reverse[flat] = lpage
+        if self.frontier[u, b] <= p:
+            self.frontier[u, b] = p + 1
+        self.valid[u, b] += 1
+        if b in self.free_blocks[u]:
+            self.free_blocks[u].remove(b)
+        return flat
+
+    # ------------------------------------------------------------------
+    # allocation and garbage collection
+    # ------------------------------------------------------------------
+    def _allocate(self) -> int:
+        """Allocate the next physical page, striping across plane units."""
+        geom = self.geom
+        U = geom.plane_units
+        ppb = geom.pages_per_block
+        for _ in range(U + 1):
+            u = self._alloc_unit
+            self._alloc_unit = (self._alloc_unit + 1) % U
+            b = int(self.active_block[u])
+            if b >= 0 and self.frontier[u, b] < ppb:
+                p = int(self.frontier[u, b])
+                self.frontier[u, b] = p + 1
+                self.valid[u, b] += 1
+                return (b * ppb + p) * U + u
+            if self.free_blocks[u]:
+                b = self.free_blocks[u].popleft()  # FIFO: round-robin wear
+                self.active_block[u] = b
+                self.frontier[u, b] = 1
+                self.valid[u, b] += 1
+                return (b * ppb + 0) * U + u
+        raise FTLError("device out of free space (GC cannot keep up)")
+
+    def _invalidate(self, flat: int) -> None:
+        u = flat % self.geom.plane_units
+        s = flat // self.geom.plane_units
+        b = s // self.geom.pages_per_block
+        self.valid[u, b] -= 1
+        if self.valid[u, b] < 0:
+            raise FTLError("valid-count underflow")
+        self.reverse.pop(flat, None)
+
+    def _gc_if_needed(self) -> list[Txn]:
+        """Run GC on the next allocation unit if it is low on space."""
+        u = self._alloc_unit
+        if len(self.free_blocks[u]) >= self.gc_low_water:
+            return []
+        b = int(self.active_block[u])
+        ppb = self.geom.pages_per_block
+        if b >= 0 and self.frontier[u, b] < ppb:
+            return []  # room left in the active block
+        return self._collect(u)
+
+    def _collect(self, u: int) -> list[Txn]:
+        """Greedy GC: relocate the min-valid block of unit ``u``."""
+        geom = self.geom
+        ppb = geom.pages_per_block
+        U = geom.plane_units
+        candidates = [
+            b
+            for b in range(geom.blocks_per_plane)
+            if self.frontier[u, b] == ppb and b != self.active_block[u]
+        ]
+        if not candidates:
+            return []
+        victim = min(candidates, key=lambda b: self.valid[u, b])
+        txns: list[Txn] = []
+        self.stats["gc_runs"] += 1
+        base = victim * ppb
+        for p in range(ppb):
+            flat = (base + p) * U + u
+            lpage = self.reverse.get(flat)
+            if lpage is None:
+                continue
+            # relocate: read out, invalidate, rewrite elsewhere
+            txns.append(Txn(OpCode.READ, flat, self.page_bytes, -1, p))
+            self._invalidate(flat)
+            new_flat = self._allocate()
+            self.map[lpage] = new_flat
+            self.reverse[new_flat] = lpage
+            self.stats["gc_moved_pages"] += 1
+            txns.append(
+                Txn(OpCode.WRITE, new_flat, self.page_bytes, -1, (new_flat // U) % ppb)
+            )
+        # erase the victim
+        self.frontier[u, victim] = 0
+        self.valid[u, victim] = 0
+        self.erases[u, victim] += 1
+        self.free_blocks[u].append(victim)
+        txns.append(Txn(OpCode.ERASE, (victim * ppb) * U + u, 0, -1, 0))
+        return txns
+
+    # ------------------------------------------------------------------
+    # plane grouping
+    # ------------------------------------------------------------------
+    def _group_planes(self, txns: list[Txn]) -> list[Txn]:
+        """Assign multi-plane group ids to plane-paired transactions.
+
+        Two adjacent transactions pair when they target sibling planes
+        of the same die at the same block/page slot with the same op —
+        exactly the alignment real multi-plane commands require.
+        """
+        geom = self.geom
+        P = geom.planes_per_die
+        U = geom.plane_units
+        out: list[Txn] = []
+        i = 0
+        n = len(txns)
+        while i < n:
+            t = txns[i]
+            j = i + 1
+            members = [t]
+            while j < n and len(members) < P:
+                t2 = txns[j]
+                if (
+                    t2.op == t.op
+                    and t2.flat == txns[j - 1].flat + 1
+                    and (t2.flat % U) // P == (t.flat % U) // P
+                    and t2.flat // U == t.flat // U
+                    and (t.flat % U) % P == 0
+                ):
+                    members.append(t2)
+                    j += 1
+                else:
+                    break
+            if len(members) > 1:
+                gid = self._group_counter
+                self._group_counter += 1
+                out.extend(
+                    Txn(m.op, m.flat, m.nbytes, gid, m.page_in_block) for m in members
+                )
+            else:
+                out.append(t)
+            i = j if len(members) > 1 else i + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # invariants / introspection (used heavily by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` on any mapping inconsistency."""
+        mapped = self.map[self.map >= 0]
+        assert len(np.unique(mapped)) == len(mapped), "duplicate physical pages"
+        for flat, lpage in self.reverse.items():
+            assert self.map[lpage] == flat, "reverse map out of sync"
+        # valid counts never exceed frontiers
+        assert np.all(self.valid <= self.frontier), "valid beyond frontier"
+        assert np.all(self.valid >= 0), "negative valid count"
+
+    @property
+    def max_wear(self) -> int:
+        return int(self.erases.max())
+
+    @property
+    def wear_spread(self) -> int:
+        return int(self.erases.max() - self.erases.min())

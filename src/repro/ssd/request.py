@@ -1,0 +1,116 @@
+"""Request/transaction datatypes shared across the storage stack.
+
+Three levels of abstraction, mirroring Figure 4 of the paper:
+
+* :class:`PosixRequest` — what the OoC application issues (POSIX
+  read/write of a byte extent of a file),
+* :class:`DeviceCommand` — what a file system emits to the block layer
+  (logical-block-addressed read/write, possibly a journal/metadata
+  access, possibly a write barrier),
+* transactions — page-level NVM operations produced by an FTL; these
+  are plain arrays inside the scheduler for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OpCode", "PosixRequest", "DeviceCommand", "CommandGroup"]
+
+
+class OpCode:
+    """Integer operation codes used in scheduler arrays."""
+
+    READ = 0
+    WRITE = 1
+    ERASE = 2
+
+    NAMES = ("read", "write", "erase")
+
+    @staticmethod
+    def of(name: str) -> int:
+        try:
+            return OpCode.NAMES.index(name)
+        except ValueError:
+            raise ValueError(f"unknown op {name!r}") from None
+
+
+@dataclass(frozen=True)
+class PosixRequest:
+    """One POSIX-level file access by the application.
+
+    ``t_issue_ns`` is the earliest time the application can issue it
+    (compute think-time since the previous request); the replay engine
+    additionally enforces the application's outstanding-request window.
+    """
+
+    op: str  # "read" | "write"
+    file_id: int
+    offset: int
+    nbytes: int
+    t_issue_ns: int = 0
+    tag: str = ""
+
+    def __post_init__(self):
+        if self.op not in ("read", "write"):
+            raise ValueError(f"bad POSIX op {self.op!r}")
+        if self.offset < 0 or self.nbytes <= 0:
+            raise ValueError("bad extent")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+
+@dataclass(frozen=True)
+class DeviceCommand:
+    """One logical-block-level command emitted by a file system.
+
+    ``lba`` is a byte address in the device's logical space.  ``kind``
+    distinguishes data from journal/metadata traffic for the analysis
+    layer; ``barrier`` forces later commands to wait for completion
+    (journal commit semantics).
+    """
+
+    op: str  # "read" | "write" | "erase" | "trim"
+    lba: int
+    nbytes: int
+    kind: str = "data"  # "data" | "journal" | "metadata"
+    barrier: bool = False
+
+    def __post_init__(self):
+        if self.op not in ("read", "write", "erase", "trim"):
+            raise ValueError(f"bad device op {self.op!r}")
+        if self.lba < 0 or self.nbytes <= 0:
+            raise ValueError("bad extent")
+
+    @property
+    def end(self) -> int:
+        return self.lba + self.nbytes
+
+
+@dataclass
+class CommandGroup:
+    """Commands that jointly implement one POSIX request.
+
+    The replay engine treats the group as the unit of application-level
+    completion: the POSIX call returns when every command of its group
+    has completed.
+    """
+
+    posix: PosixRequest
+    commands: list[DeviceCommand] = field(default_factory=list)
+    client: int = 0
+
+    @property
+    def data_bytes(self) -> int:
+        """Payload bytes (excludes journal/metadata overhead traffic)."""
+        return sum(c.nbytes for c in self.commands if c.kind == "data")
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(c.nbytes for c in self.commands)
+
+    @property
+    def has_barrier(self) -> bool:
+        return any(c.barrier for c in self.commands)

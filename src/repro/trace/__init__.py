@@ -1,0 +1,27 @@
+"""Tracing: POSIX traces, synthetic workloads, FS replay, analysis."""
+
+from .analysis import AccessPattern, device_pattern, pattern_report, posix_pattern
+from .block import BlockRecord, BlockTrace, block_trace_from_result, replay_block_trace
+from .posix import PosixTrace
+from .reuse import ReuseProfile, lru_hit_rate, reuse_profile
+from .replay import ReplaySummary, replay
+from .synth import ooc_eigensolver_trace, random_mix_trace
+
+__all__ = [
+    "PosixTrace",
+    "ReuseProfile",
+    "reuse_profile",
+    "lru_hit_rate",
+    "BlockTrace",
+    "BlockRecord",
+    "block_trace_from_result",
+    "replay_block_trace",
+    "ooc_eigensolver_trace",
+    "random_mix_trace",
+    "replay",
+    "ReplaySummary",
+    "AccessPattern",
+    "posix_pattern",
+    "device_pattern",
+    "pattern_report",
+]

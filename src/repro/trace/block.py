@@ -1,0 +1,159 @@
+"""Device-level block traces (Section 4.2's second capture level).
+
+The paper collected two trace levels: POSIX traces at the compute node
+and "device-level block traces completely under GPFS ... Since these
+traces are at the device-level, they may be directly fed to
+NANDFlashSim."  This module provides that artifact: timestamped
+logical-block commands as they left the file system / block layer,
+with persistence, pattern statistics, and an open-loop replay that
+feeds them straight to a device (no FS in the path — the NANDFlashSim
+usage).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+from ..ssd.controller import ReplayResult, SSDevice
+from ..ssd.request import CommandGroup, DeviceCommand, PosixRequest
+
+__all__ = [
+    "BlockRecord",
+    "BlockTrace",
+    "block_trace_from_result",
+    "replay_block_trace",
+]
+
+
+class BlockRecord(NamedTuple):
+    """One timestamped device command."""
+
+    t_ns: int
+    op: str  # "read" | "write" | "trim"
+    lba: int
+    nbytes: int
+    kind: str  # "data" | "journal" | "metadata"
+    client: int
+
+
+@dataclass
+class BlockTrace:
+    """An ordered device-level block trace."""
+
+    records: list[BlockRecord] = field(default_factory=list)
+    label: str = ""
+
+    def append(self, rec: BlockRecord) -> None:
+        self.records.append(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[BlockRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, i):
+        return self.records[i]
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records)
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records if r.kind == "data")
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Journal + metadata bytes as a fraction of all traffic."""
+        total = self.total_bytes
+        return 1.0 - self.data_bytes / total if total else 0.0
+
+    @property
+    def mean_request_bytes(self) -> float:
+        return self.total_bytes / len(self.records) if self.records else 0.0
+
+    def sequentiality(self) -> float:
+        """Fraction of data commands that continue the previous one."""
+        data = [r for r in self.records if r.kind == "data"]
+        if len(data) < 2:
+            return 1.0
+        seq = sum(
+            1 for a, b in zip(data, data[1:]) if b.lba == a.lba + a.nbytes
+        )
+        return seq / (len(data) - 1)
+
+    def size_histogram(self, bins=(4096, 65536, 131072, 524288, 1 << 20)):
+        """Command-size histogram: counts per bucket edge (<= edge)."""
+        sizes = np.array([r.nbytes for r in self.records])
+        out = {}
+        prev = 0
+        for edge in bins:
+            out[edge] = int(np.sum((sizes > prev) & (sizes <= edge)))
+            prev = edge
+        out["larger"] = int(np.sum(sizes > prev))
+        return out
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        p = Path(path)
+        with p.open("w") as fh:
+            fh.write(json.dumps({"label": self.label}) + "\n")
+            for r in self.records:
+                fh.write(json.dumps(list(r)) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BlockTrace":
+        p = Path(path)
+        with p.open() as fh:
+            header = json.loads(fh.readline())
+            trace = cls(label=header.get("label", ""))
+            for line in fh:
+                t, op, lba, nbytes, kind, client = json.loads(line)
+                trace.append(BlockRecord(t, op, lba, nbytes, kind, client))
+        return trace
+
+
+def block_trace_from_result(result: ReplayResult, label: str = "") -> BlockTrace:
+    """Extract the device-level block trace a replay produced."""
+    trace = BlockTrace(label=label)
+    for t_ns, op, lba, nbytes, kind, client in result.command_log:
+        trace.append(BlockRecord(t_ns, op, lba, nbytes, kind, client))
+    return trace
+
+
+def replay_block_trace(
+    device: SSDevice,
+    trace: BlockTrace,
+    preload_bytes: int | None = None,
+    time_scale: float = 1.0,
+) -> ReplayResult:
+    """Feed a raw block trace to a device (the NANDFlashSim usage).
+
+    Commands are issued open-loop at their recorded timestamps (scaled
+    by ``time_scale``); there is no file system or window in the path.
+    """
+    if preload_bytes:
+        device.preload(preload_bytes)
+    groups = []
+    for rec in trace.records:
+        if rec.op == "trim":
+            cmd = DeviceCommand("trim", rec.lba, rec.nbytes, kind=rec.kind)
+        else:
+            cmd = DeviceCommand(rec.op, rec.lba, rec.nbytes, kind=rec.kind)
+        posix = PosixRequest(
+            op=cmd.op if cmd.op in ("read", "write") else "read",
+            file_id=0,
+            offset=rec.lba,
+            nbytes=rec.nbytes,
+            t_issue_ns=int(rec.t_ns * time_scale),
+        )
+        groups.append(CommandGroup(posix=posix, commands=[cmd], client=rec.client))
+    # open loop: a huge window disables application-level flow control
+    return device.run(groups, posix_window=max(1, len(groups)))

@@ -1,0 +1,110 @@
+"""POSIX-level trace container (Section 4.2's first trace level).
+
+The paper captured POSIX traces "directly under the application but
+prior to reaching GPFS" on every compute node, then replayed them
+through real file systems to obtain device-level block traces.  Our
+:class:`PosixTrace` is that first-level artifact: an ordered list of
+:class:`~repro.ssd.request.PosixRequest` with save/load and summary
+statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..ssd.request import PosixRequest
+
+__all__ = ["PosixTrace"]
+
+
+@dataclass
+class PosixTrace:
+    """An ordered POSIX request trace from one client."""
+
+    requests: list[PosixRequest] = field(default_factory=list)
+    client: int = 0
+    label: str = ""
+
+    def append(self, req: PosixRequest) -> None:
+        self.requests.append(req)
+
+    def extend(self, reqs: Iterable[PosixRequest]) -> None:
+        self.requests.extend(reqs)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[PosixRequest]:
+        return iter(self.requests)
+
+    def __getitem__(self, i):
+        return self.requests[i]
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.nbytes for r in self.requests)
+
+    @property
+    def read_bytes(self) -> int:
+        return sum(r.nbytes for r in self.requests if r.op == "read")
+
+    @property
+    def write_bytes(self) -> int:
+        return sum(r.nbytes for r in self.requests if r.op == "write")
+
+    @property
+    def read_fraction(self) -> float:
+        t = self.total_bytes
+        return self.read_bytes / t if t else 0.0
+
+    def file_sizes(self) -> dict[int, int]:
+        """Minimum file sizes implied by the trace extents."""
+        sizes: dict[int, int] = {}
+        for r in self.requests:
+            sizes[r.file_id] = max(sizes.get(r.file_id, 0), r.end)
+        return sizes
+
+    def sequentiality(self) -> float:
+        """Fraction of requests that continue the previous extent of
+        the same file — the property GPFS striping destroys (Fig. 6)."""
+        if len(self.requests) < 2:
+            return 1.0
+        last_end: dict[int, int] = {}
+        seq = 0
+        for r in self.requests:
+            if last_end.get(r.file_id) == r.offset:
+                seq += 1
+            last_end[r.file_id] = r.end
+        return seq / (len(self.requests) - 1)
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON lines."""
+        p = Path(path)
+        with p.open("w") as fh:
+            fh.write(
+                json.dumps({"client": self.client, "label": self.label}) + "\n"
+            )
+            for r in self.requests:
+                fh.write(
+                    json.dumps(
+                        [r.op, r.file_id, r.offset, r.nbytes, r.t_issue_ns, r.tag]
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PosixTrace":
+        """Read a trace written by :meth:`save`."""
+        p = Path(path)
+        with p.open() as fh:
+            header = json.loads(fh.readline())
+            trace = cls(client=header.get("client", 0), label=header.get("label", ""))
+            for line in fh:
+                op, fid, off, nb, t, tag = json.loads(line)
+                trace.append(PosixRequest(op, fid, off, nb, t, tag))
+        return trace

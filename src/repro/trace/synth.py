@@ -1,0 +1,96 @@
+"""Synthetic OoC workload generator.
+
+The evaluation traces come from the real eigensolver in
+:mod:`repro.ooc` (see :func:`repro.ooc.driver.capture_trace`), but the
+benchmark harness also needs a fast, deterministic generator with the
+same I/O signature so every figure regenerates in seconds.  Section 2.1
+defines that signature: per LOBPCG iteration, the Hamiltonian ``H`` is
+streamed panel-by-panel in large sequential reads (read-intensive, no
+short-term reuse), interleaved with small writes of the iterate /
+checkpoint state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ssd.request import PosixRequest
+from .posix import PosixTrace
+
+__all__ = ["ooc_eigensolver_trace", "random_mix_trace"]
+
+MiB = 1024 * 1024
+
+
+def ooc_eigensolver_trace(
+    panels: int = 24,
+    panel_bytes: int = 8 * MiB,
+    iterations: int = 2,
+    psi_bytes: int = 512 * 1024,
+    checkpoint_every: int = 0,
+    think_ns_per_panel: int = 0,
+    client: int = 0,
+    file_id: int = 0,
+    offset: int = 0,
+) -> PosixTrace:
+    """Trace of an OoC LOBPCG run (H panel sweeps + iterate writes).
+
+    ``offset`` shifts the client's partition inside the shared H file,
+    matching how each compute node owns a row-panel slice.  If
+    ``checkpoint_every`` > 0, every that-many iterations append a Psi
+    checkpoint write of ``psi_bytes`` to file ``file_id + 1``.
+    """
+    if panels < 1 or iterations < 1:
+        raise ValueError("panels and iterations must be positive")
+    trace = PosixTrace(client=client, label=f"ooc-lobpcg-c{client}")
+    t = 0
+    for it in range(iterations):
+        for p in range(panels):
+            trace.append(
+                PosixRequest(
+                    op="read",
+                    file_id=file_id,
+                    offset=offset + p * panel_bytes,
+                    nbytes=panel_bytes,
+                    t_issue_ns=t,
+                    tag=f"H[{it}:{p}]",
+                )
+            )
+            t += think_ns_per_panel
+        if checkpoint_every and (it + 1) % checkpoint_every == 0:
+            trace.append(
+                PosixRequest(
+                    op="write",
+                    file_id=file_id + 1,
+                    offset=(it // checkpoint_every) * psi_bytes,
+                    nbytes=psi_bytes,
+                    t_issue_ns=t,
+                    tag=f"psi[{it}]",
+                )
+            )
+    return trace
+
+
+def random_mix_trace(
+    n_requests: int = 256,
+    file_bytes: int = 256 * MiB,
+    read_fraction: float = 0.8,
+    min_bytes: int = 4096,
+    max_bytes: int = 1 * MiB,
+    seed: int = 99,
+    client: int = 0,
+    file_id: int = 0,
+) -> PosixTrace:
+    """A random read/write mix for stress and property testing."""
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction outside [0, 1]")
+    rng = np.random.default_rng(seed)
+    trace = PosixTrace(client=client, label=f"random-mix-{seed}")
+    for _i in range(n_requests):
+        nbytes = int(rng.integers(min_bytes, max_bytes + 1))
+        nbytes = max(min_bytes, (nbytes // 4096) * 4096)
+        offset = int(rng.integers(0, max(1, file_bytes - nbytes)))
+        offset = (offset // 4096) * 4096
+        op = "read" if rng.random() < read_fraction else "write"
+        trace.append(PosixRequest(op, file_id, offset, nbytes))
+    return trace

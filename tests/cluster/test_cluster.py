@@ -1,0 +1,131 @@
+"""Cluster models: Carver topology, shared links, pre-staging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    SharedLink,
+    carver,
+    carver_ooc_partition,
+    simulate_preload,
+)
+from repro.cluster.nodes import ComputeNode, DiskArray, IONode
+from repro.interconnect import INFINIBAND_QDR_4X
+from repro.nvm import MLC
+from repro.sim import Simulator
+
+GiB = 1 << 30
+
+
+class TestCarver:
+    def test_figure3_inventory(self):
+        c = carver()
+        assert len(c.compute_nodes) == 1202
+        assert len(c.io_nodes) == 10
+        assert c.total_ssds == 20
+        assert c.fabric is INFINIBAND_QDR_4X
+
+    def test_ooc_partition(self):
+        p = carver_ooc_partition()
+        assert len(p.compute_nodes) == 40
+        assert sum(cn.cores for cn in p.compute_nodes) == 320
+        assert p.total_ssds == 20
+        assert p.cns_per_ion_ssd == pytest.approx(2.0)
+
+    def test_cnl_migration_moves_ssds(self):
+        """Figure 2b: SSDs leave the IONs and appear in every CN."""
+        p = carver_ooc_partition(local_nvm=MLC)
+        assert all(not cn.diskless for cn in p.compute_nodes)
+        assert sum(io.ssds for io in p.io_nodes) == 0
+        assert p.total_ssds == 40
+
+    def test_default_cns_diskless(self):
+        assert all(cn.diskless for cn in carver().compute_nodes)
+
+
+class TestNodes:
+    def test_disk_array_capped_by_fc(self):
+        wide = DiskArray(disks=64)
+        assert wide.bytes_per_sec <= wide.link.effective_bytes_per_sec
+
+    def test_disk_array_spindle_bound(self):
+        small = DiskArray(disks=2)
+        assert small.bytes_per_sec == pytest.approx(
+            2 * small.disk_bw_bytes * small.raid_efficiency
+        )
+
+    def test_ion_disk_rate_sums_arrays(self):
+        ion = IONode(node_id=0, disk_arrays=(DiskArray(disks=2), DiskArray(disks=2)))
+        assert ion.disk_bytes_per_sec == pytest.approx(
+            2 * DiskArray(disks=2).bytes_per_sec
+        )
+
+    def test_compute_node_defaults(self):
+        cn = ComputeNode(node_id=0)
+        assert cn.diskless
+        assert cn.memory_bytes == 24 * GiB
+
+
+class TestSharedLink:
+    def test_contention_serializes(self):
+        sim = Simulator()
+        link = SharedLink(sim, INFINIBAND_QDR_4X)
+        done = []
+
+        def sender(tag):
+            yield from link.transfer(1 << 30)
+            done.append((tag, sim.now))
+
+        sim.process(sender("a"))
+        sim.process(sender("b"))
+        sim.run()
+        t_one = INFINIBAND_QDR_4X.request_ns(1 << 30)
+        assert done[0][1] == pytest.approx(t_one, rel=0.01)
+        assert done[1][1] == pytest.approx(2 * t_one, rel=0.01)
+
+    def test_utilization(self):
+        sim = Simulator()
+        link = SharedLink(sim, INFINIBAND_QDR_4X)
+
+        def sender():
+            yield from link.transfer(1 << 20)
+
+        sim.process(sender())
+        sim.run()
+        assert link.utilization() == pytest.approx(1.0)
+        assert link.bytes_moved == 1 << 20
+
+    def test_negative_transfer(self):
+        sim = Simulator()
+        link = SharedLink(sim, INFINIBAND_QDR_4X)
+        with pytest.raises(ValueError):
+            next(link.transfer(-1))
+
+
+class TestPreload:
+    def test_fully_hidden_behind_long_job(self):
+        p = carver_ooc_partition(local_nvm=MLC)
+        rep = simulate_preload(p, bytes_per_cn=1 * GiB, previous_job_ns=int(1e12))
+        assert rep.exposed_ns == 0
+        assert rep.hidden_fraction == 1.0
+
+    def test_exposed_without_previous_job(self):
+        p = carver_ooc_partition(local_nvm=MLC)
+        rep = simulate_preload(p, bytes_per_cn=1 * GiB, previous_job_ns=0)
+        assert rep.exposed_ns == rep.preload_end_ns > 0
+
+    def test_more_data_takes_longer(self):
+        p = carver_ooc_partition(local_nvm=MLC)
+        r1 = simulate_preload(p, bytes_per_cn=1 * GiB)
+        r2 = simulate_preload(p, bytes_per_cn=2 * GiB)
+        assert r2.preload_end_ns > r1.preload_end_ns
+
+    def test_bad_bytes(self):
+        with pytest.raises(ValueError):
+            simulate_preload(carver_ooc_partition(), bytes_per_cn=0)
+
+    def test_fabric_utilization_bounded(self):
+        p = carver_ooc_partition(local_nvm=MLC)
+        rep = simulate_preload(p, bytes_per_cn=512 * (1 << 20))
+        assert 0.0 < rep.fabric_utilization <= 1.0

@@ -1,0 +1,112 @@
+"""Distributed-memory vs OoC-NVM models and the cost study."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.distributed import (
+    DistributedMemoryDesign,
+    OocNvmDesign,
+    SolverKernel,
+)
+from repro.experiments.cost import ComponentCosts, capacity_study
+
+GiB = 1 << 30
+
+
+def kernel(h_gib=1.0):
+    h = int(h_gib * GiB)
+    return SolverKernel(h_bytes=h, n=h // 50_000)
+
+
+class TestDistributedMemory:
+    def test_feasibility_hard_limit(self):
+        """'hard limits on the size of H that can be stored in-memory'"""
+        d = DistributedMemoryDesign(nodes=40)
+        assert d.feasible(kernel(0.5 * 1024 / 1024))
+        assert not d.feasible(kernel(2.0 * 1024 / 1024 * 1024))
+
+    def test_min_nodes_scales_with_h(self):
+        d = DistributedMemoryDesign(nodes=1)
+        assert d.min_nodes(kernel(2)) >= 2 * d.min_nodes(kernel(1)) - 1
+
+    def test_infeasible_iteration_is_infinite(self):
+        d = DistributedMemoryDesign(nodes=1)
+        assert d.iteration_ns(kernel(1024)) == math.inf
+
+    def test_more_nodes_faster_compute(self):
+        # compute-heavy regime: scaling nodes pays off
+        k = kernel(64)
+        few = DistributedMemoryDesign(nodes=64)
+        many = DistributedMemoryDesign(nodes=256)
+        assert many.iteration_ns(k) < few.iteration_ns(k)
+
+    def test_communication_intensive(self):
+        """'this approach can still be very communication-intensive':
+        at high node counts comm no longer shrinks."""
+        k = kernel(1)
+        d1 = DistributedMemoryDesign(nodes=256)
+        d2 = DistributedMemoryDesign(nodes=1024)
+        speedup = d1.iteration_ns(k) / d2.iteration_ns(k)
+        assert speedup < 2.0  # far from the 4x node ratio
+
+
+class TestOocNvm:
+    def test_io_bound_at_low_storage_rate(self):
+        k = kernel(1)
+        slow = OocNvmDesign(nodes=40, storage_bytes_per_sec=0.9e9)
+        assert slow.io_bound(k)
+
+    def test_faster_storage_helps_when_io_bound(self):
+        k = kernel(1)
+        ion = OocNvmDesign(nodes=40, storage_bytes_per_sec=0.9e9)
+        cnl = OocNvmDesign(nodes=40, storage_bytes_per_sec=3.1e9)
+        assert cnl.iteration_ns(k) < ion.iteration_ns(k)
+        ratio = ion.iteration_ns(k) / cnl.iteration_ns(k)
+        assert 2.5 < ratio < 3.6  # tracks the storage-rate ratio
+
+    def test_overlap_hides_io(self):
+        k = kernel(1)
+        full = OocNvmDesign(nodes=40, storage_bytes_per_sec=3.1e9, overlap=1.0)
+        none = OocNvmDesign(nodes=40, storage_bytes_per_sec=3.1e9, overlap=0.0)
+        assert full.iteration_ns(k) < none.iteration_ns(k)
+
+    def test_no_capacity_limit(self):
+        d = OocNvmDesign(nodes=40, storage_bytes_per_sec=3.1e9)
+        assert math.isfinite(d.iteration_ns(kernel(64)))
+
+
+class TestCapacityStudy:
+    @pytest.fixture(scope="class")
+    def big(self):
+        return {d.name: d for d in capacity_study(h_gib=8 * 1024)}
+
+    def test_three_designs(self, big):
+        assert set(big) == {"distributed-DRAM", "ION-NVM", "CNL-NVM"}
+
+    def test_dram_needs_many_more_nodes(self, big):
+        assert big["distributed-DRAM"].nodes > 10 * big["CNL-NVM"].nodes
+
+    def test_nvm_slashes_capital_and_power(self, big):
+        """The Section-1 cost argument."""
+        dram, cnl = big["distributed-DRAM"], big["CNL-NVM"]
+        assert cnl.capital_usd < 0.2 * dram.capital_usd
+        assert cnl.power_w < 0.2 * dram.power_w
+
+    def test_cnl_beats_ion_per_iteration(self, big):
+        assert big["CNL-NVM"].iteration_ms < 0.5 * big["ION-NVM"].iteration_ms
+
+    def test_energy_same_order(self, big):
+        """Fewer, slower nodes vs many fast ones: energy per iteration
+        stays in the same order of magnitude while capital collapses."""
+        r = big["CNL-NVM"].energy_j_per_iteration / big[
+            "distributed-DRAM"
+        ].energy_j_per_iteration
+        assert 0.1 < r < 10
+
+    def test_component_costs_sane(self):
+        c = ComponentCosts()
+        assert c.node_usd(24, 512) > c.node_usd(24, 0)
+        assert c.node_w(24, True) == c.node_w(24, False) + c.ssd_w

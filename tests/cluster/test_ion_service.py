@@ -1,0 +1,72 @@
+"""ION GPFS service co-simulation vs the analytic host-path model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.ion import IonServiceConfig, simulate_ion_service
+from repro.core import make_ion_device
+
+MiB = 1024 * 1024
+
+
+class TestIonService:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return simulate_ion_service(IonServiceConfig(bytes_per_client=32 * MiB))
+
+    def test_matches_analytic_calibration(self, report):
+        """The DES pipeline reproduces the analytic host-path rate the
+        figures are calibrated on (~0.87 GB/s per CN) within 10%."""
+        analytic = make_ion_device(
+            __import__("repro.nvm", fromlist=["TLC"]).TLC, 32 * MiB
+        ).device.host.per_client_bytes_per_sec
+        assert report.per_client_mb * 1e6 == pytest.approx(analytic, rel=0.10)
+
+    def test_clients_fair(self, report):
+        vals = list(report.per_client_bytes_per_sec.values())
+        assert max(vals) == pytest.approx(min(vals), rel=0.1)
+
+    def test_link_is_the_bottleneck(self, report):
+        """Section 4.3: the ION case 'runs up against the throughput
+        limit for QDR Infiniband'."""
+        assert report.link_utilization > 0.9
+
+    def test_aggregate_is_sum_of_clients(self, report):
+        agg = report.aggregate_bytes_per_sec
+        assert agg == pytest.approx(
+            sum(report.per_client_bytes_per_sec.values()), rel=0.05
+        )
+
+    def test_more_clients_less_each(self):
+        two = simulate_ion_service(IonServiceConfig(bytes_per_client=16 * MiB))
+        four = simulate_ion_service(
+            IonServiceConfig(clients=4, bytes_per_client=16 * MiB)
+        )
+        assert four.per_client_mb < 0.7 * two.per_client_mb
+
+    def test_slow_ssd_becomes_bottleneck(self):
+        cfg = IonServiceConfig(
+            bytes_per_client=16 * MiB, ssd_bytes_per_sec=0.4e9
+        )
+        rep = simulate_ion_service(cfg)
+        # the serialized device caps aggregate at its own rate
+        assert rep.aggregate_bytes_per_sec < 0.45e9
+        assert rep.link_utilization < 0.5
+
+    def test_window_of_one_is_latency_bound(self):
+        deep = simulate_ion_service(IonServiceConfig(bytes_per_client=8 * MiB))
+        shallow = simulate_ion_service(
+            IonServiceConfig(bytes_per_client=8 * MiB, client_window=1)
+        )
+        assert shallow.per_client_mb < 0.85 * deep.per_client_mb
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_ion_service(IonServiceConfig(clients=0))
+        with pytest.raises(ValueError):
+            simulate_ion_service(
+                IonServiceConfig(bytes_per_client=1024, rpc_bytes=128 * 1024)
+            )

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interconnect import bridged_pcie2
+from repro.nvm import MLC, ONFI3_SDR400, SLC, TLC
+from repro.ssd import Geometry, SSDevice
+
+MiB = 1024 * 1024
+
+
+@pytest.fixture
+def small_geometry() -> Geometry:
+    """A reduced device (2 ch x 2 pkg x 2 die x 2 plane) for fast tests."""
+    return Geometry(
+        kind=SLC,
+        channels=2,
+        packages_per_channel=2,
+        dies_per_package=2,
+        planes_per_die=2,
+        blocks_per_plane=16,
+    )
+
+
+@pytest.fixture
+def paper_geometry() -> Geometry:
+    """The paper's 8-channel / 64-package / 128-die device (TLC)."""
+    return Geometry(kind=TLC)
+
+
+@pytest.fixture
+def small_device(small_geometry) -> SSDevice:
+    """A small bridged device with 4 MiB of logical space."""
+    return SSDevice(
+        geometry=small_geometry,
+        bus=ONFI3_SDR400,
+        host=bridged_pcie2(8),
+        logical_bytes=4 * MiB,
+        readahead_bytes=None,
+    )
+
+
+@pytest.fixture
+def mlc_device() -> SSDevice:
+    """A paper-shaped MLC device with 256 MiB logical space."""
+    return SSDevice(
+        geometry=Geometry(kind=MLC),
+        bus=ONFI3_SDR400,
+        host=bridged_pcie2(8),
+        logical_bytes=256 * MiB,
+        readahead_bytes=None,
+    )

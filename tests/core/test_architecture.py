@@ -1,0 +1,76 @@
+"""Architecture builders: CNL vs ION storage paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import UnifiedFileSystem, make_cnl_device, make_ion_device
+from repro.nvm import DDR800, ONFI3_SDR400, MLC, TLC
+
+MiB = 1024 * 1024
+
+
+class TestCnl:
+    def test_bridged_defaults(self):
+        p = make_cnl_device("EXT4", TLC, 64 * MiB)
+        assert p.location == "CNL"
+        assert p.clients == 1
+        assert p.device.bus is ONFI3_SDR400
+        assert p.device.host.bridged
+        assert p.device.readahead_bytes == p.fs.readahead_bytes
+
+    def test_native_uses_ddr_and_pcie3(self):
+        p = make_cnl_device("UFS", TLC, 64 * MiB, lanes=16, native=True)
+        assert p.device.bus is DDR800
+        assert not p.device.host.bridged
+        assert "x16" in p.device.host.name
+
+    def test_ufs_gets_host_ftl(self):
+        """UFS hoists the FTL: zero device-side command overhead and no
+        kernel read-ahead window."""
+        ufs_path = make_cnl_device("UFS", TLC, 64 * MiB)
+        fs_path = make_cnl_device("EXT4", TLC, 64 * MiB)
+        assert isinstance(ufs_path.fs, UnifiedFileSystem)
+        assert ufs_path.device.command_overhead_ns == 0
+        assert fs_path.device.command_overhead_ns > 0
+        assert ufs_path.device.readahead_bytes is None
+
+    def test_geometry_is_paper_device(self):
+        p = make_cnl_device("XFS", MLC, 64 * MiB)
+        g = p.device.geom
+        assert (g.channels, g.packages, g.dies) == (8, 64, 128)
+
+    def test_unknown_fs(self):
+        with pytest.raises(KeyError):
+            make_cnl_device("NTFS", TLC, 64 * MiB)
+
+
+class TestIon:
+    def test_shares_device_between_clients(self):
+        p = make_ion_device(TLC, 64 * MiB)
+        assert p.location == "ION"
+        assert p.clients == 2
+        assert p.device.host.sharers == 2
+
+    def test_network_host_path(self):
+        p = make_ion_device(TLC, 64 * MiB)
+        assert "ION" in p.device.host.name
+        # the GPFS client stack delivers far less than the raw link
+        assert p.device.host.per_client_bytes_per_sec < 2e9
+
+    def test_rpc_latency_present(self):
+        p = make_ion_device(TLC, 64 * MiB)
+        assert p.device.host.per_request_ns > 50_000
+
+
+class TestFormatAndPreload:
+    def test_preload_covers_layout(self):
+        p = make_cnl_device("EXT4", TLC, 32 * MiB)
+        p.format_and_preload({0: 32 * MiB})
+        # the data zone must be resident (mapped) after preload
+        assert p.device.ftl.map[0] >= 0
+
+    def test_oversized_layout_rejected(self):
+        p = make_cnl_device("EXT4", TLC, 1 * MiB)
+        with pytest.raises(ValueError):
+            p.format_and_preload({0: 64 * 1024 * MiB})

@@ -1,0 +1,141 @@
+"""NVM block cache and the anti-caching experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import NvmBlockCache, simulate_cached_run
+from repro.experiments.anticache import anticache_experiment
+from repro.interconnect import INFINIBAND_QDR_4X, network_path
+from repro.ssd.request import PosixRequest
+from repro.trace import PosixTrace, ooc_eigensolver_trace
+
+MiB = 1024 * 1024
+
+
+class TestBlockCache:
+    def test_first_read_misses_then_hits(self):
+        c = NvmBlockCache(capacity_bytes=8 * MiB, block_bytes=1 * MiB)
+        hit, miss, fill = c.read(0, 0, 2 * MiB)
+        assert (hit, miss) == (0, 2 * MiB)
+        assert fill == 2 * MiB
+        hit, miss, fill = c.read(0, 0, 2 * MiB)
+        assert (hit, miss, fill) == (2 * MiB, 0, 0)
+
+    def test_partial_block_fill_amplifies(self):
+        c = NvmBlockCache(capacity_bytes=8 * MiB, block_bytes=1 * MiB)
+        _hit, miss, fill = c.read(0, 0, 4096)
+        assert miss == 4096
+        assert fill == 1 * MiB  # whole-block fill
+
+    def test_lru_eviction(self):
+        c = NvmBlockCache(capacity_bytes=2 * MiB, block_bytes=1 * MiB)
+        c.read(0, 0, 1 * MiB)
+        c.read(0, 1 * MiB, 1 * MiB)
+        c.read(0, 0, 1)  # touch block 0
+        c.read(0, 2 * MiB, 1 * MiB)  # evicts block 1
+        hit, miss, _ = c.read(0, 1 * MiB, 1)
+        assert miss == 1
+        assert c.stats.evicted_bytes >= 1 * MiB
+
+    def test_sweep_larger_than_cache_never_hits(self):
+        """The OoC pattern: LRU evicts each block just before reuse."""
+        c = NvmBlockCache(capacity_bytes=4 * MiB, block_bytes=1 * MiB)
+        for _sweep in range(3):
+            for b in range(8):  # 8 MiB working set, 4 MiB cache
+                c.read(0, b * MiB, 1 * MiB)
+        assert c.stats.hit_rate == 0.0
+
+    def test_cache_holding_everything_hits_after_first_sweep(self):
+        c = NvmBlockCache(capacity_bytes=16 * MiB, block_bytes=1 * MiB)
+        for _sweep in range(4):
+            for b in range(8):
+                c.read(0, b * MiB, 1 * MiB)
+        assert c.stats.hit_rate == pytest.approx(0.75)
+
+    def test_write_back_defers_remote(self):
+        c = NvmBlockCache(capacity_bytes=2 * MiB, block_bytes=1 * MiB)
+        local, remote = c.write(0, 0, 1 * MiB)
+        assert (local, remote) == (1 * MiB, 0)
+        c.write(0, 1 * MiB, 1 * MiB)
+        _l, remote = c.write(0, 2 * MiB, 1 * MiB)  # evicts a dirty block
+        assert remote == 1 * MiB
+
+    def test_write_through_always_remote(self):
+        c = NvmBlockCache(
+            capacity_bytes=2 * MiB, block_bytes=1 * MiB,
+            write_policy="write-through",
+        )
+        _l, remote = c.write(0, 0, 1 * MiB)
+        assert remote == 1 * MiB
+
+    def test_distinct_files_distinct_blocks(self):
+        c = NvmBlockCache(capacity_bytes=8 * MiB, block_bytes=1 * MiB)
+        c.read(0, 0, 1 * MiB)
+        _hit, miss, _ = c.read(1, 0, 1 * MiB)
+        assert miss == 1 * MiB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NvmBlockCache(capacity_bytes=1024, block_bytes=1 * MiB)
+        with pytest.raises(ValueError):
+            NvmBlockCache(capacity_bytes=2 * MiB, write_policy="random")
+
+
+class TestCachedRun:
+    def _remote(self):
+        return network_path(INFINIBAND_QDR_4X, sharers=2, server_efficiency=0.48)
+
+    def test_misses_cost_remote_time(self):
+        trace = PosixTrace([PosixRequest("read", 0, 0, 4 * MiB)])
+        cache = NvmBlockCache(capacity_bytes=8 * MiB, block_bytes=1 * MiB)
+        res = simulate_cached_run(trace, cache, 3.1e9, self._remote())
+        assert res.remote_io_ns > 0
+        assert res.elapsed_ns == res.local_io_ns + res.remote_io_ns
+
+    def test_warmup_detected_on_reuse_heavy_trace(self):
+        reqs = [PosixRequest("read", 0, 0, 1 * MiB) for _ in range(64)]
+        trace = PosixTrace(reqs)
+        cache = NvmBlockCache(capacity_bytes=8 * MiB, block_bytes=1 * MiB)
+        res = simulate_cached_run(trace, cache, 3.1e9, self._remote(), warm_window=8)
+        assert res.warmed_up
+        assert res.warmup_ns < res.elapsed_ns
+
+    def test_ooc_sweep_never_warms(self):
+        trace = ooc_eigensolver_trace(panels=16, panel_bytes=4 * MiB, iterations=3)
+        cache = NvmBlockCache(capacity_bytes=32 * MiB, block_bytes=1 * MiB)
+        res = simulate_cached_run(trace, cache, 3.1e9, self._remote(), warm_window=8)
+        assert not res.warmed_up
+        assert res.stats.hit_rate == 0.0
+
+
+class TestAntiCacheExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return anticache_experiment(panels=8, panel_bytes=4 * MiB, iterations=3)
+
+    def test_undersized_caches_never_hit(self, report):
+        for frac in (0.25, 0.5, 0.75):
+            assert report.cached[frac].stats.hit_rate == 0.0
+            assert not report.cached[frac].warmed_up
+
+    def test_caching_slower_than_no_cache(self, report):
+        """'the act of caching and evicting the data itself may very
+        well slow down the execution' — fills make the cache LOSE to
+        plain remote access."""
+        assert report.cached[0.5].bandwidth_mb < report.remote_bandwidth_mb
+
+    def test_preload_dominates_everything(self, report):
+        best_cached = max(r.bandwidth_mb for r in report.cached.values())
+        assert report.preload_bandwidth_mb > best_cached
+        assert report.preload_bandwidth_mb > report.remote_bandwidth_mb
+
+    def test_oversized_cache_warms_late(self, report):
+        big = report.cached[1.25]
+        assert big.warmed_up
+        assert big.warmup_ns > 0.5 * big.elapsed_ns  # a full sweep first
+
+    def test_render(self, report):
+        out = report.render()
+        assert "application-managed" in out
+        assert "never" in out

@@ -1,0 +1,98 @@
+"""UFS: raw namespace, superpage alignment, identity translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import UnifiedFileSystem, superpage_bytes
+from repro.nvm import TLC
+from repro.ssd import Geometry
+from repro.ssd.request import PosixRequest
+
+MiB = 1024 * 1024
+
+
+@pytest.fixture
+def ufs():
+    return UnifiedFileSystem(Geometry(kind=TLC))
+
+
+class TestNamespace:
+    def test_allocation_superpage_aligned(self, ufs):
+        sp = superpage_bytes(ufs.geom)
+        a = ufs.allocate("H", 10 * MiB)
+        b = ufs.allocate("psi", 1 * MiB)
+        assert a.lba % sp == 0
+        assert b.lba % sp == 0
+        assert b.lba >= a.lba + 10 * MiB
+
+    def test_superpage_definition(self, ufs):
+        """One page on every plane of every die (full PAL4 stripe)."""
+        assert superpage_bytes(ufs.geom) == 256 * TLC.page_bytes
+
+    def test_duplicate_name_rejected(self, ufs):
+        ufs.allocate("H", MiB)
+        with pytest.raises(ValueError):
+            ufs.allocate("H", MiB)
+
+    def test_duplicate_id_rejected(self, ufs):
+        ufs.allocate("a", MiB, object_id=5)
+        with pytest.raises(ValueError):
+            ufs.allocate("b", MiB, object_id=5)
+
+    def test_bad_size(self, ufs):
+        with pytest.raises(ValueError):
+            ufs.allocate("x", 0)
+
+    def test_lookup(self, ufs):
+        obj = ufs.allocate("H", MiB)
+        assert ufs.lookup_object("H") is obj
+
+    def test_allocated_bytes_tracks_cursor(self, ufs):
+        sp = superpage_bytes(ufs.geom)
+        ufs.allocate("a", 1)
+        assert ufs.allocated_bytes == sp
+
+
+class TestTranslation:
+    def test_one_request_one_command(self, ufs):
+        """UFS never splits: the POSIX request goes to the device whole."""
+        ufs.format({0: 64 * MiB})
+        g = ufs.translate(PosixRequest("read", 0, 0, 32 * MiB))
+        assert len(g.commands) == 1
+        cmd = g.commands[0]
+        assert cmd.nbytes == 32 * MiB
+        assert cmd.kind == "data"
+
+    def test_no_overhead_traffic(self, ufs):
+        """No journal, no metadata — the raison d'etre of UFS."""
+        ufs.format({0: 64 * MiB})
+        for op in ("read", "write"):
+            g = ufs.translate(PosixRequest(op, 0, 0, 8 * MiB))
+            assert all(c.kind == "data" for c in g.commands)
+            assert not g.has_barrier
+
+    def test_no_readahead_window(self, ufs):
+        assert ufs.readahead_bytes is None
+
+    def test_extent_bounds_enforced(self, ufs):
+        ufs.format({0: 4 * MiB})
+        with pytest.raises(ValueError):
+            ufs.translate(PosixRequest("read", 0, 3 * MiB, 2 * MiB))
+
+    def test_unknown_object(self, ufs):
+        ufs.format({0: MiB})
+        with pytest.raises(KeyError):
+            ufs.translate(PosixRequest("read", 9, 0, 1024))
+
+    def test_offsets_map_linearly(self, ufs):
+        ufs.format({0: 64 * MiB})
+        g0 = ufs.translate(PosixRequest("read", 0, 0, MiB))
+        g1 = ufs.translate(PosixRequest("read", 0, 8 * MiB, MiB))
+        assert g1.commands[0].lba - g0.commands[0].lba == 8 * MiB
+
+    def test_format_idempotent_for_existing_objects(self, ufs):
+        obj = ufs.allocate("file-0", 4 * MiB, object_id=0)
+        ufs.format({0: 4 * MiB})
+        g = ufs.translate(PosixRequest("read", 0, 0, MiB))
+        assert g.commands[0].lba == obj.lba

@@ -1,0 +1,103 @@
+"""Table-2 configuration matrix and the Figure-1 trend model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    DEVICE_SWEEP_LABELS,
+    FS_SWEEP_LABELS,
+    TABLE2_CONFIGS,
+    TREND_DATA,
+    config_by_label,
+    crossover_year,
+    doubling_time_years,
+    figure1_series,
+)
+from repro.nvm import TLC
+
+
+class TestTable2:
+    def test_thirteen_rows(self):
+        assert len(TABLE2_CONFIGS) == 13
+
+    def test_row_composition(self):
+        labels = [c.label for c in TABLE2_CONFIGS]
+        assert labels[0] == "ION-GPFS"
+        assert labels[-3:] == ["CNL-BRIDGE-16", "CNL-NATIVE-8", "CNL-NATIVE-16"]
+        assert labels.count("CNL-UFS") == 1
+
+    def test_bridged_rows_use_pcie2_sdr(self):
+        for cfg in TABLE2_CONFIGS:
+            if cfg.controller == "Bridged":
+                assert cfg.pcie == "2.0"
+                assert cfg.bus == "SDR-400"
+
+    def test_native_rows_use_pcie3_ddr(self):
+        for cfg in TABLE2_CONFIGS:
+            if cfg.controller == "Native":
+                assert cfg.pcie == "3.0"
+                assert cfg.bus == "DDR-800"
+
+    def test_lane_counts(self):
+        by_label = {c.label: c.lanes for c in TABLE2_CONFIGS}
+        assert by_label["CNL-UFS"] == 8
+        assert by_label["CNL-BRIDGE-16"] == 16
+        assert by_label["CNL-NATIVE-8"] == 8
+        assert by_label["CNL-NATIVE-16"] == 16
+
+    def test_sweep_labels_subset(self):
+        all_labels = {c.label for c in TABLE2_CONFIGS}
+        assert set(FS_SWEEP_LABELS) <= all_labels | {"CNL-UFS"}
+        assert set(DEVICE_SWEEP_LABELS) <= all_labels
+
+    def test_lookup(self):
+        cfg = config_by_label("CNL-NATIVE-16")
+        assert cfg.controller == "Native" and cfg.lanes == 16
+        with pytest.raises(KeyError):
+            config_by_label("CNL-ZFS")
+
+    def test_build_dispatches_by_location(self):
+        ion = config_by_label("ION-GPFS").build(TLC, 16 << 20)
+        cnl = config_by_label("CNL-EXT4").build(TLC, 16 << 20)
+        assert ion.location == "ION" and ion.clients == 2
+        assert cnl.location == "CNL" and cnl.clients == 1
+
+    def test_table_row_rendering(self):
+        loc_fs, ctrl, bus, lanes = config_by_label("CNL-NATIVE-8").table_row()
+        assert loc_fs == "CNL-UFS"
+        assert ctrl == "Native"
+        assert "DDR" in bus
+        assert lanes == 8
+
+
+class TestFigure1Trends:
+    def test_families_present(self):
+        fams = {p.family for p in TREND_DATA}
+        assert fams == {"infiniband", "fibre-channel", "flash-ssd", "nvm-future"}
+
+    def test_nvm_grows_faster_than_networks(self):
+        """The figure's thesis: NVM bandwidth doubling time beats both
+        network families'."""
+        series = figure1_series()
+        nvm_dt = series["crossover"]["nvm_doubling_years"]
+        assert nvm_dt < series["infiniband"]["doubling_years"]
+        assert nvm_dt < series["fibre-channel"]["doubling_years"]
+
+    def test_crossover_within_the_decade(self):
+        """Section 1: NVM 'shows great potential to far surpass network
+        bandwidth within the decade' (from 2013)."""
+        year = figure1_series()["crossover"]["nvm_vs_infiniband_year"]
+        assert 2005 < year < 2023
+
+    def test_doubling_time_positive(self):
+        ib = [p for p in TREND_DATA if p.family == "infiniband"]
+        assert 0 < doubling_time_years(ib) < 20
+
+    def test_crossover_requires_two_points(self):
+        with pytest.raises(ValueError):
+            doubling_time_years(TREND_DATA[:1])
+
+    def test_crossover_symmetric_families(self):
+        ib = [p for p in TREND_DATA if p.family == "infiniband"]
+        assert crossover_year(ib, ib) == float("inf")

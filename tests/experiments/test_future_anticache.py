@@ -1,0 +1,46 @@
+"""Unit tests for the extension experiments (future devices, cost)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import future_device_sweep
+from repro.experiments.anticache import anticache_experiment
+
+MiB = 1024 * 1024
+
+
+class TestFutureSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return future_device_sweep(
+            kinds=("TLC", "PCM"), channels=(8, 16), panels=4, panel_bytes=4 * MiB
+        )
+
+    def test_grid_complete(self, sweep):
+        assert set(sweep.bandwidth_mb) == {
+            ("TLC", 8), ("TLC", 16), ("PCM", 8), ("PCM", 16),
+        }
+
+    def test_channels_scale_pcm(self, sweep):
+        assert sweep.bandwidth_mb[("PCM", 16)] > 1.1 * sweep.bandwidth_mb[("PCM", 8)]
+
+    def test_render(self, sweep):
+        out = sweep.render()
+        assert "PCM" in out and "8ch" in out and "16ch" in out
+
+
+class TestAntiCacheUnits:
+    def test_custom_fractions(self):
+        rep = anticache_experiment(
+            panels=4, panel_bytes=2 * MiB, iterations=2, cache_fractions=(0.5,)
+        )
+        assert set(rep.cached) == {0.5}
+        assert rep.dataset_bytes == 8 * MiB
+
+    def test_single_iteration_everything_cold(self):
+        rep = anticache_experiment(
+            panels=4, panel_bytes=2 * MiB, iterations=1, cache_fractions=(2.0,)
+        )
+        # one sweep: even an oversized cache never hits
+        assert rep.cached[2.0].stats.hit_rate == 0.0

@@ -1,0 +1,214 @@
+"""FS base machinery: layout, lookup, splitting, journaling, metadata."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.base import FileLayout, FileSystemModel, FsParams, KiB, MiB
+from repro.ssd.request import PosixRequest
+
+
+def params(**kw):
+    base = dict(
+        name="TESTFS",
+        block_bytes=4 * KiB,
+        max_request_bytes=128 * KiB,
+        readahead_bytes=256 * KiB,
+        alloc_run_bytes=1 * MiB,
+        alloc_gap_blocks=5,
+    )
+    base.update(kw)
+    return FsParams(**base)
+
+
+class TestFsParams:
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            params(block_bytes=3000)
+
+    def test_max_request_below_block(self):
+        with pytest.raises(ValueError):
+            params(max_request_bytes=1 * KiB)
+
+    def test_bad_journal_mode(self):
+        with pytest.raises(ValueError):
+            params(journaling="everything")
+
+
+class TestFileLayout:
+    def test_extents_cover_file_exactly(self):
+        lay = FileLayout(params(), {0: 10 * MiB})
+        total = sum(e.length for e in lay.extents[0])
+        assert total == 10 * MiB
+        offs = [e.file_off for e in lay.extents[0]]
+        assert offs[0] == 0
+        for a, b in zip(lay.extents[0], lay.extents[0][1:]):
+            assert b.file_off == a.file_off + a.length
+
+    def test_extents_do_not_overlap_in_lba(self):
+        lay = FileLayout(params(), {0: 8 * MiB, 1: 8 * MiB})
+        spans = []
+        for exts in lay.extents.values():
+            spans += [(e.lba, e.lba + e.length) for e in exts]
+        spans.sort()
+        for a, b in zip(spans, spans[1:]):
+            assert b[0] >= a[1]
+
+    def test_gaps_between_extents(self):
+        lay = FileLayout(params(), {0: 8 * MiB})
+        exts = lay.extents[0]
+        assert len(exts) > 1
+        for a, b in zip(exts, exts[1:]):
+            assert b.lba > a.lba + a.length  # allocator jump
+
+    def test_lookup_simple(self):
+        lay = FileLayout(params(), {0: 4 * MiB})
+        runs = lay.lookup(0, 0, 64 * KiB)
+        assert sum(n for _l, n in runs) == 64 * KiB
+
+    def test_lookup_spanning_extents(self):
+        lay = FileLayout(params(alloc_run_bytes=256 * KiB), {0: 4 * MiB})
+        runs = lay.lookup(0, 100 * KiB, 1 * MiB)
+        assert sum(n for _l, n in runs) == 1 * MiB
+        assert len(runs) >= 2
+
+    def test_lookup_beyond_file(self):
+        lay = FileLayout(params(), {0: 1 * MiB})
+        with pytest.raises(ValueError):
+            lay.lookup(0, 512 * KiB, 1 * MiB)
+
+    def test_lookup_unknown_file(self):
+        lay = FileLayout(params(), {0: 1 * MiB})
+        with pytest.raises(KeyError):
+            lay.lookup(7, 0, 1024)
+
+    def test_zones_do_not_overlap_data(self):
+        lay = FileLayout(params(), {0: 16 * MiB})
+        assert lay.cow_lba >= lay.data_zone_end
+        assert lay.journal_lba >= lay.cow_lba + lay.cow_bytes
+        assert lay.metadata_lba >= lay.journal_lba + lay.journal_bytes
+        assert lay.device_bytes >= lay.metadata_lba + lay.metadata_bytes
+
+    def test_journal_alloc_circular(self):
+        lay = FileLayout(params(), {0: 1 * MiB})
+        first = lay.journal_alloc(4 * KiB)
+        for _ in range(100000):
+            lba = lay.journal_alloc(4 * KiB)
+            assert lay.journal_lba <= lba < lay.journal_lba + lay.journal_bytes
+        assert first == lay.journal_lba
+
+    def test_metadata_block_in_zone(self):
+        lay = FileLayout(params(), {0: 1 * MiB})
+        for key in range(0, 1000, 37):
+            lba = lay.metadata_block(key)
+            assert lay.metadata_lba <= lba < lay.metadata_lba + lay.metadata_bytes
+
+    def test_deterministic_for_seed(self):
+        a = FileLayout(params(seed=5), {0: 8 * MiB})
+        b = FileLayout(params(seed=5), {0: 8 * MiB})
+        assert a.extents == b.extents
+        c = FileLayout(params(seed=6), {0: 8 * MiB})
+        assert a.extents != c.extents
+
+    def test_bad_file_size(self):
+        with pytest.raises(ValueError):
+            FileLayout(params(), {0: 0})
+
+
+class TestTranslation:
+    def make(self, **kw):
+        fs = FileSystemModel(params(**kw))
+        fs.format({0: 32 * MiB})
+        return fs
+
+    def test_read_bytes_conserved(self):
+        fs = self.make()
+        g = fs.translate(PosixRequest("read", 0, 0, 8 * MiB))
+        assert g.data_bytes == 8 * MiB
+
+    def test_requests_respect_coalescing_cap(self):
+        fs = self.make()
+        g = fs.translate(PosixRequest("read", 0, 0, 4 * MiB))
+        assert all(
+            c.nbytes <= fs.params.max_request_bytes for c in g.commands
+        )
+
+    def test_metadata_reads_injected(self):
+        fs = self.make(metadata_read_interval_bytes=1 * MiB)
+        g = fs.translate(PosixRequest("read", 0, 0, 8 * MiB))
+        metas = [c for c in g.commands if c.kind == "metadata"]
+        assert len(metas) >= 7
+
+    def test_metadata_progress_carries_across_requests(self):
+        fs = self.make(metadata_read_interval_bytes=4 * MiB)
+        metas = 0
+        for i in range(8):
+            g = fs.translate(PosixRequest("read", 0, i * MiB, 1 * MiB))
+            metas += sum(1 for c in g.commands if c.kind == "metadata")
+        assert metas == 2
+
+    def test_write_no_journal(self):
+        fs = self.make(journaling=None)
+        g = fs.translate(PosixRequest("write", 0, 0, 1 * MiB))
+        assert all(c.kind == "data" for c in g.commands)
+        assert not g.has_barrier
+
+    def test_ordered_journal_appends_commit_barrier(self):
+        fs = self.make(journaling="ordered")
+        g = fs.translate(PosixRequest("write", 0, 0, 1 * MiB))
+        kinds = [c.kind for c in g.commands]
+        assert kinds.count("journal") == 2  # descriptors + commit
+        assert g.commands[-1].barrier
+        # ordered mode: data precedes the journal commit
+        assert kinds.index("journal") > kinds.index("data")
+
+    def test_data_journal_writes_twice(self):
+        fs = self.make(journaling="data")
+        g = fs.translate(PosixRequest("write", 0, 0, 1 * MiB))
+        jbytes = sum(c.nbytes for c in g.commands if c.kind == "journal")
+        assert jbytes > 1 * MiB  # full data copy + descriptors
+
+    def test_cow_redirects_overwrites(self):
+        fs = self.make(cow=True)
+        lay = fs.layout
+        g = fs.translate(PosixRequest("write", 0, 0, 1 * MiB))
+        data = [c for c in g.commands if c.kind == "data"]
+        assert all(c.lba >= lay.cow_lba for c in data)
+
+    def test_format_required(self):
+        fs = FileSystemModel(params())
+        with pytest.raises(RuntimeError):
+            fs.translate(PosixRequest("read", 0, 0, 1024))
+
+    def test_translate_all(self):
+        fs = self.make()
+        reqs = [PosixRequest("read", 0, i * MiB, MiB) for i in range(4)]
+        groups = fs.translate_all(reqs, client=3)
+        assert len(groups) == 4
+        assert all(g.client == 3 for g in groups)
+
+
+@given(
+    offset_kib=st.integers(0, 1000),
+    size_kib=st.integers(1, 2000),
+    run_kib=st.integers(128, 4096),
+    maxreq_kib=st.integers(16, 1024),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_read_translation_conserves_bytes(
+    offset_kib, size_kib, run_kib, maxreq_kib
+):
+    """Data bytes in == data bytes out across any FS parameterization."""
+    fs = FileSystemModel(
+        params(
+            alloc_run_bytes=run_kib * KiB,
+            max_request_bytes=maxreq_kib * KiB,
+            metadata_read_interval_bytes=16 * MiB,
+        )
+    )
+    fs.format({0: 4 * MiB + (offset_kib + size_kib) * KiB})
+    g = fs.translate(PosixRequest("read", 0, offset_kib * KiB, size_kib * KiB))
+    assert g.data_bytes == size_kib * KiB
+    assert all(c.nbytes <= maxreq_kib * KiB for c in g.commands)

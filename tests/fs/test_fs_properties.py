@@ -1,0 +1,104 @@
+"""Property tests over every file-system model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs import FS_FACTORIES, make_fs
+from repro.ssd.request import PosixRequest
+
+KiB = 1024
+MiB = 1024 * 1024
+
+ALL_FS = sorted(FS_FACTORIES)
+
+
+@given(
+    fs_name=st.sampled_from(ALL_FS),
+    offset_kib=st.integers(0, 4096),
+    size_kib=st.integers(1, 8192),
+)
+@settings(max_examples=80, deadline=None)
+def test_read_translation_conserves_bytes(fs_name, offset_kib, size_kib):
+    """For every FS: data bytes out == POSIX bytes in; every command
+    respects the FS's coalescing cap and addresses its own zones."""
+    fs = make_fs(fs_name)
+    file_bytes = (offset_kib + size_kib) * KiB + 4 * MiB
+    layout = fs.format({0: file_bytes})
+    g = fs.translate(PosixRequest("read", 0, offset_kib * KiB, size_kib * KiB))
+    assert g.data_bytes == size_kib * KiB
+    cap = fs.params.max_request_bytes
+    for c in g.commands:
+        assert 0 < c.nbytes <= max(cap, fs.params.metadata_read_bytes)
+        assert 0 <= c.lba < layout.device_bytes * 3  # inside logical space
+
+
+@given(
+    fs_name=st.sampled_from(ALL_FS),
+    size_kib=st.integers(4, 4096),
+)
+@settings(max_examples=60, deadline=None)
+def test_write_translation_writes_at_least_payload(fs_name, size_kib):
+    """Writes carry at least the payload (journaling/CoW only add)."""
+    fs = make_fs(fs_name)
+    fs.format({0: size_kib * KiB + 4 * MiB})
+    g = fs.translate(PosixRequest("write", 0, 0, size_kib * KiB))
+    written = sum(c.nbytes for c in g.commands if c.op == "write")
+    assert written >= size_kib * KiB
+
+
+@given(fs_name=st.sampled_from(ALL_FS))
+@settings(max_examples=len(ALL_FS), deadline=None)
+def test_journaled_fs_end_writes_with_barrier(fs_name):
+    """Every journaling FS commits with a barrier, after the data."""
+    fs = make_fs(fs_name)
+    fs.format({0: 16 * MiB})
+    g = fs.translate(PosixRequest("write", 0, 0, 1 * MiB))
+    if fs.params.journaling is not None or fs.params.cow:
+        assert g.has_barrier
+        barrier_idx = max(i for i, c in enumerate(g.commands) if c.barrier)
+        data_idx = [i for i, c in enumerate(g.commands) if c.kind == "data"]
+        if data_idx and fs.params.journaling != "data":
+            assert barrier_idx > max(data_idx)
+
+
+@given(
+    fs_name=st.sampled_from(ALL_FS),
+    reqs=st.lists(
+        st.tuples(st.integers(0, 63), st.integers(1, 64)), min_size=1, max_size=12
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_translation_is_deterministic(fs_name, reqs):
+    """Two identically-seeded models translate a stream identically."""
+    def run():
+        fs = make_fs(fs_name, seed=77)
+        fs.format({0: 128 * MiB})
+        out = []
+        for off64k, n64k in reqs:
+            g = fs.translate(
+                PosixRequest("read", 0, off64k * 64 * KiB, n64k * 64 * KiB)
+            )
+            out.extend((c.op, c.lba, c.nbytes, c.kind) for c in g.commands)
+        return out
+
+    assert run() == run()
+
+
+@given(fs_name=st.sampled_from(ALL_FS), n=st.integers(2, 10))
+@settings(max_examples=30, deadline=None)
+def test_sequential_reads_cover_disjoint_lbas(fs_name, n):
+    """Disjoint file extents never map to overlapping data LBAs."""
+    fs = make_fs(fs_name)
+    fs.format({0: n * MiB + 4 * MiB})
+    seen: list[tuple[int, int]] = []
+    for i in range(n):
+        g = fs.translate(PosixRequest("read", 0, i * MiB, MiB))
+        for c in g.commands:
+            if c.kind == "data":
+                seen.append((c.lba, c.lba + c.nbytes))
+    seen.sort()
+    for (s1, e1), (s2, e2) in zip(seen, seen[1:]):
+        assert s2 >= e1, "overlapping data extents"

@@ -1,0 +1,136 @@
+"""Concrete file-system models and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs import (
+    FS_FACTORIES,
+    LOCAL_FS_NAMES,
+    GpfsModel,
+    btrfs,
+    ext2,
+    ext3,
+    ext4,
+    ext4_large,
+    gpfs,
+    jfs,
+    make_fs,
+    reiserfs,
+    xfs,
+)
+from repro.ssd.request import PosixRequest
+
+MiB = 1024 * 1024
+
+
+class TestRegistry:
+    def test_all_paper_fs_present(self):
+        assert set(FS_FACTORIES) == {
+            "GPFS", "JFS", "BTRFS", "XFS", "REISERFS",
+            "EXT2", "EXT3", "EXT4", "EXT4-L",
+        }
+
+    def test_local_names_order_matches_figure7(self):
+        assert LOCAL_FS_NAMES == (
+            "JFS", "BTRFS", "XFS", "REISERFS", "EXT2", "EXT3", "EXT4", "EXT4-L",
+        )
+
+    def test_make_fs_case_insensitive(self):
+        assert make_fs("ext4").name == "EXT4"
+
+    def test_make_fs_unknown(self):
+        with pytest.raises(KeyError):
+            make_fs("ZFS")
+
+
+class TestExtFamily:
+    def test_ext2_unjournaled(self):
+        assert ext2().params.journaling is None
+
+    def test_ext3_ext4_journaled(self):
+        assert ext3().params.journaling == "ordered"
+        assert ext4().params.journaling == "ordered"
+
+    def test_ext2_indirect_metadata_interval(self):
+        """Block-mapped FS reads pointer blocks every ~4 MiB."""
+        assert ext2().params.metadata_read_interval_bytes == 4 * MiB
+        assert ext4().params.metadata_read_interval_bytes > ext2().params.metadata_read_interval_bytes
+
+    def test_ext4l_is_ext4_with_larger_requests(self):
+        base, tuned = ext4().params, ext4_large().params
+        assert tuned.max_request_bytes > base.max_request_bytes
+        assert tuned.readahead_bytes > base.readahead_bytes
+        assert tuned.alloc_run_bytes == base.alloc_run_bytes
+        assert tuned.journaling == base.journaling
+
+    def test_ext4_allocates_longer_runs_than_ext2(self):
+        assert ext4().params.alloc_run_bytes > ext2().params.alloc_run_bytes
+
+
+class TestOtherLocals:
+    def test_btrfs_is_cow(self):
+        assert btrfs().params.cow
+        assert not xfs().params.cow
+
+    def test_btrfs_widest_nontuned_readahead(self):
+        others = [jfs(), xfs(), reiserfs(), ext2(), ext3(), ext4()]
+        assert all(
+            btrfs().params.readahead_bytes >= o.params.readahead_bytes for o in others
+        )
+
+    def test_reiserfs_frequent_tree_reads(self):
+        assert reiserfs().params.metadata_read_interval_bytes < xfs().params.metadata_read_interval_bytes
+
+    def test_all_locals_4k_blocks(self):
+        for name in LOCAL_FS_NAMES:
+            assert make_fs(name).params.block_bytes == 4096
+
+
+class TestGpfs:
+    def test_is_gpfs_model(self):
+        assert isinstance(gpfs(), GpfsModel)
+
+    def test_striping_scatters_sequential_stream(self):
+        fs = gpfs()
+        fs.format({0: 64 * MiB})
+        g1 = fs.translate(PosixRequest("read", 0, 0, 8 * MiB))
+        lbas = [c.lba for c in g1.commands if c.kind == "data"]
+        # consecutive stripes land at non-consecutive LBAs
+        jumps = [abs(b - a) for a, b in zip(lbas[::8], lbas[8::8])]
+        assert any(j > fs.stripe_bytes for j in jumps)
+
+    def test_sub_block_command_size(self):
+        fs = gpfs()
+        fs.format({0: 16 * MiB})
+        g = fs.translate(PosixRequest("read", 0, 0, 4 * MiB))
+        data = [c for c in g.commands if c.kind == "data"]
+        assert all(c.nbytes <= 128 * 1024 for c in data)
+        assert sum(c.nbytes for c in data) == 4 * MiB
+
+    def test_same_offset_maps_to_same_lba(self):
+        fs = gpfs()
+        fs.format({0: 16 * MiB})
+        a = fs.translate(PosixRequest("read", 0, 1 * MiB, 1 * MiB))
+        b = fs.translate(PosixRequest("read", 0, 1 * MiB, 1 * MiB))
+        assert [c.lba for c in a.commands] == [c.lba for c in b.commands]
+
+    def test_distinct_files_distinct_slots(self):
+        fs = gpfs()
+        fs.format({0: 4 * MiB, 1: 4 * MiB})
+        a = fs.translate(PosixRequest("read", 0, 0, 1 * MiB))
+        b = fs.translate(PosixRequest("read", 1, 0, 1 * MiB))
+        assert {c.lba for c in a.commands}.isdisjoint({c.lba for c in b.commands})
+
+    def test_write_appends_log_barrier(self):
+        fs = gpfs()
+        fs.format({0: 8 * MiB})
+        g = fs.translate(PosixRequest("write", 0, 0, 1 * MiB))
+        assert g.commands[-1].kind == "journal"
+        assert g.commands[-1].barrier
+
+    def test_bad_stripe(self):
+        from repro.fs.base import FsParams
+
+        with pytest.raises(ValueError):
+            GpfsModel(FsParams(name="G", block_bytes=4096), stripe_bytes=10_000)

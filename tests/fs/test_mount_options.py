@@ -1,0 +1,67 @@
+"""FS mount-option variants (journal modes, GPFS knobs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_cnl_device
+from repro.fs import ext3, ext4, gpfs
+from repro.nvm import MLC
+from repro.ssd.request import PosixRequest
+from repro.trace import PosixTrace, replay
+
+MiB = 1024 * 1024
+
+
+class TestJournalModes:
+    def test_ext3_data_journal_writes_twice(self):
+        fs = ext3(data_journal=True)
+        fs.format({0: 16 * MiB})
+        g = fs.translate(PosixRequest("write", 0, 0, 4 * MiB))
+        jbytes = sum(c.nbytes for c in g.commands if c.kind == "journal")
+        assert jbytes >= 4 * MiB
+        assert fs.name == "EXT3-J"
+
+    def test_ext3_ordered_default(self):
+        fs = ext3()
+        fs.format({0: 16 * MiB})
+        g = fs.translate(PosixRequest("write", 0, 0, 4 * MiB))
+        jbytes = sum(c.nbytes for c in g.commands if c.kind == "journal")
+        assert jbytes < 64 * 1024  # descriptors + commit only
+
+    def test_ext4_nojournal_has_no_barriers(self):
+        fs = ext4(journal=False)
+        fs.format({0: 16 * MiB})
+        g = fs.translate(PosixRequest("write", 0, 0, 4 * MiB))
+        assert not g.has_barrier
+        assert all(c.kind == "data" for c in g.commands)
+
+    def test_data_journal_costs_write_bandwidth(self):
+        """The safest mode pays with doubled writes end to end."""
+        def bw(fs):
+            path = make_cnl_device("EXT3", MLC, 32 * MiB)
+            path.fs = fs
+            path.device.readahead_bytes = fs.readahead_bytes
+            writes = PosixTrace(
+                [PosixRequest("write", 0, i * 4 * MiB, 4 * MiB) for i in range(8)]
+            )
+            return replay(path, writes).bandwidth_mb
+
+        assert bw(ext3(data_journal=True)) < 0.8 * bw(ext3())
+
+
+class TestGpfsKnobs:
+    def test_stripe_size_knob(self):
+        fs = gpfs(stripe_mib=4)
+        assert fs.stripe_bytes == 4 * MiB
+
+    def test_service_unit_knob(self):
+        fs = gpfs(service_unit_kib=512)
+        fs.format({0: 16 * MiB})
+        g = fs.translate(PosixRequest("read", 0, 0, 4 * MiB))
+        data = [c for c in g.commands if c.kind == "data"]
+        assert max(c.nbytes for c in data) <= 512 * 1024
+        assert any(c.nbytes > 128 * 1024 for c in data)
+
+    def test_prefetch_knob(self):
+        assert gpfs(prefetch_mib=8).readahead_bytes == 8 * MiB

@@ -1,0 +1,60 @@
+"""Smoke tests: the example scripts run end to end.
+
+The heavyweight sweeps (``device_future``, ``filesystem_shootout``)
+are exercised through their underlying harness functions elsewhere;
+here the faster examples run whole, as a user would run them.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "CNL-UFS" in out and "CNL-EXT4" in out
+        assert "bandwidth" in out
+
+    def test_cluster_preload(self, capsys):
+        out = run_example("cluster_preload.py", capsys)
+        assert "DataCutter dataflow" in out
+        assert "100%" in out  # hidden pre-load case
+
+    def test_capacity_planning(self, capsys):
+        out = run_example("capacity_planning.py", capsys)
+        assert "distributed-DRAM" in out
+        assert "application-managed" in out
+
+    @pytest.mark.slow
+    def test_ooc_eigensolver(self, capsys):
+        out = run_example("ooc_eigensolver.py", capsys)
+        assert "converged     : True" in out
+        assert "CNL-NATIVE-16" in out
+
+    def test_all_examples_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "ooc_eigensolver.py",
+            "filesystem_shootout.py",
+            "device_future.py",
+            "cluster_preload.py",
+            "capacity_planning.py",
+        } <= names

@@ -1,0 +1,127 @@
+"""Integration: the paper's qualitative claims at reduced workload.
+
+These tests run the same matrix the figures use, on a ~4x reduced
+workload, and assert the *shapes* of the paper's results (orderings,
+crossovers, who-wins) rather than absolute MB/s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import Workload, run_config
+
+MiB = 1024 * 1024
+SMALL = Workload(panels=6, panel_bytes=8 * MiB, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def bw():
+    cache: dict[tuple[str, str], float] = {}
+
+    def get(label: str, kind: str) -> float:
+        key = (label, kind)
+        if key not in cache:
+            cache[key] = run_config(label, kind, SMALL).bandwidth_mb
+        return cache[key]
+
+    return get
+
+
+class TestSection43ArchitectureAndFs:
+    def test_cnl_beats_ion_for_every_local_fs_on_slc(self, bw):
+        """Fig. 7a: every CNL file system beats ION-GPFS on SLC."""
+        ion = bw("ION-GPFS", "SLC")
+        for fs in ("CNL-EXT2", "CNL-EXT4", "CNL-BTRFS", "CNL-XFS", "CNL-UFS"):
+            assert bw(fs, "SLC") > ion
+
+    def test_tlc_gains_smallest_slc_largest(self, bw):
+        """'7%, 78%, and 108% for TLC, MLC, and SLC': the worst-case
+        CNL gain grows as media gets faster."""
+        gains = {}
+        for kind in ("TLC", "MLC", "SLC"):
+            worst = min(bw(f, kind) for f in ("CNL-EXT2", "CNL-EXT3", "CNL-JFS"))
+            gains[kind] = worst / bw("ION-GPFS", kind)
+        assert gains["TLC"] < gains["MLC"] < gains["SLC"]
+
+    def test_ext2_is_lowest_local_fs_on_tlc(self, bw):
+        """'the lowest performing file system ext2'"""
+        others = ("CNL-EXT3", "CNL-EXT4", "CNL-XFS", "CNL-JFS",
+                  "CNL-REISERFS", "CNL-BTRFS")
+        assert all(bw("CNL-EXT2", "TLC") <= bw(o, "TLC") for o in others)
+
+    def test_btrfs_highest_non_tuned_on_tlc(self, bw):
+        """'the highest performing, non-tuned file system BTRFS' —
+        about 2x ext2 on TLC."""
+        non_tuned = ("CNL-JFS", "CNL-XFS", "CNL-REISERFS", "CNL-EXT2",
+                     "CNL-EXT3", "CNL-EXT4")
+        assert all(bw("CNL-BTRFS", "TLC") >= bw(o, "TLC") for o in non_tuned)
+        ratio = bw("CNL-BTRFS", "TLC") / bw("CNL-EXT2", "TLC")
+        assert 1.5 < ratio < 3.5
+
+    def test_ext4l_tuning_worth_about_1gbs(self, bw):
+        """'simply turning a few kernel knobs ... an improvement of
+        about 1GB/s' (ext4-L vs ext4 on TLC)."""
+        delta = bw("CNL-EXT4-L", "TLC") - bw("CNL-EXT4", "TLC")
+        assert 500 < delta < 2200
+
+    def test_ufs_beats_every_fs_everywhere(self, bw):
+        for kind in ("SLC", "MLC", "TLC", "PCM"):
+            for fs in ("CNL-EXT2", "CNL-EXT4", "CNL-EXT4-L", "CNL-BTRFS"):
+                assert bw("CNL-UFS", kind) >= bw(fs, kind) * 0.99
+
+    def test_ufs_saturates_bridged_pcie2_x8(self, bw):
+        """'UFS is able to reach the maximal throughput available under
+        PCIe 2.0 with eight lanes' (~3.1 GB/s effective)."""
+        for kind in ("SLC", "MLC", "TLC", "PCM"):
+            assert bw("CNL-UFS", kind) == pytest.approx(3100, rel=0.05)
+
+    def test_pcm_obscures_fs_differences(self, bw):
+        """'due to the much higher read speeds of PCM, it is able to
+        obscure the differences between file systems'."""
+        fses = ("CNL-EXT2", "CNL-EXT3", "CNL-EXT4", "CNL-XFS", "CNL-JFS",
+                "CNL-REISERFS", "CNL-BTRFS", "CNL-EXT4-L")
+        pcm = [bw(f, "PCM") for f in fses]
+        tlc = [bw(f, "TLC") for f in fses]
+        assert (max(pcm) / min(pcm)) < (max(tlc) / min(tlc))
+
+
+class TestSection44DeviceImprovements:
+    def test_bridge16_marginal_over_ufs8(self, bw):
+        """'expanding the lanes from 8 to 16 ... bandwidth only
+        increases marginally' (the 8b/10b + slow-NVM-bus wall)."""
+        r = bw("CNL-BRIDGE-16", "SLC") / bw("CNL-UFS", "SLC")
+        assert 1.0 <= r < 1.15
+
+    def test_native8_about_2x_bridge16(self, bw):
+        """'CNL-NATIVE-8 outperforms CNL-BRIDGE-16 by a factor of 2,
+        despite having only half as many PCIe lanes'."""
+        r = bw("CNL-NATIVE-8", "SLC") / bw("CNL-BRIDGE-16", "SLC")
+        assert 1.7 < r < 2.8
+
+    def test_native16_pcm_near_16x_ion(self, bw):
+        """'an incredible factor of 16 improvement ... between the
+        initial ION-GPFS results and the CNL-NATIVE-16' (PCM)."""
+        r = bw("CNL-NATIVE-16", "PCM") / bw("ION-GPFS", "PCM")
+        assert 11 < r < 19
+
+    def test_native16_tlc_near_8x_ion(self, bw):
+        """'Even ... TLC, we observe an increase of 8 times'."""
+        r = bw("CNL-NATIVE-16", "TLC") / bw("ION-GPFS", "TLC")
+        assert 6 < r < 10
+
+    def test_overall_average_near_10x(self, bw):
+        """Abstract/Section 3: 'a relative improvement of 10.3 times
+        over traditional ION-local NVM solutions'."""
+        kinds = ("SLC", "MLC", "TLC", "PCM")
+        avg = float(
+            np.mean([bw("CNL-NATIVE-16", k) / bw("ION-GPFS", k) for k in kinds])
+        )
+        assert 8.5 < avg < 12.5
+
+    def test_native16_ordering_tlc_lowest_pcm_highest(self, bw):
+        """Fig. 8a: at NATIVE-16 the media becomes the limit."""
+        assert bw("CNL-NATIVE-16", "TLC") < bw("CNL-NATIVE-16", "MLC")
+        assert bw("CNL-NATIVE-16", "MLC") <= bw("CNL-NATIVE-16", "PCM")
+        assert bw("CNL-NATIVE-16", "SLC") <= bw("CNL-NATIVE-16", "PCM")

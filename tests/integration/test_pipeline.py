@@ -1,0 +1,140 @@
+"""Integration: the real application drives the storage simulation.
+
+Runs the genuine LOBPCG over the DOoC store, captures its POSIX trace
+(Section 4.2's methodology), replays it through file systems onto the
+simulated SSD, and checks the utilization/decomposition signatures the
+paper reports in Figures 9-10.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_cnl_device, make_ion_device
+from repro.experiments import Workload, run_config
+from repro.nvm import TLC
+from repro.ooc import run_ooc_eigensolver
+from repro.trace import PosixTrace, replay
+
+MiB = 1024 * 1024
+SMALL = Workload(panels=6, panel_bytes=8 * MiB, iterations=1)
+
+
+class TestRealAppToStorage:
+    @pytest.fixture(scope="class")
+    def captured(self):
+        run = run_ooc_eigensolver(n=2000, k=4, panels=8, maxiter=40, seed=3)
+        assert run.result.converged
+        reads = PosixTrace([r for r in run.trace if r.op == "read"], client=0)
+        return run, reads
+
+    def test_trace_replayable_on_cnl(self, captured):
+        _run, reads = captured
+        data = max(reads.file_sizes().values())
+        s = replay(make_cnl_device("EXT4", TLC, data), reads)
+        assert s.metrics.payload_bytes == reads.read_bytes
+        assert s.bandwidth_mb > 0
+
+    def test_ufs_beats_ext4_on_captured_trace(self, captured):
+        _run, reads = captured
+        data = max(reads.file_sizes().values())
+        ufs = replay(make_cnl_device("UFS", TLC, data), reads)
+        ext4 = replay(make_cnl_device("EXT4", TLC, data), reads)
+        assert ufs.bandwidth_mb > ext4.bandwidth_mb
+
+    def test_solver_io_volume_matches_iterations(self, captured):
+        run, reads = captured
+        sweeps = run.result.n_applies
+        # at least one full re-stream per apply; prefetch thrash in the
+        # tiny memory pool may re-read a panel occasionally
+        assert reads.read_bytes >= 0.95 * sweeps * run.h_bytes
+        assert reads.read_bytes <= 2.0 * sweeps * run.h_bytes
+
+
+class TestUtilizationSignatures:
+    """Figure 9's contrast, asserted from full config runs."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            label: run_config(label, "TLC", SMALL)
+            for label in ("ION-GPFS", "CNL-EXT2", "CNL-UFS", "CNL-NATIVE-16")
+        }
+
+    def test_ion_high_channel_low_package(self, results):
+        """'while the ION-GPFS architecture utilized its channels well,
+        the utilization of the underlying packages is quite low'."""
+        ion = results["ION-GPFS"]
+        assert ion.channel_utilization > 0.8
+        assert ion.package_utilization < 0.6
+        assert ion.package_utilization < ion.channel_utilization
+
+    def test_ufs_package_util_above_local_fs(self, results):
+        assert (
+            results["CNL-UFS"].package_utilization
+            > results["CNL-EXT2"].package_utilization
+        )
+
+    def test_native16_highest_package_util(self, results):
+        """'UFS-based architectures ... reach greater than 80% of the
+        average package bandwidth' (at the native design points)."""
+        assert results["CNL-NATIVE-16"].package_utilization > 0.8
+
+    def test_channel_util_near_full_for_ufs(self, results):
+        assert results["CNL-UFS"].channel_utilization > 0.95
+
+
+class TestDecompositionSignatures:
+    """Figure 10's contrasts."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for kind in ("TLC", "PCM"):
+            for label in ("ION-GPFS", "CNL-EXT2", "CNL-UFS", "CNL-NATIVE-16"):
+                out[(label, kind)] = run_config(label, kind, SMALL)
+        return out
+
+    def test_ion_dominated_by_non_overlapped_dma(self, results):
+        """'in the ION-local cases, a significantly larger proportion of
+        time is spent in non-overlapped DMA'."""
+        for kind in ("TLC", "PCM"):
+            ion = results[("ION-GPFS", kind)].breakdown["non_overlapped_dma"]
+            cnl = results[("CNL-UFS", kind)].breakdown["non_overlapped_dma"]
+            assert ion > 3 * cnl
+            assert ion > 0.08
+
+    def test_ufs_reduces_bus_share_vs_traditional(self, results):
+        """'internal bus activities dominate ... in traditional file
+        systems ... UFS truly leverages the underlying NVM by
+        drastically reducing the time spent on those operations'."""
+        def bus_share(r):
+            return r.breakdown["flash_bus"] + r.breakdown["channel_bus"]
+
+        assert bus_share(results[("CNL-UFS", "TLC")]) < bus_share(
+            results[("CNL-EXT2", "TLC")]
+        )
+
+    def test_cell_dominates_tlc_at_native(self, results):
+        """'time spent actually performing the read ... grows
+        significantly, becoming the dominant operation for TLC'."""
+        b = results[("CNL-NATIVE-16", "TLC")].breakdown
+        assert b["cell"] == max(b.values())
+
+    def test_ion_tlc_stuck_below_pal4(self, results):
+        """'ION-local PCIe stays almost completely parallelism type
+        PAL3, and almost never makes it to ... PAL4.'"""
+        pal = results[("ION-GPFS", "TLC")].parallelism
+        assert pal["PAL3"] > 0.9
+        assert pal["PAL4"] < 0.05
+
+    def test_ufs_reaches_pal4(self, results):
+        """'UFS-based architectures are able to almost entirely reach
+        parallelism state PAL4'."""
+        assert results[("CNL-UFS", "TLC")].parallelism["PAL4"] > 0.95
+
+    def test_pcm_almost_entirely_pal4_even_under_gpfs(self, results):
+        """'The PCM-based graph is almost entirely in state PAL4, a
+        direct result of the much smaller page sizes.'"""
+        pal = results[("ION-GPFS", "PCM")].parallelism
+        assert pal["PAL4"] > 0.9

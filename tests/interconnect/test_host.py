@@ -1,0 +1,83 @@
+"""Host paths: bridged vs native front-ends, network path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interconnect import (
+    INFINIBAND_QDR_4X,
+    HostPath,
+    bridged_pcie2,
+    native_pcie3,
+    network_path,
+    pcie_gen2,
+    pcie_gen3,
+)
+
+
+class TestBridged:
+    def test_bridge_pays_sata_latency(self):
+        """Figure 5a: every request crosses the SATA re-encode bridge."""
+        b = bridged_pcie2(8)
+        n = native_pcie3(8)
+        assert b.bridged and not n.bridged
+        assert b.per_request_ns > pcie_gen2(8).per_request_ns
+
+    def test_bridge_throughput_capped_by_both_sides(self):
+        wide = bridged_pcie2(16, sata_ports=8)
+        narrow_sata = bridged_pcie2(16, sata_ports=2)
+        assert narrow_sata.bytes_per_sec < wide.bytes_per_sec
+        assert wide.bytes_per_sec <= pcie_gen2(16).effective_bytes_per_sec
+
+    def test_x8_is_pcie_limited(self):
+        b = bridged_pcie2(8)
+        assert b.bytes_per_sec == pytest.approx(
+            pcie_gen2(8).effective_bytes_per_sec
+        )
+
+
+class TestNative:
+    def test_native_x8_beats_bridged_x16(self):
+        """Section 4.4: CNL-NATIVE-8 outperforms CNL-BRIDGE-16 despite
+        half the lanes (here at the link level; the full 2x includes
+        the NVM bus)."""
+        assert native_pcie3(8).bytes_per_sec > bridged_pcie2(16).bytes_per_sec * 0.9
+
+    def test_native_16_near_16gb(self):
+        assert native_pcie3(16).bytes_per_sec == pytest.approx(15.3e9, rel=0.05)
+
+
+class TestNetworkPath:
+    def test_sharing_divides_per_client(self):
+        p = network_path(INFINIBAND_QDR_4X, sharers=4)
+        assert p.per_client_bytes_per_sec == pytest.approx(p.bytes_per_sec / 4)
+
+    def test_rpc_overhead_added(self):
+        p = network_path(INFINIBAND_QDR_4X, rpc_overhead_ns=70_000)
+        assert p.per_request_ns == INFINIBAND_QDR_4X.per_request_ns + 70_000
+
+    def test_server_efficiency_scales(self):
+        fast = network_path(INFINIBAND_QDR_4X, server_efficiency=0.9)
+        slow = network_path(INFINIBAND_QDR_4X, server_efficiency=0.3)
+        assert fast.bytes_per_sec == pytest.approx(3 * slow.bytes_per_sec)
+
+    def test_bad_sharers(self):
+        with pytest.raises(ValueError):
+            network_path(INFINIBAND_QDR_4X, sharers=0)
+
+    def test_network_slower_than_local_pcie(self):
+        """Figure 1's thesis at current generations: the per-client
+        network path delivers less than compute-local PCIe."""
+        net = network_path(INFINIBAND_QDR_4X, sharers=2, server_efficiency=0.5)
+        assert net.per_client_bytes_per_sec < bridged_pcie2(8).bytes_per_sec
+
+
+class TestHostPath:
+    def test_transfer_ns(self):
+        p = HostPath(name="x", bytes_per_sec=1e9, per_request_ns=0)
+        assert p.transfer_ns(1_000_000) == pytest.approx(1_000_000, rel=1e-9)
+
+    def test_negative_transfer(self):
+        p = HostPath(name="x", bytes_per_sec=1e9, per_request_ns=0)
+        with pytest.raises(ValueError):
+            p.transfer_ns(-5)

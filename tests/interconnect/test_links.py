@@ -1,0 +1,98 @@
+"""Encoded-link arithmetic (Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interconnect import (
+    ETHERNET_40G,
+    FIBRE_CHANNEL_8G,
+    INFINIBAND_QDR_4X,
+    SATA_6G,
+    LinkSpec,
+    pcie_gen2,
+    pcie_gen3,
+)
+
+
+class TestEncodingArithmetic:
+    def test_8b10b_overhead_is_25_percent_of_payload(self):
+        """The paper: 'for every 8 bits of data 10 bits are actually
+        transferred' — a 25 % bandwidth tax relative to payload."""
+        assert pcie_gen2(1).encoding_overhead == pytest.approx(0.20)
+        # stated the paper's way: raw/payload = 10/8 -> +25 %
+        assert 1 / pcie_gen2(1).encoding_efficiency == pytest.approx(1.25)
+
+    def test_128b130b_overhead(self):
+        """PCIe 3.0's 128/130 encoding costs ~1.5 %."""
+        assert pcie_gen3(1).encoding_overhead == pytest.approx(2 / 130)
+        assert pcie_gen3(1).encoding_overhead < 0.016
+
+    def test_pcie2_per_lane_payload(self):
+        # 5 GT/s * 8/10 = 500 MB/s signalled payload per lane
+        link = pcie_gen2(1)
+        assert link.raw_bytes_per_sec * link.encoding_efficiency == pytest.approx(
+            500e6
+        )
+
+    def test_pcie2_x4_near_2gbps(self):
+        """Paper: 4-lane PCIe 2.0 -> 'approximately a 2GBps maximum'."""
+        assert pcie_gen2(4).effective_bytes_per_sec == pytest.approx(2e9, rel=0.25)
+
+    def test_pcie3_x8_about_double_pcie2_x8(self):
+        r = pcie_gen3(8).effective_bytes_per_sec / pcie_gen2(8).effective_bytes_per_sec
+        assert 1.9 < r < 2.7
+
+    def test_lane_scaling_linear(self):
+        assert pcie_gen3(16).effective_bytes_per_sec == pytest.approx(
+            2 * pcie_gen3(8).effective_bytes_per_sec
+        )
+
+    def test_qdr_ib_signalling(self):
+        """Figure 3 annotates QDR 4X at 4 GB/s signalling."""
+        assert INFINIBAND_QDR_4X.raw_bytes_per_sec == pytest.approx(5e9)
+        payload = (
+            INFINIBAND_QDR_4X.raw_bytes_per_sec
+            * INFINIBAND_QDR_4X.encoding_efficiency
+        )
+        assert payload == pytest.approx(4e9)
+
+    def test_sata_uses_8b10b(self):
+        assert SATA_6G.encoding_efficiency == pytest.approx(0.8)
+
+    def test_40gbe_uses_64b66b(self):
+        assert ETHERNET_40G.encoding_num == 64
+        assert ETHERNET_40G.encoding_den == 66
+
+
+class TestTransfers:
+    def test_transfer_time(self):
+        link = pcie_gen3(8)
+        one_gb = 1 << 30
+        expected = one_gb * 1e9 / link.effective_bytes_per_sec
+        assert link.transfer_ns(one_gb) == pytest.approx(expected, rel=1e-6)
+
+    def test_request_adds_latency(self):
+        link = pcie_gen2(8)
+        assert link.request_ns(4096) == link.per_request_ns + link.transfer_ns(4096)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pcie_gen2(8).transfer_ns(-1)
+
+    def test_with_lanes(self):
+        l16 = INFINIBAND_QDR_4X.with_lanes(8)
+        assert l16.lanes == 8
+        assert l16.effective_bytes_per_sec == pytest.approx(
+            2 * INFINIBAND_QDR_4X.effective_bytes_per_sec
+        )
+
+    def test_with_lanes_bad(self):
+        with pytest.raises(ValueError):
+            pcie_gen2(8).with_lanes(0)
+
+    def test_fc_slower_than_ib(self):
+        assert (
+            FIBRE_CHANNEL_8G.effective_bytes_per_sec
+            < INFINIBAND_QDR_4X.effective_bytes_per_sec
+        )

@@ -1,0 +1,57 @@
+"""ONFi bus timing (Section 3.3's SDR-400 vs DDR-800)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nvm import DDR800, ONFI3_SDR400, BusSpec, bus_by_name
+
+
+class TestRates:
+    def test_sdr400_is_400_mb(self):
+        assert ONFI3_SDR400.bytes_per_sec == pytest.approx(400e6)
+
+    def test_ddr800_is_1600_mb(self):
+        assert DDR800.bytes_per_sec == pytest.approx(1600e6)
+
+    def test_ddr_is_4x_sdr(self):
+        # the paper's "ONFi 3 400MHz SDR is only equal to 200MHz DDR2"
+        assert DDR800.bytes_per_sec == pytest.approx(4 * ONFI3_SDR400.bytes_per_sec)
+
+
+class TestTransfers:
+    def test_transfer_time_8k_sdr(self):
+        # 8192 B at 400 MB/s = 20.48 us
+        assert ONFI3_SDR400.transfer_ns(8192) == pytest.approx(20480, abs=1)
+
+    def test_transaction_adds_command_cycles(self):
+        assert (
+            ONFI3_SDR400.transaction_ns(4096)
+            == ONFI3_SDR400.cmd_ns + ONFI3_SDR400.transfer_ns(4096)
+        )
+
+    def test_zero_bytes(self):
+        assert DDR800.transfer_ns(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ONFI3_SDR400.transfer_ns(-1)
+
+    def test_transfer_scales_linearly(self):
+        a = DDR800.transfer_ns(1 << 20)
+        b = DDR800.transfer_ns(2 << 20)
+        assert b == pytest.approx(2 * a, rel=1e-6)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert bus_by_name("SDR-400") is ONFI3_SDR400
+        assert bus_by_name("DDR-800") is DDR800
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            bus_by_name("SDR-200")
+
+    def test_custom_spec(self):
+        b = BusSpec(name="x", mhz=100, ddr=False, width_bytes=2)
+        assert b.bytes_per_sec == pytest.approx(200e6)

@@ -1,0 +1,96 @@
+"""Endurance/lifetime models and wear reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nvm import MLC, PCM, SLC, TLC
+from repro.nvm.endurance import (
+    estimate_lifetime,
+    gst_tracking_bytes,
+    wear_report,
+)
+from repro.ssd import DeviceFTL, Geometry
+from repro.ssd.request import DeviceCommand
+
+GiB = 1 << 30
+
+
+def small_geom(kind=SLC):
+    return Geometry(kind=kind, channels=2, packages_per_channel=2,
+                    dies_per_package=1, planes_per_die=2, blocks_per_plane=3)
+
+
+class TestLifetime:
+    def test_endurance_ordering(self):
+        """SLC outlives MLC outlives TLC; PCM dwarfs them all."""
+        rate = 100 * GiB
+        lives = {
+            k.name: estimate_lifetime(Geometry(kind=k), rate).lifetime_years
+            for k in (SLC, MLC, TLC, PCM)
+        }
+        assert lives["SLC"] > lives["MLC"] > lives["TLC"]
+        assert lives["PCM"] > 100 * lives["SLC"]
+
+    def test_lifetime_inverse_in_write_rate(self):
+        g = Geometry(kind=MLC)
+        slow = estimate_lifetime(g, 10 * GiB)
+        fast = estimate_lifetime(g, 100 * GiB)
+        assert slow.lifetime_years == pytest.approx(10 * fast.lifetime_years)
+
+    def test_amplification_shortens_life(self):
+        g = Geometry(kind=MLC)
+        clean = estimate_lifetime(g, 10 * GiB, write_amplification=1.0)
+        dirty = estimate_lifetime(g, 10 * GiB, write_amplification=3.0)
+        assert dirty.lifetime_years == pytest.approx(clean.lifetime_years / 3)
+
+    def test_dwpd(self):
+        g = Geometry(kind=MLC)
+        est = estimate_lifetime(g, g.capacity_bytes * 2.0)
+        assert est.drive_writes_per_day == pytest.approx(2.0)
+
+    def test_validation(self):
+        g = Geometry(kind=MLC)
+        with pytest.raises(ValueError):
+            estimate_lifetime(g, 0)
+        with pytest.raises(ValueError):
+            estimate_lifetime(g, 1, write_amplification=0.5)
+        with pytest.raises(ValueError):
+            estimate_lifetime(g, 1, wear_leveling_efficiency=0.0)
+
+
+class TestGstTracking:
+    def test_pcm_per_cell_tracking_is_huge(self):
+        """The 'unreasonable memory consumption on the host' that
+        motivates the flash-style interface (Section 2.3)."""
+        cap = 256 * GiB
+        pcm = gst_tracking_bytes(PCM, cap)
+        nand = gst_tracking_bytes(MLC, cap)
+        assert pcm > 1000 * nand
+        # per-GST counters: capacity/64 entries
+        assert pcm == cap // 64 * 4
+
+    def test_nand_per_block(self):
+        cap = 256 * GiB
+        assert gst_tracking_bytes(TLC, cap) == cap // TLC.block_bytes * 4
+
+
+class TestWearReport:
+    def test_fresh_device(self):
+        ftl = DeviceFTL(small_geom(), logical_bytes=32 * 1024, overprovision=0.3)
+        rep = wear_report(ftl)
+        assert rep.total_erases == 0
+        assert rep.gini == 0.0
+
+    def test_churned_device_stays_leveled(self):
+        geom = small_geom()
+        ftl = DeviceFTL(geom, logical_bytes=32 * 1024, overprovision=0.3)
+        pb = geom.page_bytes
+        for _ in range(2500):
+            ftl.translate(DeviceCommand("write", 0, pb))
+        rep = wear_report(ftl)
+        assert rep.total_erases > 0
+        assert rep.mean_wear > 0
+        # FIFO free-block recycling keeps the distribution tight
+        assert 0.0 <= rep.gini < 0.5
+        assert rep.well_leveled

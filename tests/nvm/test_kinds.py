@@ -1,0 +1,107 @@
+"""NVM kinds: Table-1 parameters and derived timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nvm import KINDS, MLC, PCM, SLC, TLC, kind_by_name
+from repro.nvm.kinds import (
+    PCM_NATIVE_PAGE_BYTES,
+    PCM_NATIVE_READ_NS,
+    PCM_NATIVE_WRITE_NS,
+)
+
+US = 1000
+
+
+class TestTable1Parameters:
+    """The values must match the paper's Table 1 exactly."""
+
+    def test_slc(self):
+        assert SLC.page_bytes == 2048
+        assert SLC.read_ns == 25 * US
+        assert SLC.write_ns == 250 * US
+        assert SLC.erase_ns == 1500 * US
+
+    def test_mlc(self):
+        assert MLC.page_bytes == 4096
+        assert MLC.read_ns == 50 * US
+        assert min(MLC.program_ladder) == 250 * US
+        assert max(MLC.program_ladder) == 2200 * US
+        assert MLC.erase_ns == 2500 * US
+
+    def test_tlc(self):
+        assert TLC.page_bytes == 8192
+        assert TLC.read_ns == 150 * US
+        assert min(TLC.program_ladder) == 440 * US
+        assert max(TLC.program_ladder) == 6000 * US
+        assert TLC.erase_ns == 3000 * US
+
+    def test_pcm_native_cell(self):
+        assert PCM_NATIVE_PAGE_BYTES == 64
+        assert PCM_NATIVE_READ_NS == (115, 135)
+        assert PCM_NATIVE_WRITE_NS == 35 * US
+
+    def test_pcm_emulation_consistent_with_cells(self):
+        # 4 kB emulated page = 64 cell groups sensed sequentially
+        groups = PCM.page_bytes // PCM.cell_bytes
+        assert groups == 64
+        per_group = PCM.read_ns / groups
+        assert PCM_NATIVE_READ_NS[0] <= per_group <= PCM_NATIVE_READ_NS[1]
+        # programs use the documented internal parallelism
+        expected_write = groups // PCM.emulation_write_ways * PCM_NATIVE_WRITE_NS
+        assert PCM.write_ns == expected_write
+
+    def test_bits_per_cell(self):
+        assert [k.bits_per_cell for k in (SLC, MLC, TLC)] == [1, 2, 3]
+
+    def test_endurance_ordering(self):
+        # SLC > MLC > TLC; PCM far above NAND (Section 2.3)
+        assert SLC.endurance_cycles > MLC.endurance_cycles > TLC.endurance_cycles
+        assert PCM.endurance_cycles >= 1000 * TLC.endurance_cycles
+
+
+class TestDerivedTiming:
+    def test_program_ladder_cycles(self):
+        assert TLC.program_latency_ns(0) == 440 * US
+        assert TLC.program_latency_ns(1) == 3000 * US
+        assert TLC.program_latency_ns(2) == 6000 * US
+        assert TLC.program_latency_ns(3) == 440 * US  # wraps
+
+    def test_slc_ladder_uniform(self):
+        assert {SLC.program_latency_ns(i) for i in range(8)} == {250 * US}
+
+    def test_read_latency_constant(self):
+        assert MLC.read_latency_ns(5) == MLC.read_ns
+
+    def test_avg_program(self):
+        assert MLC.avg_program_ns == pytest.approx((250 + 2200) / 2 * US)
+
+    def test_die_read_bw_ordering(self):
+        # per-die sustained read: PCM >> SLC == MLC > TLC
+        assert PCM.die_read_bw() > SLC.die_read_bw()
+        assert SLC.die_read_bw() == pytest.approx(MLC.die_read_bw())
+        assert MLC.die_read_bw() > TLC.die_read_bw()
+
+    def test_die_write_bw_positive(self):
+        for k in KINDS:
+            assert k.die_write_bw() > 0
+
+    def test_block_bytes(self):
+        assert SLC.block_bytes == SLC.page_bytes * SLC.pages_per_block
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert kind_by_name("tlc") is TLC
+        assert kind_by_name("PCM") is PCM
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            kind_by_name("QLC")
+
+    def test_kinds_order(self):
+        assert tuple(k.name for k in KINDS) == ("SLC", "MLC", "TLC", "PCM")
+
+    def test_is_pcm_flag(self):
+        assert PCM.is_pcm and not TLC.is_pcm

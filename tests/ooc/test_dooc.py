@@ -1,0 +1,185 @@
+"""DOoC middleware: pools, immutability, LRU memory, scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ooc import (
+    Chunk,
+    DataAwareScheduler,
+    DataPool,
+    DOoCStore,
+    ImmutabilityError,
+    MemoryPool,
+    Task,
+)
+
+
+def chunk(i, nbytes=1000, array="A"):
+    return Chunk(array=array, index=i, nbytes=nbytes, file_id=0, offset=i * nbytes)
+
+
+class TestDataPool:
+    def test_write_once_read_many(self):
+        pool = DataPool("p")
+        pool.write(chunk(0), "payload")
+        assert pool.read(chunk(0)) == "payload"
+        assert pool.read(chunk(0)) == "payload"
+
+    def test_immutability_enforced(self):
+        pool = DataPool("p")
+        pool.write(chunk(0), "a")
+        with pytest.raises(ImmutabilityError):
+            pool.write(chunk(0), "b")
+
+    def test_read_unwritten_raises(self):
+        pool = DataPool("p")
+        with pytest.raises(KeyError):
+            pool.read(chunk(1))
+
+    def test_trace_records_posix_ops(self):
+        pool = DataPool("p", client=3)
+        pool.write(chunk(0), "x", t_issue_ns=100)
+        pool.read(chunk(0), t_issue_ns=200)
+        assert len(pool.trace) == 2
+        w, r = pool.trace[0], pool.trace[1]
+        assert (w.op, w.t_issue_ns) == ("write", 100)
+        assert (r.op, r.t_issue_ns, r.nbytes) == ("read", 200, 1000)
+        assert pool.trace.client == 3
+
+    def test_holds(self):
+        pool = DataPool("p")
+        assert not pool.holds(chunk(0))
+        pool.write(chunk(0), "x")
+        assert pool.holds(chunk(0))
+
+
+class TestMemoryPool:
+    def test_hit_miss_accounting(self):
+        mem = MemoryPool(10_000)
+        assert mem.get(chunk(0)) is None
+        mem.put(chunk(0), "v")
+        assert mem.get(chunk(0)) == "v"
+        assert (mem.hits, mem.misses) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        mem = MemoryPool(2500)  # fits two 1000-byte chunks
+        mem.put(chunk(0), "a")
+        mem.put(chunk(1), "b")
+        mem.get(chunk(0))  # touch 0 so 1 is LRU
+        mem.put(chunk(2), "c")
+        assert mem.get(chunk(1)) is None  # evicted
+        assert mem.get(chunk(0)) == "a"
+        assert mem.evictions == 1
+
+    def test_oversized_chunk_streams_through(self):
+        mem = MemoryPool(500)
+        mem.put(chunk(0, nbytes=1000), "big")
+        assert mem.get(chunk(0)) is None
+        assert mem.used_bytes == 0
+
+    def test_drop(self):
+        mem = MemoryPool(5000)
+        mem.put(chunk(0), "a")
+        mem.drop(chunk(0))
+        assert mem.resident == 0
+        assert mem.used_bytes == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0)
+
+
+class TestDOoCStore:
+    def test_read_through_populates_memory(self):
+        pool = DataPool("p")
+        pool.write(chunk(0), "v")
+        store = DOoCStore(pool, memory_bytes=10_000)
+        assert store.read(chunk(0)) == "v"  # miss -> pool read
+        assert store.read(chunk(0)) == "v"  # memory hit
+        assert len(pool.trace) == 2  # write + one pool read only
+
+    def test_no_cache_mode_always_hits_pool(self):
+        pool = DataPool("p")
+        pool.write(chunk(0), "v")
+        store = DOoCStore(pool, memory_bytes=10_000, cache_reads=False)
+        store.read(chunk(0))
+        store.read(chunk(0))
+        assert len(pool.trace) == 3  # write + two pool reads
+
+    def test_prefetch_warms_memory(self):
+        pool = DataPool("p")
+        pool.write(chunk(0), "v")
+        store = DOoCStore(pool, memory_bytes=10_000, cache_reads=False)
+        store.prefetch(chunk(0))
+        assert store.memory.get(chunk(0)) == "v"
+
+    def test_clock_orders_trace(self):
+        pool = DataPool("p")
+        store = DOoCStore(pool)
+        store.write(chunk(0), "a")
+        store.tick(500)
+        store.write(chunk(1), "b")
+        times = [r.t_issue_ns for r in pool.trace]
+        assert times == [0, 500]
+
+    def test_negative_tick(self):
+        store = DOoCStore(DataPool("p"))
+        with pytest.raises(ValueError):
+            store.tick(-1)
+
+    def test_migrate_copies_between_pools(self):
+        src, dst = DataPool("src"), DataPool("dst")
+        src.write(chunk(0), "v")
+        store = DOoCStore(src)
+        store.migrate(chunk(0), dst)
+        assert dst.read(chunk(0)) == "v"
+
+
+class TestScheduler:
+    def test_dataflow_order_respected(self):
+        sched = DataAwareScheduler()
+        order = []
+        sched.add(Task("consume", lambda: order.append("c"), reads=(("A", 0),)))
+        sched.add(Task("produce", lambda: order.append("p"), writes=(("A", 0),)))
+        sched.run()
+        assert order == ["p", "c"]
+
+    def test_duplicate_writer_rejected(self):
+        sched = DataAwareScheduler()
+        sched.add(Task("w1", lambda: None, writes=(("A", 0),)))
+        sched.add(Task("w2", lambda: None, writes=(("A", 0),)))
+        with pytest.raises(ImmutabilityError):
+            sched.run()
+
+    def test_cycle_detected(self):
+        sched = DataAwareScheduler()
+        sched.add(Task("a", lambda: None, reads=(("B", 0),), writes=(("A", 0),)))
+        sched.add(Task("b", lambda: None, reads=(("A", 0),), writes=(("B", 0),)))
+        with pytest.raises(RuntimeError, match="cycle"):
+            sched.run()
+
+    def test_locality_preference(self):
+        pool = DataPool("p")
+        pool.write(chunk(0), "x")
+        pool.write(chunk(1), "y")
+        store = DOoCStore(pool, memory_bytes=10_000)
+        store.prefetch(chunk(1))  # chunk 1 resident
+        sched = DataAwareScheduler(store=store)
+        sched.add(Task("cold", lambda: None, reads=(("A", 0),)))
+        sched.add(Task("warm", lambda: None, reads=(("A", 1),)))
+        sched.run()
+        assert sched.run_order[0] == "warm"
+
+    def test_priority_breaks_ties(self):
+        sched = DataAwareScheduler()
+        sched.add(Task("low", lambda: None, priority=1))
+        sched.add(Task("high", lambda: None, priority=9))
+        sched.run()
+        assert sched.run_order == ["high", "low"]
+
+    def test_results_collected(self):
+        sched = DataAwareScheduler()
+        sched.add(Task("x", lambda: 42))
+        assert sched.run() == [42]
+        assert sched.tasks[0].done

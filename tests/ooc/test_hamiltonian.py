@@ -1,0 +1,93 @@
+"""Hamiltonian generator: structure, determinism, partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ooc import ci_hamiltonian, panel_bytes, partition_rows
+
+
+class TestStructure:
+    def test_symmetric(self):
+        h = ci_hamiltonian(1000, seed=1)
+        d = h - h.T
+        assert d.nnz == 0 or abs(d).max() < 1e-12
+
+    def test_sparse(self):
+        h = ci_hamiltonian(2000, seed=2)
+        assert h.nnz < 0.05 * 2000 * 2000
+
+    def test_square_and_csr(self):
+        h = ci_hamiltonian(600)
+        assert h.shape == (600, 600)
+        assert sp.issparse(h) and h.format == "csr"
+
+    def test_has_low_lying_states(self):
+        """A handful of well-separated negative eigenvalues (the
+        nuclear ground/excited states the solver targets)."""
+        h = ci_hamiltonian(800, seed=3)
+        vals = np.sort(
+            sp.linalg.eigsh(h, k=4, which="SA", return_eigenvectors=False)
+        )
+        assert vals[0] < 0
+        assert np.all(np.diff(vals) > 1e-3)
+
+    def test_deterministic(self):
+        a = ci_hamiltonian(500, seed=9)
+        b = ci_hamiltonian(500, seed=9)
+        assert (a != b).nnz == 0
+
+    def test_seed_changes_matrix(self):
+        a = ci_hamiltonian(500, seed=9)
+        b = ci_hamiltonian(500, seed=10)
+        assert (a != b).nnz > 0
+
+    def test_too_small_n(self):
+        with pytest.raises(ValueError):
+            ci_hamiltonian(10, block=64)
+
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            ci_hamiltonian(500, density=0.0)
+
+    def test_banded_dominance(self):
+        """Most off-diagonal mass sits near the diagonal."""
+        h = ci_hamiltonian(2000, seed=4).tocoo()
+        off = h.row != h.col
+        near = np.abs(h.row - h.col)[off] <= 4 * 64
+        assert near.mean() > 0.5
+
+
+class TestPartitioning:
+    def test_covers_all_rows(self):
+        parts = partition_rows(1000, 7)
+        assert parts[0].row_start == 0
+        assert parts[-1].row_end == 1000
+        for a, b in zip(parts, parts[1:]):
+            assert b.row_start == a.row_end
+
+    def test_near_equal(self):
+        parts = partition_rows(1000, 7)
+        sizes = [p.rows for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_panel(self):
+        parts = partition_rows(100, 1)
+        assert len(parts) == 1 and parts[0].rows == 100
+
+    def test_bad_panels(self):
+        with pytest.raises(ValueError):
+            partition_rows(10, 0)
+        with pytest.raises(ValueError):
+            partition_rows(10, 11)
+
+    def test_panel_bytes_positive_and_additive(self):
+        h = ci_hamiltonian(1000, seed=5)
+        parts = partition_rows(1000, 4)
+        sizes = [panel_bytes(h, p) for p in parts]
+        assert all(s > 0 for s in sizes)
+        # indptr overlap makes the sum slightly exceed the whole
+        whole = h.data.nbytes + h.indices.nbytes + h.indptr.nbytes
+        assert sum(sizes) >= whole

@@ -1,0 +1,199 @@
+"""DES engine: ordering, processes, composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Event, Interrupt, Simulator
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(50)
+            log.append(sim.now)
+            yield sim.timeout(25)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [50, 75]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_run_until_pauses(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(100)
+
+        sim.process(proc())
+        assert sim.run(until=40) == 40
+        assert sim.peek() == 100
+
+    def test_timeout_value_passes_through(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            v = yield sim.timeout(5, value="payload")
+            seen.append(v)
+
+        sim.process(proc())
+        sim.run()
+        assert seen == ["payload"]
+
+
+class TestOrdering:
+    def test_fifo_at_same_time(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(10)
+            order.append(tag)
+
+        for tag in "abc":
+            sim.process(proc(tag))
+        sim.run()
+        assert order == list("abc")
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+
+        def late():
+            yield sim.timeout(20)
+            order.append("late")
+
+        def early():
+            yield sim.timeout(5)
+            order.append("early")
+
+        sim.process(late())
+        sim.process(early())
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.now = 100
+        with pytest.raises(ValueError):
+            sim._schedule(50, Event(sim))
+
+
+class TestEvents:
+    def test_process_waits_on_event(self):
+        sim = Simulator()
+        gate = sim.event()
+        log = []
+
+        def waiter():
+            v = yield gate
+            log.append((sim.now, v))
+
+        def opener():
+            yield sim.timeout(30)
+            gate.succeed("go")
+
+        sim.process(waiter())
+        sim.process(opener())
+        sim.run()
+        assert log == [(30, "go")]
+
+    def test_double_succeed_raises(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.succeed()
+        with pytest.raises(RuntimeError):
+            evt.succeed()
+
+    def test_yield_triggered_event_resumes(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.succeed(7)
+        sim.run()
+        got = []
+
+        def proc():
+            v = yield evt
+            got.append(v)
+
+        sim.process(proc())
+        sim.run()
+        assert got == [7]
+
+    def test_all_of_waits_for_every_event(self):
+        sim = Simulator()
+        done_at = []
+
+        def proc():
+            evts = [sim.timeout(d) for d in (10, 40, 20)]
+            yield sim.all_of(evts)
+            done_at.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done_at == [40]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        evt = sim.all_of([])
+        assert evt.triggered
+        assert evt.value == []
+
+
+class TestProcesses:
+    def test_process_completion_is_event(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield sim.timeout(15)
+            return "done"
+
+        def parent():
+            v = yield sim.process(child())
+            results.append((sim.now, v))
+
+        sim.process(parent())
+        sim.run()
+        assert results == [(15, "done")]
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_interrupt_raises_in_process(self):
+        sim = Simulator()
+        caught = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(1000)
+            except Interrupt as e:
+                caught.append((sim.now, e.cause))
+
+        def killer(target):
+            yield sim.timeout(10)
+            target.interrupt("stop")
+
+        p = sim.process(sleeper())
+        sim.process(killer(p))
+        sim.run()
+        assert caught == [(10, "stop")]
+
+    def test_peek_empty(self):
+        assert Simulator().peek() is None

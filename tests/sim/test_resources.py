@@ -1,0 +1,194 @@
+"""Resources, stores and containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Container, Resource, Simulator, Store
+
+
+class TestResource:
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        times = []
+
+        def user(tag):
+            yield res.acquire()
+            try:
+                yield sim.timeout(10)
+                times.append((tag, sim.now))
+            finally:
+                res.release()
+
+        for tag in "ab":
+            sim.process(user(tag))
+        sim.run()
+        assert times == [("a", 10), ("b", 20)]
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        times = []
+
+        def user(tag):
+            yield res.acquire()
+            try:
+                yield sim.timeout(10)
+                times.append((tag, sim.now))
+            finally:
+                res.release()
+
+        for tag in "abc":
+            sim.process(user(tag))
+        sim.run()
+        assert times == [("a", 10), ("b", 10), ("c", 20)]
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_busy_intervals_recorded(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def user():
+            yield sim.timeout(5)
+            yield res.acquire()
+            yield sim.timeout(10)
+            res.release()
+
+        sim.process(user())
+        sim.run()
+        assert res.busy_intervals == [(5, 15)]
+
+    def test_queued_count(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.acquire()
+            yield sim.timeout(100)
+            res.release()
+
+        def waiter():
+            yield sim.timeout(1)
+            yield res.acquire()
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=50)
+        assert res.queued == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+
+class TestStore:
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield sim.timeout(1)
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                v = yield store.get()
+                got.append(v)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        when = []
+
+        def consumer():
+            yield store.get()
+            when.append(sim.now)
+
+        def producer():
+            yield sim.timeout(42)
+            yield store.put("x")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert when == [42]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        done = []
+
+        def producer():
+            yield store.put(1)
+            yield store.put(2)  # blocks until a get
+            done.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(30)
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert done == [30]
+        assert len(store) == 1
+
+    def test_len(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+
+
+class TestContainer:
+    def test_get_blocks_until_level(self):
+        sim = Simulator()
+        c = Container(sim, capacity=100, init=0)
+        when = []
+
+        def consumer():
+            yield c.get(30)
+            when.append(sim.now)
+
+        def producer():
+            yield sim.timeout(10)
+            c.put(20)
+            yield sim.timeout(10)
+            c.put(20)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert when == [20]
+        assert c.level == pytest.approx(10)
+
+    def test_overflow_raises(self):
+        sim = Simulator()
+        c = Container(sim, capacity=10, init=5)
+        with pytest.raises(RuntimeError):
+            c.put(6)
+
+    def test_bad_init(self):
+        with pytest.raises(ValueError):
+            Container(Simulator(), capacity=5, init=6)
+
+    def test_get_more_than_capacity(self):
+        sim = Simulator()
+        c = Container(sim, capacity=10)
+        with pytest.raises(ValueError):
+            c.get(11)

@@ -1,0 +1,106 @@
+"""Statistics collectors."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RateMeter, Tally, TimeWeighted, percentile
+
+
+class TestTally:
+    def test_empty(self):
+        t = Tally()
+        assert t.count == 0
+        assert t.mean == 0.0
+        assert t.variance == 0.0
+
+    def test_known_values(self):
+        t = Tally()
+        for x in (2.0, 4.0, 6.0):
+            t.add(x)
+        assert t.mean == pytest.approx(4.0)
+        assert t.variance == pytest.approx(4.0)
+        assert t.stdev == pytest.approx(2.0)
+        assert (t.minimum, t.maximum) == (2.0, 6.0)
+        assert t.total == pytest.approx(12.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy(self, xs):
+        t = Tally()
+        for x in xs:
+            t.add(x)
+        assert t.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+        assert t.variance == pytest.approx(np.var(xs, ddof=1), rel=1e-6, abs=1e-4)
+
+
+class TestTimeWeighted:
+    def test_constant_signal(self):
+        tw = TimeWeighted(t0=0, value=3.0)
+        assert tw.mean(t=100) == pytest.approx(3.0)
+
+    def test_step_signal(self):
+        tw = TimeWeighted(t0=0, value=0.0)
+        tw.update(50, 10.0)
+        assert tw.mean(t=100) == pytest.approx(5.0)
+
+    def test_backwards_time_raises(self):
+        tw = TimeWeighted(t0=10)
+        with pytest.raises(ValueError):
+            tw.update(5, 1.0)
+
+    def test_maximum_tracked(self):
+        tw = TimeWeighted()
+        tw.update(1, 7.0)
+        tw.update(2, 3.0)
+        assert tw.maximum == 7.0
+        assert tw.current == 3.0
+
+
+class TestRateMeter:
+    def test_bandwidth(self):
+        rm = RateMeter()
+        rm.add(0, 1_000_000_000, 100_000_000)  # 100 MB in 1 s
+        assert rm.mb_per_sec == pytest.approx(100.0)
+        assert rm.gb_per_sec == pytest.approx(0.1)
+
+    def test_window_extends(self):
+        rm = RateMeter()
+        rm.add(100, 200, 10)
+        rm.add(0, 50, 10)
+        assert rm.t_first == 0
+        assert rm.t_last == 200
+        assert rm.elapsed_ns == 200
+
+    def test_empty(self):
+        assert RateMeter().bytes_per_sec == 0.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_p100(self):
+        assert percentile([5, 1, 9], 100) == 9
+
+    def test_p0(self):
+        assert percentile([5, 1, 9], 0) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_result_is_member(self, xs):
+        for q in (0, 25, 50, 75, 100):
+            assert percentile(xs, q) in xs

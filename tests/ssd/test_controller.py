@@ -1,0 +1,211 @@
+"""Device front-end: closed-loop replay, windows, barriers, clients."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interconnect import bridged_pcie2
+from repro.nvm import ONFI3_SDR400, SLC
+from repro.ssd import CommandGroup, DeviceCommand, Geometry, PosixRequest, SSDevice
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def device(readahead=None, logical=8 * MiB, window_kind=SLC, overhead=0):
+    geom = Geometry(kind=window_kind, channels=2, packages_per_channel=2,
+                    dies_per_package=2, planes_per_die=2, blocks_per_plane=64)
+    return SSDevice(
+        geometry=geom,
+        bus=ONFI3_SDR400,
+        host=bridged_pcie2(8),
+        logical_bytes=logical,
+        readahead_bytes=readahead,
+        command_overhead_ns=overhead,
+    )
+
+
+def read_group(offset, nbytes, chunk=None, client=0, t_issue=0):
+    chunk = chunk or nbytes
+    cmds = [
+        DeviceCommand("read", offset + i, min(chunk, nbytes - i))
+        for i in range(0, nbytes, chunk)
+    ]
+    return CommandGroup(
+        posix=PosixRequest("read", 0, offset, nbytes, t_issue_ns=t_issue),
+        commands=cmds,
+        client=client,
+    )
+
+
+class TestBasicReplay:
+    def test_bytes_conserved(self):
+        dev = device()
+        dev.preload(1 * MiB)
+        res = dev.run([read_group(0, 1 * MiB)])
+        assert res.metrics.payload_bytes == 1 * MiB
+
+    def test_group_completions_monotone_per_client(self):
+        dev = device()
+        dev.preload(2 * MiB)
+        groups = [read_group(i * 256 * KiB, 256 * KiB) for i in range(8)]
+        res = dev.run(groups, posix_window=1)
+        comps = res.group_completions
+        assert all(b >= a for a, b in zip(comps, comps[1:]))
+
+    def test_empty_group_completes_immediately(self):
+        dev = device()
+        g = CommandGroup(posix=PosixRequest("read", 0, 0, 4096), commands=[])
+        res = dev.run([g])
+        assert res.group_completions == [0]
+
+    def test_bad_window(self):
+        dev = device()
+        with pytest.raises(ValueError):
+            dev.run([], posix_window=0)
+
+    def test_start_ns_offsets_run(self):
+        dev = device()
+        dev.preload(256 * KiB)
+        res = dev.run([read_group(0, 256 * KiB)], start_ns=5_000_000)
+        assert res.log["arrival"].min() >= 5_000_000
+
+    def test_issue_time_respected(self):
+        dev = device()
+        dev.preload(256 * KiB)
+        res = dev.run([read_group(0, 128 * KiB, t_issue=2_000_000)])
+        assert res.log["arrival"].min() >= 2_000_000
+
+
+class TestPosixWindow:
+    def test_window_limits_overlap(self):
+        """W=1 serializes groups; W=4 overlaps them."""
+        def run(window):
+            dev = device()
+            dev.preload(4 * MiB)
+            groups = [read_group(i * 512 * KiB, 512 * KiB) for i in range(8)]
+            return dev.run(groups, posix_window=window).metrics.makespan_ns
+
+        serial = run(1)
+        overlapped = run(4)
+        assert overlapped < serial
+
+    def test_window_one_strictly_orders(self):
+        dev = device()
+        dev.preload(1 * MiB)
+        groups = [read_group(i * 256 * KiB, 256 * KiB) for i in range(4)]
+        res = dev.run(groups, posix_window=1)
+        log = res.log
+        for k in range(1, 4):
+            prev_done = log["done"][log["req"] < k].max() if k else 0
+            arrivals = log["arrival"][log["req"] >= k]
+            # group k cannot start before group k-1 finished entirely
+            assert arrivals.min() >= res.group_completions[k - 1] or True
+        # group k's first arrival >= completion of group k-1
+        first_arrival = [
+            int(log["arrival"][log["req"] == r].min()) for r in range(4)
+        ]
+        for k in range(1, 4):
+            assert first_arrival[k] >= res.group_completions[k - 1]
+
+
+class TestReadahead:
+    def test_small_window_slower_than_unbounded(self):
+        def run(ra):
+            dev = device(readahead=ra)
+            dev.preload(4 * MiB)
+            groups = [
+                read_group(i * MiB, 1 * MiB, chunk=128 * KiB) for i in range(4)
+            ]
+            return dev.run(groups, posix_window=2).metrics.makespan_ns
+
+        assert run(128 * KiB) > run(None)
+
+    def test_readahead_caps_inflight_bytes(self):
+        dev = device(readahead=128 * KiB)
+        dev.preload(1 * MiB)
+        res = dev.run([read_group(0, 1 * MiB, chunk=128 * KiB)], posix_window=1)
+        log = res.log
+        # consecutive commands cannot be in flight together: command k+1
+        # arrives only after command k completed
+        for r in range(1, 8):
+            arr = log["arrival"][log["req"] == r].min()
+            prev_done = log["done"][log["req"] == r - 1].max()
+            assert arr >= prev_done
+
+
+class TestBarriers:
+    def test_barrier_stalls_subsequent_commands(self):
+        dev = device()
+        dev.preload(1 * MiB)
+        cmds = [
+            DeviceCommand("write", 0, 64 * KiB),
+            DeviceCommand("write", 512 * KiB, 4 * KiB, kind="journal", barrier=True),
+            DeviceCommand("read", 64 * KiB, 64 * KiB),
+        ]
+        g = CommandGroup(posix=PosixRequest("write", 0, 0, 128 * KiB), commands=cmds)
+        res = dev.run([g])
+        log = res.log
+        barrier_done = log["done"][log["req"] == 1].max()
+        read_arrival = log["arrival"][log["req"] == 2].min()
+        assert read_arrival >= barrier_done
+
+    def test_barrier_blocks_next_group_same_client(self):
+        dev = device()
+        dev.preload(1 * MiB)
+        cmds = [DeviceCommand("write", 0, 4 * KiB, kind="journal", barrier=True)]
+        g1 = CommandGroup(posix=PosixRequest("write", 0, 0, 4 * KiB), commands=cmds)
+        g2 = read_group(64 * KiB, 64 * KiB)
+        res = dev.run([g1, g2], posix_window=4)
+        log = res.log
+        barrier_done = log["done"][log["req"] == 0].max()
+        assert log["arrival"][log["req"] == 1].min() >= barrier_done
+
+
+class TestMultiClient:
+    def test_clients_share_device(self):
+        dev = device()
+        dev.preload(4 * MiB)
+        groups = []
+        for c in range(2):
+            groups += [
+                read_group(c * 2 * MiB + i * 512 * KiB, 512 * KiB, client=c)
+                for i in range(4)
+            ]
+        res = dev.run(groups, posix_window=2)
+        bw = res.metrics.client_bandwidth
+        assert set(bw) == {0, 1}
+        # contention: both clients see similar throughput
+        assert bw[0] == pytest.approx(bw[1], rel=0.5)
+
+    def test_windows_are_per_client(self):
+        dev = device()
+        dev.preload(4 * MiB)
+        g0 = [read_group(i * MiB, 256 * KiB, client=0) for i in range(2)]
+        g1 = [read_group(2 * MiB + i * MiB, 256 * KiB, client=1) for i in range(2)]
+        res = dev.run(g0 + g1, posix_window=1)
+        log = res.log
+        # client 1's first group starts immediately despite client 0's
+        # window being full
+        c1_first = log["arrival"][log["client"] == 1].min()
+        c0_first_done = res.group_completions[0]
+        assert c1_first < c0_first_done
+
+
+class TestCommandOverhead:
+    def test_overhead_delays_arrival(self):
+        fast = device(overhead=0)
+        slow = device(overhead=50_000)
+        for d in (fast, slow):
+            d.preload(256 * KiB)
+        r_fast = fast.run([read_group(0, 128 * KiB)])
+        r_slow = slow.run([read_group(0, 128 * KiB)])
+        assert (
+            r_slow.log["arrival"].min() - r_fast.log["arrival"].min() == 50_000
+        )
+
+    def test_ftl_stats_exposed(self):
+        dev = device()
+        dev.preload(256 * KiB)
+        res = dev.run([read_group(0, 128 * KiB)])
+        assert "gc_runs" in res.ftl_stats

@@ -1,0 +1,119 @@
+"""Geometry and the plane-first striping codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm import SLC, TLC
+from repro.ssd import PAPER_GEOMETRY_KW, Geometry, PhysAddr
+
+
+class TestPaperGeometry:
+    """Section 4.1: 8 channels, 64 packages, 128 dies."""
+
+    def test_counts(self):
+        g = Geometry(kind=TLC, **PAPER_GEOMETRY_KW)
+        assert g.channels == 8
+        assert g.packages == 64
+        assert g.dies == 128
+        assert g.plane_units == 256
+
+    def test_capacity(self):
+        g = Geometry(kind=TLC)
+        assert g.capacity_bytes == g.total_pages * TLC.page_bytes
+        assert g.total_pages == g.plane_units * g.pages_per_unit
+
+
+class TestCodec:
+    def setup_method(self):
+        self.g = Geometry(kind=SLC, channels=2, packages_per_channel=2,
+                          dies_per_package=2, planes_per_die=2, blocks_per_plane=4)
+
+    def test_plane_innermost(self):
+        """Consecutive flat indices alternate planes of the same die —
+        the alignment multi-plane commands require (PAL3)."""
+        a0 = self.g.decode(0)
+        a1 = self.g.decode(1)
+        assert (a0.channel, a0.package, a0.die) == (a1.channel, a1.package, a1.die)
+        assert {a0.plane, a1.plane} == {0, 1}
+
+    def test_channel_second(self):
+        """After the planes, striping crosses channels (PAL1)."""
+        planes = self.g.planes_per_die
+        a = self.g.decode(0)
+        b = self.g.decode(planes)
+        assert b.channel == (a.channel + 1) % self.g.channels
+
+    def test_unit_sweep_before_next_page(self):
+        """All plane units take page 0 before any takes page 1."""
+        U = self.g.plane_units
+        assert self.g.decode(U - 1).page == 0
+        assert self.g.decode(U).page == 1
+
+    def test_roundtrip_known(self):
+        addr = PhysAddr(channel=1, package=0, die=1, plane=0, block=2, page=3)
+        assert self.g.decode(self.g.encode(addr)) == addr
+
+    def test_out_of_range_decode(self):
+        with pytest.raises(ValueError):
+            self.g.decode(self.g.total_pages)
+
+    def test_out_of_range_encode(self):
+        with pytest.raises(ValueError):
+            self.g.encode(PhysAddr(99, 0, 0, 0, 0, 0))
+
+    def test_global_ids_dense(self):
+        g = self.g
+        dies = {
+            g.global_die(c, k, d)
+            for c in range(g.channels)
+            for k in range(g.packages_per_channel)
+            for d in range(g.dies_per_package)
+        }
+        assert dies == set(range(g.dies))
+        pkgs = {
+            g.global_package(c, k)
+            for c in range(g.channels)
+            for k in range(g.packages_per_channel)
+        }
+        assert pkgs == set(range(g.packages))
+
+
+class TestValidation:
+    def test_bad_field(self):
+        with pytest.raises(ValueError):
+            Geometry(kind=SLC, channels=0)
+
+
+@st.composite
+def geometries(draw):
+    return Geometry(
+        kind=SLC,
+        channels=draw(st.integers(1, 8)),
+        packages_per_channel=draw(st.integers(1, 4)),
+        dies_per_package=draw(st.integers(1, 3)),
+        planes_per_die=draw(st.integers(1, 3)),
+        blocks_per_plane=draw(st.integers(1, 8)),
+    )
+
+
+class TestCodecProperties:
+    @given(geometries(), st.integers(min_value=0, max_value=10**7))
+    @settings(max_examples=200, deadline=None)
+    def test_bijection(self, g, raw):
+        flat = raw % g.total_pages
+        addr = g.decode(flat)
+        g.validate(addr)
+        assert g.encode(addr) == flat
+
+    @given(geometries())
+    @settings(max_examples=50, deadline=None)
+    def test_unit_codec_bijection(self, g):
+        seen = set()
+        for u in range(g.plane_units):
+            channel, package, die, plane = g.unit_decode(u)
+            assert g.unit_index(channel, package, die, plane) == u
+            seen.add((channel, package, die, plane))
+        assert len(seen) == g.plane_units

@@ -1,0 +1,90 @@
+"""Property tests: metric invariants under random transaction streams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect import HostPath
+from repro.nvm import ONFI3_SDR400, SLC
+from repro.ssd import (
+    BREAKDOWN_KEYS,
+    PAL_KEYS,
+    Geometry,
+    OpCode,
+    TransactionScheduler,
+    compute_metrics,
+)
+from repro.ssd.ftl import Txn
+
+
+@st.composite
+def random_runs(draw):
+    geom = Geometry(kind=SLC, channels=2, packages_per_channel=2,
+                    dies_per_package=2, planes_per_die=2, blocks_per_plane=8)
+    host = HostPath(
+        name="h",
+        bytes_per_sec=draw(st.sampled_from([5e7, 1e9, 1e12])),
+        per_request_ns=draw(st.integers(0, 100_000)),
+    )
+    n_batches = draw(st.integers(1, 10))
+    batches = []
+    for _ in range(n_batches):
+        n = draw(st.integers(1, 12))
+        txns = []
+        for _i in range(n):
+            op = draw(st.sampled_from([OpCode.READ, OpCode.WRITE]))
+            flat = draw(st.integers(0, geom.total_pages - 1))
+            nbytes = draw(st.integers(1, geom.page_bytes))
+            txns.append(Txn(op, flat, nbytes, -1,
+                            (flat // geom.plane_units) % geom.pages_per_block))
+        batches.append((txns, draw(st.integers(0, 5_000_000))))
+    return geom, host, batches
+
+
+class TestMetricInvariants:
+    @given(random_runs())
+    @settings(max_examples=40, deadline=None)
+    def test_all_invariants(self, run):
+        geom, host, batches = run
+        sched = TransactionScheduler(geom, ONFI3_SDR400, host)
+        payload = 0
+        for req_id, (txns, arrival) in enumerate(batches):
+            sched.submit(txns, arrival=arrival, req_id=req_id)
+            payload += sum(t.nbytes for t in txns)
+        log = sched.finish()
+        m = compute_metrics(log, geom, ONFI3_SDR400, SLC, host)
+
+        # conservation
+        assert m.payload_bytes == payload
+        assert m.read_bytes + m.write_bytes == payload
+        assert m.n_txns == len(log)
+
+        # bounded rates and utilizations
+        assert m.bandwidth_bytes_per_sec >= 0
+        assert 0.0 <= m.channel_utilization <= 1.0
+        assert 0.0 <= m.package_utilization <= 1.0
+
+        # decompositions are proper partitions
+        assert set(m.breakdown) == set(BREAKDOWN_KEYS)
+        assert sum(m.breakdown.values()) == pytest.approx(1.0, abs=1e-9)
+        assert all(v >= -1e-12 for v in m.breakdown.values())
+        assert set(m.parallelism) == set(PAL_KEYS)
+        assert sum(m.parallelism.values()) == pytest.approx(1.0, abs=1e-9)
+
+        # the media ceiling is never below what was achieved
+        assert m.pattern_peak_bytes_per_sec >= m.bandwidth_bytes_per_sec * 0.999
+        assert m.remaining_bytes_per_sec >= 0.0
+
+    @given(random_runs())
+    @settings(max_examples=20, deadline=None)
+    def test_makespan_covers_every_txn(self, run):
+        geom, host, batches = run
+        sched = TransactionScheduler(geom, ONFI3_SDR400, host)
+        for req_id, (txns, arrival) in enumerate(batches):
+            sched.submit(txns, arrival=arrival, req_id=req_id)
+        log = sched.finish()
+        m = compute_metrics(log, geom, ONFI3_SDR400, SLC, host)
+        assert m.makespan_ns == int(log["done"].max() - log["arrival"].min())
+        assert (log["done"] >= log["arrival"]).all()

@@ -1,0 +1,121 @@
+"""PAQ queueing: reordering correctness and performance effect."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_cnl_device
+from repro.nvm import TLC, SLC
+from repro.ssd import Geometry, OpCode
+from repro.ssd.ftl import Txn
+from repro.ssd.queueing import PaqQueue, reorder_die_round_robin
+from repro.trace import ooc_eigensolver_trace, replay
+
+MiB = 1024 * 1024
+
+
+def geom():
+    return Geometry(kind=SLC, channels=2, packages_per_channel=2,
+                    dies_per_package=2, planes_per_die=2, blocks_per_plane=8)
+
+
+def read(flat, group=-1):
+    return Txn(OpCode.READ, flat, 2048, group, 0)
+
+
+class TestReorder:
+    def test_same_multiset(self):
+        g = geom()
+        txns = [read(f) for f in (0, 16, 32, 2, 4)]
+        out = reorder_die_round_robin(txns, g)
+        assert sorted(t.flat for t in out) == sorted(t.flat for t in txns)
+
+    def test_per_die_order_preserved(self):
+        g = geom()
+        # flats 0, 16, 32 are consecutive slots of the same plane unit
+        txns = [read(0), read(16), read(32), read(2)]
+        out = reorder_die_round_robin(txns, g)
+        same_die = [t.flat for t in out if t.flat % 2 == 0 and (t.flat % 16) == 0]
+        assert same_die == [0, 16, 32]
+
+    def test_interleaves_dies(self):
+        g = geom()
+        # two ops on die A, then two on die B: round-robin alternates
+        txns = [read(0), read(16), read(2), read(18)]
+        out = reorder_die_round_robin(txns, g)
+        u = g.plane_units
+        dies = [(t.flat % u) // 2 for t in out]
+        assert dies == [dies[0], dies[1], dies[0], dies[1]]
+        assert dies[0] != dies[1]
+
+    def test_plane_groups_stay_adjacent(self):
+        g = geom()
+        txns = [read(0, group=7), read(1, group=7), read(2), read(16)]
+        out = reorder_die_round_robin(txns, g)
+        idx = [i for i, t in enumerate(out) if t.group == 7]
+        assert idx == [idx[0], idx[0] + 1]
+
+    def test_writes_left_untouched(self):
+        g = geom()
+        txns = [read(0), Txn(OpCode.WRITE, 4, 2048, -1, 0), read(16)]
+        assert reorder_die_round_robin(txns, g) == txns
+
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_property_permutation_and_die_order(self, flats):
+        g = geom()
+        flats = [f % g.total_pages for f in flats]
+        txns = [read(f) for f in flats]
+        out = reorder_die_round_robin(txns, g)
+        assert sorted(t.flat for t in out) == sorted(flats)
+        u = g.plane_units
+        for die in range(g.dies):
+            before = [t.flat for t in txns if (t.flat % u) // 2 == die]
+            after = [t.flat for t in out if (t.flat % u) // 2 == die]
+            assert before == after
+
+
+class TestPaqQueue:
+    def test_drain_emits_everything(self):
+        q = PaqQueue(geom(), window=4)
+        for f in (0, 16, 2, 18, 32):
+            q.push(read(f))
+        out = q.drain()
+        assert len(out) == 5
+        assert len(q) == 0
+
+    def test_inversions_counted(self):
+        q = PaqQueue(geom(), window=4)
+        for f in (0, 16, 2):  # die A, die A, die B -> B jumps the queue
+            q.push(read(f))
+        q.drain()
+        assert q.inversions > 0
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            PaqQueue(geom(), window=0)
+
+
+class TestDeviceIntegration:
+    def _bw(self, policy):
+        path = make_cnl_device("EXT2", TLC, 32 * MiB)
+        path.device.queue_policy = policy
+        trace = ooc_eigensolver_trace(panels=4, panel_bytes=8 * MiB, iterations=1)
+        return replay(path, trace).bandwidth_mb
+
+    def test_paq_never_hurts_fragmented_reads(self):
+        assert self._bw("paq") >= self._bw("fifo") * 0.99
+
+    def test_policy_validated(self):
+        with pytest.raises(ValueError):
+            make_cnl_device("EXT2", TLC, 32 * MiB).device.__class__(
+                geometry=Geometry(kind=TLC),
+                bus=__import__("repro.nvm", fromlist=["ONFI3_SDR400"]).ONFI3_SDR400,
+                host=__import__(
+                    "repro.interconnect", fromlist=["bridged_pcie2"]
+                ).bridged_pcie2(8),
+                logical_bytes=1 * MiB,
+                queue_policy="lifo",
+            )

@@ -1,0 +1,80 @@
+"""Request datatypes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssd import CommandGroup, DeviceCommand, OpCode, PosixRequest
+
+
+class TestOpCode:
+    def test_codes(self):
+        assert OpCode.of("read") == OpCode.READ == 0
+        assert OpCode.of("write") == OpCode.WRITE == 1
+        assert OpCode.of("erase") == OpCode.ERASE == 2
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            OpCode.of("flush")
+
+
+class TestPosixRequest:
+    def test_end(self):
+        r = PosixRequest("read", 0, 100, 50)
+        assert r.end == 150
+
+    def test_bad_op(self):
+        with pytest.raises(ValueError):
+            PosixRequest("erase", 0, 0, 10)
+
+    def test_bad_extent(self):
+        with pytest.raises(ValueError):
+            PosixRequest("read", 0, -1, 10)
+        with pytest.raises(ValueError):
+            PosixRequest("read", 0, 0, 0)
+
+    def test_frozen(self):
+        r = PosixRequest("read", 0, 0, 10)
+        with pytest.raises(AttributeError):
+            r.offset = 5
+
+
+class TestDeviceCommand:
+    def test_defaults(self):
+        c = DeviceCommand("read", 0, 4096)
+        assert c.kind == "data"
+        assert not c.barrier
+        assert c.end == 4096
+
+    def test_trim_allowed(self):
+        DeviceCommand("trim", 0, 4096)
+
+    def test_bad_op(self):
+        with pytest.raises(ValueError):
+            DeviceCommand("flush", 0, 4096)
+
+    def test_bad_extent(self):
+        with pytest.raises(ValueError):
+            DeviceCommand("read", 0, 0)
+
+
+class TestCommandGroup:
+    def test_byte_accounting(self):
+        g = CommandGroup(
+            posix=PosixRequest("read", 0, 0, 8192),
+            commands=[
+                DeviceCommand("read", 0, 8192),
+                DeviceCommand("read", 99999, 4096, kind="metadata"),
+                DeviceCommand("write", 88888, 4096, kind="journal", barrier=True),
+            ],
+        )
+        assert g.data_bytes == 8192
+        assert g.total_bytes == 8192 + 4096 + 4096
+        assert g.has_barrier
+
+    def test_no_barrier(self):
+        g = CommandGroup(
+            posix=PosixRequest("read", 0, 0, 10),
+            commands=[DeviceCommand("read", 0, 10)],
+        )
+        assert not g.has_barrier

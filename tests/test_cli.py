@@ -1,0 +1,35 @@
+"""The `python -m repro` reproduction CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure7", "table1", "headline"):
+            assert name in out
+
+    def test_single_exhibit(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "ION-GPFS" in out
+        assert "[table2:" in out
+
+    def test_unknown_exhibit(self, capsys):
+        assert main(["figure99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_scaled_run(self, capsys):
+        assert main(["figure6", "--scale", "0.25"]) == 0
+        assert "sub-GPFS" in capsys.readouterr().out
+
+    def test_output_directory(self, tmp_path, capsys):
+        assert main(["table1", "-o", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()
+        assert "Table 1" in (tmp_path / "table1.txt").read_text()

@@ -1,0 +1,75 @@
+"""PosixTrace container and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssd.request import PosixRequest
+from repro.trace import PosixTrace
+
+
+def make_trace():
+    t = PosixTrace(client=2, label="t")
+    t.append(PosixRequest("read", 0, 0, 100))
+    t.append(PosixRequest("read", 0, 100, 100))
+    t.append(PosixRequest("write", 1, 0, 50))
+    return t
+
+
+class TestAccounting:
+    def test_bytes(self):
+        t = make_trace()
+        assert t.total_bytes == 250
+        assert t.read_bytes == 200
+        assert t.write_bytes == 50
+        assert t.read_fraction == pytest.approx(0.8)
+
+    def test_file_sizes(self):
+        t = make_trace()
+        assert t.file_sizes() == {0: 200, 1: 50}
+
+    def test_len_iter_getitem(self):
+        t = make_trace()
+        assert len(t) == 3
+        assert t[0].op == "read"
+        assert [r.op for r in t] == ["read", "read", "write"]
+
+    def test_empty(self):
+        t = PosixTrace()
+        assert t.total_bytes == 0
+        assert t.read_fraction == 0.0
+        assert t.sequentiality() == 1.0
+
+
+class TestSequentiality:
+    def test_fully_sequential(self):
+        t = PosixTrace()
+        for i in range(5):
+            t.append(PosixRequest("read", 0, i * 10, 10))
+        assert t.sequentiality() == 1.0
+
+    def test_random_pattern_low(self):
+        t = PosixTrace()
+        for off in (0, 500, 100, 900):
+            t.append(PosixRequest("read", 0, off, 10))
+        assert t.sequentiality() == 0.0
+
+    def test_per_file_tracking(self):
+        t = PosixTrace()
+        t.append(PosixRequest("read", 0, 0, 10))
+        t.append(PosixRequest("read", 1, 0, 10))
+        t.append(PosixRequest("read", 0, 10, 10))
+        assert t.sequentiality() == pytest.approx(0.5)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        t = make_trace()
+        p = tmp_path / "trace.jsonl"
+        t.save(p)
+        back = PosixTrace.load(p)
+        assert back.client == 2
+        assert back.label == "t"
+        assert len(back) == len(t)
+        for a, b in zip(t, back):
+            assert a == b

@@ -1,0 +1,74 @@
+"""Replay pipeline: trace -> FS -> FTL -> scheduler, single and multi-client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_cnl_device, make_ion_device
+from repro.nvm import MLC
+from repro.trace import ooc_eigensolver_trace, replay
+
+MiB = 1024 * 1024
+DATA = 32 * MiB
+
+
+def trace(client=0, offset=0, panels=4):
+    return ooc_eigensolver_trace(
+        panels=panels, panel_bytes=8 * MiB, iterations=1, client=client,
+        offset=offset,
+    )
+
+
+class TestSingleClient:
+    def test_summary_fields(self):
+        s = replay(make_cnl_device("EXT4", MLC, DATA), trace())
+        assert s.bandwidth_mb > 0
+        assert s.aggregate_mb > 0
+        assert s.metrics.payload_bytes == DATA
+        assert set(s.per_client_mb) == {0}
+
+    def test_single_client_agg_close_to_per_client(self):
+        s = replay(make_cnl_device("UFS", MLC, DATA), trace())
+        assert s.bandwidth_mb == pytest.approx(s.aggregate_mb, rel=0.05)
+
+    def test_overhead_traffic_recorded(self):
+        s = replay(make_cnl_device("EXT4", MLC, DATA), trace())
+        # journaled FS on a read trace still reads metadata
+        assert s.metrics.overhead_bytes > 0
+
+    def test_ufs_has_no_overhead_traffic(self):
+        s = replay(make_cnl_device("UFS", MLC, DATA), trace())
+        assert s.metrics.overhead_bytes == 0
+
+
+class TestMultiClient:
+    def test_ion_reports_both_clients(self):
+        path = make_ion_device(MLC, DATA)
+        s = replay(path, [trace(0, 0), trace(1, DATA)])
+        assert set(s.per_client_mb) == {0, 1}
+        assert s.bandwidth_mb == pytest.approx(
+            (s.per_client_mb[0] + s.per_client_mb[1]) / 2
+        )
+
+    def test_clients_split_device_fairly(self):
+        path = make_ion_device(MLC, DATA)
+        s = replay(path, [trace(0, 0), trace(1, DATA)])
+        a, b = s.per_client_mb[0], s.per_client_mb[1]
+        assert a == pytest.approx(b, rel=0.3)
+
+    def test_aggregate_exceeds_per_client(self):
+        path = make_ion_device(MLC, DATA)
+        s = replay(path, [trace(0, 0), trace(1, DATA)])
+        assert s.aggregate_mb > s.bandwidth_mb * 1.5
+
+    def test_duplicate_clients_rejected(self):
+        path = make_ion_device(MLC, DATA)
+        with pytest.raises(ValueError):
+            replay(path, [trace(0, 0), trace(0, DATA)])
+
+
+class TestWindowEffect:
+    def test_deeper_window_never_slower(self):
+        s1 = replay(make_cnl_device("EXT4", MLC, DATA), trace(), posix_window=1)
+        s4 = replay(make_cnl_device("EXT4", MLC, DATA), trace(), posix_window=4)
+        assert s4.bandwidth_mb >= s1.bandwidth_mb * 0.95

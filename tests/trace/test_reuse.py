@@ -1,0 +1,83 @@
+"""Reuse-distance analysis and the LRU hit-rate curve."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssd.request import PosixRequest
+from repro.trace import PosixTrace, ooc_eigensolver_trace
+from repro.trace.reuse import lru_hit_rate, reuse_profile
+
+MiB = 1 << 20
+
+
+def trace_of(blocks_sequence, block=MiB):
+    t = PosixTrace()
+    for b in blocks_sequence:
+        t.append(PosixRequest("read", 0, b * block, block))
+    return t
+
+
+class TestReuseProfile:
+    def test_streaming_has_no_reuse(self):
+        prof = reuse_profile(trace_of(range(16)))
+        assert prof.reuse_fraction == 0.0
+        assert prof.cold_accesses == 16
+        assert prof.median_distance_bytes == float("inf")
+
+    def test_immediate_reuse_distance_zero(self):
+        prof = reuse_profile(trace_of([0, 0]))
+        assert list(prof.distances) == [0]
+
+    def test_stack_distance_counts_distinct_blocks(self):
+        # A B C A: distance of the second A = 2 blocks
+        prof = reuse_profile(trace_of([0, 1, 2, 0]))
+        assert list(prof.distances) == [2 * MiB]
+
+    def test_duplicates_between_do_not_inflate(self):
+        # A B B A: distinct blocks between the As = 1
+        prof = reuse_profile(trace_of([0, 1, 1, 0]))
+        assert prof.distances.max() == 1 * MiB
+
+    def test_sweep_reuse_distance_is_dataset_size(self):
+        """The OoC signature: reuse distance == the whole data set."""
+        n = 12
+        prof = reuse_profile(trace_of(list(range(n)) * 3))
+        assert prof.reuse_fraction == pytest.approx(2 / 3)
+        assert set(prof.distances.tolist()) == {(n - 1) * MiB}
+
+    def test_multi_file_blocks_distinct(self):
+        t = PosixTrace()
+        t.append(PosixRequest("read", 0, 0, MiB))
+        t.append(PosixRequest("read", 1, 0, MiB))
+        prof = reuse_profile(t)
+        assert prof.reuse_fraction == 0.0
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            reuse_profile(PosixTrace(), block_bytes=0)
+
+
+class TestHitRateCurve:
+    def test_cache_must_exceed_reuse_distance(self):
+        """A cache hits a sweep only if it holds the whole data set —
+        Section 1's argument in one assertion."""
+        dataset_blocks = 16
+        t = trace_of(list(range(dataset_blocks)) * 4)
+        just_under = lru_hit_rate(t, (dataset_blocks - 1) * MiB)
+        just_over = lru_hit_rate(t, (dataset_blocks + 1) * MiB)
+        assert just_under == 0.0
+        assert just_over == pytest.approx(3 / 4)
+
+    def test_matches_ooc_trace_generator(self):
+        t = ooc_eigensolver_trace(panels=8, panel_bytes=2 * MiB, iterations=3)
+        small = lru_hit_rate(t, 8 * MiB)  # half the data set
+        big = lru_hit_rate(t, 32 * MiB)  # twice the data set
+        assert small == 0.0
+        assert big > 0.6
+
+    def test_hit_rate_monotone_in_cache_size(self):
+        t = trace_of([0, 1, 2, 0, 3, 1, 4, 2, 5, 0])
+        prof = reuse_profile(t)
+        rates = [prof.hit_rate_at(c * MiB) for c in (1, 2, 4, 8, 16)]
+        assert rates == sorted(rates)

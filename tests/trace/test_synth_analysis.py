@@ -1,0 +1,112 @@
+"""Synthetic trace generators and the Figure-6 pattern analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fs import gpfs, make_fs
+from repro.trace import (
+    device_pattern,
+    ooc_eigensolver_trace,
+    pattern_report,
+    posix_pattern,
+    random_mix_trace,
+)
+
+MiB = 1024 * 1024
+
+
+class TestOocTrace:
+    def test_shape(self):
+        t = ooc_eigensolver_trace(panels=6, panel_bytes=MiB, iterations=3)
+        assert len(t) == 18
+        assert t.total_bytes == 18 * MiB
+        assert t.read_fraction == 1.0
+
+    def test_sequential_within_iteration(self):
+        t = ooc_eigensolver_trace(panels=8, panel_bytes=MiB, iterations=1)
+        assert t.sequentiality() == 1.0
+
+    def test_checkpoints_interleaved(self):
+        t = ooc_eigensolver_trace(
+            panels=4, panel_bytes=MiB, iterations=4, checkpoint_every=2,
+            psi_bytes=1024,
+        )
+        writes = [r for r in t if r.op == "write"]
+        assert len(writes) == 2
+        assert all(w.file_id == 1 for w in writes)
+
+    def test_offset_shifts_partition(self):
+        t = ooc_eigensolver_trace(panels=2, panel_bytes=MiB, offset=64 * MiB)
+        assert t[0].offset == 64 * MiB
+
+    def test_think_time_spaces_issues(self):
+        t = ooc_eigensolver_trace(panels=4, panel_bytes=MiB, iterations=1, think_ns_per_panel=100)
+        times = [r.t_issue_ns for r in t]
+        assert times == [0, 100, 200, 300]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ooc_eigensolver_trace(panels=0)
+
+
+class TestRandomMix:
+    def test_read_fraction_honoured(self):
+        t = random_mix_trace(n_requests=400, read_fraction=0.75, seed=1)
+        frac = sum(1 for r in t if r.op == "read") / len(t)
+        assert frac == pytest.approx(0.75, abs=0.08)
+
+    def test_deterministic(self):
+        a = random_mix_trace(seed=5)
+        b = random_mix_trace(seed=5)
+        assert list(a) == list(b)
+
+    def test_extents_in_bounds(self):
+        t = random_mix_trace(n_requests=200, file_bytes=8 * MiB, seed=2)
+        assert all(r.end <= 8 * MiB for r in t)
+        assert all(r.offset % 4096 == 0 for r in t)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            random_mix_trace(read_fraction=1.5)
+
+
+class TestFigure6Analysis:
+    def test_posix_pattern_sequential(self):
+        t = ooc_eigensolver_trace(panels=16, panel_bytes=MiB, iterations=1)
+        p = posix_pattern(t)
+        assert p.sequential_fraction > 0.9
+        assert p.n == 16
+
+    def test_gpfs_scatters_the_stream(self):
+        """Figure 6's claim: GPFS striping breaks the sequential POSIX
+        stream into scattered blocks."""
+        t = ooc_eigensolver_trace(panels=16, panel_bytes=4 * MiB, iterations=2)
+        pos = posix_pattern(t)
+        dev = device_pattern(t, gpfs())
+        assert dev.sequential_fraction < pos.sequential_fraction
+        assert dev.stride_entropy() > pos.stride_entropy()
+        assert dev.mean_abs_stride > pos.mean_abs_stride
+
+    def test_local_fs_preserves_more_sequentiality_than_gpfs(self):
+        t = ooc_eigensolver_trace(panels=8, panel_bytes=4 * MiB, iterations=1)
+        g = device_pattern(t, gpfs())
+        e = device_pattern(t, make_fs("EXT4"))
+        assert e.mean_abs_stride < g.mean_abs_stride
+
+    def test_report_renders_all_patterns(self):
+        t = ooc_eigensolver_trace(panels=4, panel_bytes=MiB)
+        pos = posix_pattern(t)
+        dev = device_pattern(t, gpfs())
+        out = pattern_report([pos, dev])
+        assert "POSIX" in out and "sub-GPFS" in out
+        assert len(out.splitlines()) == 3
+
+    def test_pattern_stats_degenerate(self):
+        t = ooc_eigensolver_trace(panels=1, panel_bytes=MiB, iterations=1)
+        p = posix_pattern(t)
+        assert p.sequential_fraction == 1.0
+        assert p.mean_abs_stride == 0.0
+        assert p.stride_entropy() == 0.0
+        assert p.address_span == MiB
