@@ -1,0 +1,129 @@
+"""Performance trajectory of the experiment engine.
+
+Times the full 13x4 matrix (with the unconstrained-peak replays)
+serially and through the parallel :class:`MatrixEngine`, plus the
+vectorized-vs-reference scheduler micro-benchmark, and writes
+``benchmarks/output/BENCH_matrix.json`` with per-cell and total
+timings so later PRs have a perf baseline to compare against.
+
+The workload here is deliberately smaller than the figure benchmarks
+(cells of tens of milliseconds): the point is the *relative* engine
+numbers, recorded at every commit, not full-fidelity figures.  The
+parallel-speedup assertion only engages on machines with >= 4 cores —
+with short cells and few cores, process-pool overhead can dominate —
+and is intentionally looser than the >= 3x seen at full fidelity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import OUTPUT_DIR
+
+from repro.experiments import MatrixEngine, TABLE2_CONFIGS, Workload
+from repro.interconnect import HostPath
+from repro.nvm import ONFI3_SDR400, SLC
+from repro.ssd import Geometry, OpCode, TransactionScheduler
+from repro.ssd.ftl import Txn
+from repro.ssd.reference_scheduler import ReferenceScheduler
+
+MiB = 1024 * 1024
+BENCH_WORKLOAD = Workload(panels=2, panel_bytes=2 * MiB)
+ALL_LABELS = tuple(c.label for c in TABLE2_CONFIGS)
+ALL_KINDS = ("SLC", "MLC", "TLC", "PCM")
+
+
+def _run_engine(workers: int) -> tuple[dict, dict[str, float], float]:
+    engine = MatrixEngine(workers=workers)
+    t0 = time.perf_counter()
+    results = engine.run_matrix(ALL_LABELS, ALL_KINDS, BENCH_WORKLOAD)
+    wall = time.perf_counter() - t0
+    cells = {f"{t.label}|{t.kind}": round(t.seconds, 4) for t in engine.timings}
+    return results, cells, wall
+
+
+def _scheduler_microbench(rounds: int = 200, batch: int = 256) -> dict:
+    geom = Geometry(kind=SLC)
+    host = HostPath(name="h", bytes_per_sec=2e9, per_request_ns=1000)
+    txns = [
+        Txn(OpCode.READ, (i * 7) % geom.plane_units, 4096, -1, i % 64)
+        for i in range(batch)
+    ]
+    out = {}
+    for name, cls in (("vectorized", TransactionScheduler),
+                      ("reference", ReferenceScheduler)):
+        sched = cls(geom, ONFI3_SDR400, host)
+        t0 = time.perf_counter()
+        for j in range(rounds):
+            sched.submit(txns, arrival=j * 1000, req_id=j)
+        n = len(sched.finish())
+        out[name] = {"seconds": round(time.perf_counter() - t0, 4), "txns": n}
+    out["speedup"] = round(
+        out["reference"]["seconds"] / max(out["vectorized"]["seconds"], 1e-9), 3
+    )
+    return out
+
+
+def test_perf_engine_matrix(output_dir):
+    cpu = os.cpu_count() or 1
+    par_workers = min(4, cpu) if cpu > 1 else 2
+
+    serial_results, serial_cells, serial_wall = _run_engine(workers=1)
+    par_results, par_cells, par_wall = _run_engine(workers=par_workers)
+
+    # parallel results must be identical to serial, every field
+    assert set(serial_results) == set(par_results) and len(serial_results) == 52
+    for key, a in serial_results.items():
+        b = par_results[key]
+        assert a.bandwidth_mb == b.bandwidth_mb, key
+        assert a.aggregate_mb == b.aggregate_mb, key
+        assert a.remaining_mb == b.remaining_mb, key
+        assert a.breakdown == b.breakdown and a.parallelism == b.parallelism, key
+
+    speedup = serial_wall / max(par_wall, 1e-9)
+    bench = {
+        "workload": {
+            "panels": BENCH_WORKLOAD.panels,
+            "panel_bytes": BENCH_WORKLOAD.panel_bytes,
+            "iterations": BENCH_WORKLOAD.iterations,
+        },
+        "cpu_count": cpu,
+        "grid": [len(ALL_LABELS), len(ALL_KINDS)],
+        "serial": {"total_s": round(serial_wall, 4), "cells": serial_cells},
+        "parallel": {
+            "workers": par_workers,
+            "total_s": round(par_wall, 4),
+            "cells": par_cells,
+        },
+        "speedup": round(speedup, 3),
+        "scheduler_microbench": _scheduler_microbench(),
+    }
+    path = output_dir / "BENCH_matrix.json"
+    path.write_text(json.dumps(bench, indent=2) + "\n")
+    print(
+        f"\nmatrix 13x4: serial {serial_wall:.2f}s, "
+        f"parallel({par_workers}) {par_wall:.2f}s, speedup {speedup:.2f}x"
+        f"\n[saved to {path}]"
+    )
+
+    assert len(serial_cells) == 52 and len(par_cells) == 52
+    if cpu >= 4:
+        assert speedup >= 1.5, (
+            f"parallel engine slower than expected on {cpu} cores: "
+            f"{speedup:.2f}x (serial {serial_wall:.2f}s, parallel {par_wall:.2f}s)"
+        )
+
+
+def test_cached_rerun_is_instant(output_dir):
+    from repro.experiments import ResultCache
+
+    cache = ResultCache()
+    engine = MatrixEngine(workers=1, cache=cache)
+    engine.run_matrix(ALL_LABELS[:3], ALL_KINDS, BENCH_WORKLOAD)
+    t0 = time.perf_counter()
+    engine.run_matrix(ALL_LABELS[:3], ALL_KINDS, BENCH_WORKLOAD)
+    cached_wall = time.perf_counter() - t0
+    assert cached_wall < 0.5
+    assert cache.hits >= 12

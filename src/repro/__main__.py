@@ -8,9 +8,15 @@ Usage::
     python -m repro headline                # the headline claims
     python -m repro figure7 --scale 0.5     # smaller workload
     python -m repro all -o results/         # write exhibits to a dir
+    python -m repro all --workers 8         # parallel matrix cells
+    python -m repro all --cache-dir ~/.cache/repro   # reuse across runs
 
 Each exhibit prints the same rows/series the paper plots; ``--out``
-additionally writes one text file per exhibit.
+additionally writes one text file per exhibit.  The matrix exhibits
+(figures 7-10, headline) share one :class:`MatrixEngine`: ``--workers``
+fans independent (config, kind) cells out over a process pool
+(``--workers 0`` auto-detects), and an in-memory result cache dedupes
+the cells the figures have in common; ``--cache-dir`` persists it.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ import time
 from pathlib import Path
 
 from .experiments import (
+    MatrixEngine,
+    ResultCache,
     Workload,
     anticache_experiment,
     compute_headline,
@@ -41,18 +49,18 @@ def _workload(scale: float) -> Workload:
     return Workload(panels=max(2, int(round(12 * scale))), panel_bytes=8 * MiB)
 
 
-def _exhibits(scale: float):
+def _exhibits(scale: float, engine: MatrixEngine):
     w = _workload(scale)
     return {
         "figure1": lambda: figure1().text,
         "table1": lambda: table1().text,
         "table2": lambda: table2().text,
         "figure6": lambda: figure6().text,
-        "figure7": lambda: figure7(w).text,
-        "figure8": lambda: figure8(w).text,
-        "figure9": lambda: figure9(w).text,
-        "figure10": lambda: figure10(w).text,
-        "headline": lambda: compute_headline(w).render(),
+        "figure7": lambda: figure7(w, engine=engine).text,
+        "figure8": lambda: figure8(w, engine=engine).text,
+        "figure9": lambda: figure9(w, engine=engine).text,
+        "figure10": lambda: figure10(w, engine=engine).text,
+        "headline": lambda: compute_headline(w, engine=engine).render(),
         "anticache": lambda: anticache_experiment().render(),
     }
 
@@ -79,9 +87,29 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory to write exhibit text files into",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="matrix-cell worker processes (0 = auto-detect, default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persist matrix-cell results on disk (default: in-memory only)",
+    )
     args = parser.parse_args(argv)
 
-    exhibits = _exhibits(args.scale)
+    try:
+        cache = ResultCache(args.cache_dir)
+    except NotADirectoryError as exc:
+        parser.error(f"--cache-dir: {exc}")
+    engine = MatrixEngine(
+        workers=None if args.workers == 0 else args.workers,
+        cache=cache,
+    )
+    exhibits = _exhibits(args.scale, engine)
     if args.exhibit == "list":
         print("\n".join(exhibits))
         return 0
@@ -102,6 +130,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{name}: {elapsed:.1f}s]\n")
         if args.out is not None:
             (args.out / f"{name}.txt").write_text(text + "\n")
+    if engine.timings:
+        cached = sum(1 for t in engine.timings if t.cached)
+        print(
+            f"[matrix engine: {len(engine.timings)} cells ({cached} cached), "
+            f"{engine.total_seconds:.1f}s cell time, {engine.workers} workers]"
+        )
     return 0
 
 

@@ -19,9 +19,11 @@ from .figures import (
     table1,
     table2,
 )
+from .cache import SCHEMA_VERSION, ResultCache
 from .cost import ComponentCosts, DesignPoint, capacity_study
 from .future import FutureSweepResult, future_device_sweep
 from .headline import HeadlineResults, compute_headline
+from .parallel import CellTiming, MatrixEngine, detect_workers
 from .runner import DEFAULT_WORKLOAD, ConfigResult, Workload, run_config, run_matrix
 from .sensitivity import SensitivityReport, sensitivity_analysis
 from .trends import TREND_DATA, crossover_year, doubling_time_years, figure1_series
@@ -29,6 +31,11 @@ from .trends import TREND_DATA, crossover_year, doubling_time_years, figure1_ser
 __all__ = [
     "AntiCacheReport",
     "anticache_experiment",
+    "CellTiming",
+    "MatrixEngine",
+    "ResultCache",
+    "SCHEMA_VERSION",
+    "detect_workers",
     "ComponentCosts",
     "DesignPoint",
     "capacity_study",

@@ -1,0 +1,231 @@
+"""Deterministic result cache for experiment-matrix cells.
+
+Every quantity a matrix cell reports is a pure function of
+``(config label, NVM kind, Workload fields, seed)`` — the replay
+pipeline is seeded and deterministic — so results can be cached and
+shared across figures, sweeps and sessions.  Two entry types exist:
+
+* **cell** — the :class:`~repro.experiments.runner.ConfigResult` of one
+  ``run_config`` call (minus the heavyweight ``metrics`` object, which
+  is never cached),
+* **peak** — the unconstrained-interface media peak (MB/s) behind the
+  "bandwidth remaining" figures; caching it separately deduplicates the
+  second replay across callers (Figure 7b and Figure 8b share every
+  overlapping baseline) and lets a ``with_remaining=False`` cell be
+  upgraded to a ``with_remaining=True`` one without replaying.
+
+Keys are SHA-256 hashes of a canonical JSON rendering of
+``(schema version, entry type, label, kind, workload fields, seed
+[, with_remaining])``.  Bump :data:`SCHEMA_VERSION` whenever the
+simulation's numbers can change (scheduler, FS models, FTL, timing
+constants): every old entry then misses and is recomputed.  ``root=None``
+gives a process-local in-memory cache; with a directory, entries are
+JSON files written atomically so concurrent processes can share them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runner import ConfigResult, Workload
+
+__all__ = ["SCHEMA_VERSION", "ResultCache", "cell_key", "peak_key"]
+
+#: bump when simulated numbers can change; invalidates every entry
+SCHEMA_VERSION = 1
+
+#: ConfigResult fields persisted in a cell entry (metrics excluded)
+_CELL_FIELDS = (
+    "label",
+    "kind",
+    "bandwidth_mb",
+    "aggregate_mb",
+    "remaining_mb",
+    "channel_utilization",
+    "package_utilization",
+    "breakdown",
+    "parallelism",
+)
+
+
+def _digest(parts: dict) -> str:
+    blob = json.dumps(parts, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def cell_key(
+    label: str, kind: str, workload: "Workload", seed: int, with_remaining: bool
+) -> str:
+    """Cache key of one ``run_config`` cell."""
+    return _digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "entry": "cell",
+            "label": label,
+            "kind": kind,
+            "workload": dataclasses.asdict(workload),
+            "seed": seed,
+            "with_remaining": bool(with_remaining),
+        }
+    )
+
+
+def peak_key(label: str, kind: str, workload: "Workload", seed: int) -> str:
+    """Cache key of one unconstrained-media-peak replay."""
+    return _digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "entry": "peak",
+            "label": label,
+            "kind": kind,
+            "workload": dataclasses.asdict(workload),
+            "seed": seed,
+        }
+    )
+
+
+class ResultCache:
+    """Two-level (memory, optional disk) cache of matrix-cell results."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            if self.root.exists() and not self.root.is_dir():
+                raise NotADirectoryError(
+                    f"cache root exists and is not a directory: {self.root}"
+                )
+            self.root.mkdir(parents=True, exist_ok=True)
+        self._mem: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- raw entry storage ---------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / f"{key}.json"
+
+    def _load(self, key: str) -> Optional[dict]:
+        payload = self._mem.get(key)
+        if payload is not None:
+            return payload
+        if self.root is not None:
+            path = self._path(key)
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                return None
+            self._mem[key] = payload
+            return payload
+        return None
+
+    def _store(self, key: str, payload: dict) -> None:
+        self._mem[key] = payload
+        if self.root is not None:
+            path = self._path(key)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(path)  # atomic: concurrent readers see old or new
+
+    # -- cells ----------------------------------------------------------
+    def get_cell(
+        self,
+        label: str,
+        kind: str,
+        workload: "Workload",
+        seed: int,
+        with_remaining: bool,
+    ) -> Optional["ConfigResult"]:
+        """Return a cached :class:`ConfigResult`, or ``None`` on miss.
+
+        A ``with_remaining=True`` entry satisfies a ``False`` request
+        (the remainder is simply re-zeroed, matching a fresh run), and a
+        ``False`` entry plus a cached peak satisfies a ``True`` request.
+        """
+        from .runner import ConfigResult
+
+        payload = self._load(cell_key(label, kind, workload, seed, with_remaining))
+        remaining_override = None
+        if payload is None:
+            other = self._load(
+                cell_key(label, kind, workload, seed, not with_remaining)
+            )
+            if other is not None and not with_remaining:
+                payload = other
+                remaining_override = 0.0
+            elif other is not None and with_remaining:
+                peak = self.get_peak(label, kind, workload, seed, _count=False)
+                if peak is not None:
+                    payload = other
+                    remaining_override = max(0.0, peak - other["aggregate_mb"])
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        fields = {name: payload[name] for name in _CELL_FIELDS}
+        if remaining_override is not None:
+            fields["remaining_mb"] = remaining_override
+        return ConfigResult(**fields)
+
+    def put_cell(
+        self,
+        result: "ConfigResult",
+        workload: "Workload",
+        seed: int,
+        with_remaining: bool,
+    ) -> None:
+        payload = {name: getattr(result, name) for name in _CELL_FIELDS}
+        self._store(
+            cell_key(result.label, result.kind, workload, seed, with_remaining),
+            payload,
+        )
+
+    # -- peaks ----------------------------------------------------------
+    def get_peak(
+        self,
+        label: str,
+        kind: str,
+        workload: "Workload",
+        seed: int,
+        _count: bool = True,
+    ) -> Optional[float]:
+        payload = self._load(peak_key(label, kind, workload, seed))
+        if payload is None:
+            if _count:
+                self.misses += 1
+            return None
+        if _count:
+            self.hits += 1
+        return float(payload["peak_mb"])
+
+    def put_peak(
+        self, label: str, kind: str, workload: "Workload", seed: int, peak_mb: float
+    ) -> None:
+        self._store(
+            peak_key(label, kind, workload, seed), {"peak_mb": float(peak_mb)}
+        )
+
+    # -- maintenance ----------------------------------------------------
+    def clear(self) -> int:
+        """Drop every entry (memory and disk); returns entries removed."""
+        n = len(self._mem)
+        self._mem.clear()
+        if self.root is not None:
+            files = list(self.root.glob("*.json"))
+            n = max(n, len(files))
+            for f in files:
+                try:
+                    f.unlink()
+                except OSError:
+                    pass
+        return n
+
+    def __len__(self) -> int:
+        if self.root is not None:
+            return len(list(self.root.glob("*.json")))
+        return len(self._mem)

@@ -175,14 +175,25 @@ def figure6(panels: int = 16, panel_mb: int = 4, clients: int = 2) -> FigureData
 
 # ----------------------------------------------------------------------
 def _matrix(
-    labels, workload: Workload, with_remaining: bool = True
+    labels, workload: Workload, with_remaining: bool = True, engine=None
 ) -> Mapping[tuple[str, str], ConfigResult]:
+    """One figure's grid, via a shared engine when the caller has one.
+
+    A shared :class:`~repro.experiments.parallel.MatrixEngine` (see
+    ``python -m repro all --workers N``) parallelizes the cells and
+    dedupes the many cells the figures have in common (the FS sweep
+    appears in Figures 7, 9 and 10; CNL-UFS in all four grids).
+    """
+    if engine is not None:
+        return engine.run_matrix(
+            labels, KIND_NAMES, workload, with_remaining=with_remaining
+        )
     return run_matrix(labels, KIND_NAMES, workload, with_remaining=with_remaining)
 
 
-def figure7(workload: Workload = DEFAULT_WORKLOAD) -> FigureData:
+def figure7(workload: Workload = DEFAULT_WORKLOAD, engine=None) -> FigureData:
     """Fig. 7a/7b: bandwidth achieved and remaining, FS sweep."""
-    results = _matrix(FS_SWEEP_LABELS, workload)
+    results = _matrix(FS_SWEEP_LABELS, workload, engine=engine)
     achieved = {k: r.bandwidth_mb for k, r in results.items()}
     remaining = {k: r.remaining_mb for k, r in results.items()}
     text = (
@@ -203,9 +214,9 @@ def figure7(workload: Workload = DEFAULT_WORKLOAD) -> FigureData:
     )
 
 
-def figure8(workload: Workload = DEFAULT_WORKLOAD) -> FigureData:
+def figure8(workload: Workload = DEFAULT_WORKLOAD, engine=None) -> FigureData:
     """Fig. 8a/8b: bandwidth achieved and remaining, device sweep."""
-    results = _matrix(DEVICE_SWEEP_LABELS, workload)
+    results = _matrix(DEVICE_SWEEP_LABELS, workload, engine=engine)
     achieved = {k: r.bandwidth_mb for k, r in results.items()}
     remaining = {k: r.remaining_mb for k, r in results.items()}
     text = (
@@ -229,9 +240,9 @@ def figure8(workload: Workload = DEFAULT_WORKLOAD) -> FigureData:
 ALL_SWEEP_LABELS = tuple(FS_SWEEP_LABELS) + tuple(DEVICE_SWEEP_LABELS[1:])
 
 
-def figure9(workload: Workload = DEFAULT_WORKLOAD) -> FigureData:
+def figure9(workload: Workload = DEFAULT_WORKLOAD, engine=None) -> FigureData:
     """Fig. 9a/9b: channel- and package-level utilization, all configs."""
-    results = _matrix(ALL_SWEEP_LABELS, workload, with_remaining=False)
+    results = _matrix(ALL_SWEEP_LABELS, workload, with_remaining=False, engine=engine)
     chan = {k: 100 * r.channel_utilization for k, r in results.items()}
     pkg = {k: 100 * r.package_utilization for k, r in results.items()}
     text = (
@@ -251,9 +262,9 @@ def figure9(workload: Workload = DEFAULT_WORKLOAD) -> FigureData:
     )
 
 
-def figure10(workload: Workload = DEFAULT_WORKLOAD) -> FigureData:
+def figure10(workload: Workload = DEFAULT_WORKLOAD, engine=None) -> FigureData:
     """Fig. 10: execution-time and parallelism decompositions (TLC, PCM)."""
-    results = _matrix(ALL_SWEEP_LABELS, workload, with_remaining=False)
+    results = _matrix(ALL_SWEEP_LABELS, workload, with_remaining=False, engine=engine)
     kinds = ("TLC", "PCM")
     breakdown = {
         (lbl, kd): results[(lbl, kd)].breakdown for lbl in ALL_SWEEP_LABELS for kd in kinds

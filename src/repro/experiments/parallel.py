@@ -1,0 +1,198 @@
+"""Parallel, cached execution engine for the experiment matrix.
+
+Every exhibit (Figures 7-10, the headline claims, the sensitivity
+sweep) reduces to running independent ``(config, NVM kind)`` cells of
+the Table-2 matrix.  :class:`MatrixEngine` is the single entry point:
+it fans cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(each cell is seeded and deterministic, so execution order is
+irrelevant to the results), consults a :class:`ResultCache` before
+computing anything, and records per-cell wall-clock timings.
+
+``workers=1`` bypasses the pool entirely and runs the exact serial
+path (``run_config`` in-process); ``workers=None`` auto-detects from
+``REPRO_WORKERS`` or the CPU count.  Parallel results are identical to
+serial results field-for-field — enforced by
+``tests/experiments/test_parallel_engine.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from .cache import ResultCache
+from .runner import DEFAULT_WORKLOAD, ConfigResult, Workload, run_config
+
+__all__ = ["MatrixEngine", "CellTiming", "detect_workers"]
+
+Cell = tuple[str, str]  # (config label, kind name)
+
+
+def detect_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` env override, else CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Wall-clock record of one executed (or cache-served) cell."""
+
+    label: str
+    kind: str
+    seconds: float
+    cached: bool
+
+
+def _compute_cell(
+    label: str, kind: str, workload: Workload, seed: int, with_remaining: bool
+) -> tuple[str, str, ConfigResult, Optional[float], float]:
+    """Worker-side cell execution; returns the peak for cache sharing."""
+    from .cache import ResultCache as _Cache
+
+    scratch = _Cache()  # in-memory; captures the peak run_config computes
+    t0 = time.perf_counter()
+    result = run_config(
+        label, kind, workload, seed, with_remaining=with_remaining, cache=scratch
+    )
+    seconds = time.perf_counter() - t0
+    peak = scratch.get_peak(label, kind, workload, seed, _count=False)
+    return label, kind, result, peak, seconds
+
+
+class MatrixEngine:
+    """Parallel, cached runner for experiment-matrix cells.
+
+    ``progress``, when given, is called after every finished cell as
+    ``progress(done, total, (label, kind), seconds, cached)`` from the
+    coordinating process.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[Callable[[int, int, Cell, float, bool], None]] = None,
+    ):
+        self.workers = detect_workers() if workers is None else max(1, int(workers))
+        self.cache = cache
+        self.progress = progress
+        self.timings: list[CellTiming] = []
+
+    # ------------------------------------------------------------------
+    def run_cells(
+        self,
+        cells: Sequence[Cell],
+        workload: Workload = DEFAULT_WORKLOAD,
+        seed: int = 1013,
+        with_remaining: bool = True,
+    ) -> dict[Cell, ConfigResult]:
+        """Run distinct ``(label, kind)`` cells; returns results by cell.
+
+        Cache hits are served without computing; the rest fan out over
+        the process pool (or run inline for ``workers=1``).
+        """
+        cells = list(dict.fromkeys(cells))  # dedupe, preserve order
+        total = len(cells)
+        results: dict[Cell, ConfigResult] = {}
+        done = 0
+
+        todo: list[Cell] = []
+        for cell in cells:
+            hit = None
+            if self.cache is not None:
+                hit = self.cache.get_cell(*cell, workload, seed, with_remaining)
+            if hit is not None:
+                results[cell] = hit
+                done += 1
+                self.timings.append(CellTiming(*cell, 0.0, True))
+                if self.progress is not None:
+                    self.progress(done, total, cell, 0.0, True)
+            else:
+                todo.append(cell)
+
+        n_workers = min(self.workers, len(todo))
+        if n_workers <= 1:
+            for cell in todo:
+                t0 = time.perf_counter()
+                result = run_config(
+                    *cell, workload, seed,
+                    with_remaining=with_remaining, cache=self.cache,
+                )
+                seconds = time.perf_counter() - t0
+                results[cell] = result
+                if self.cache is not None:
+                    self.cache.put_cell(result, workload, seed, with_remaining)
+                done += 1
+                self.timings.append(CellTiming(*cell, seconds, False))
+                if self.progress is not None:
+                    self.progress(done, total, cell, seconds, False)
+        elif todo:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = {
+                    pool.submit(
+                        _compute_cell, label, kind, workload, seed, with_remaining
+                    ): (label, kind)
+                    for label, kind in todo
+                }
+                pending = set(futures)
+                while pending:
+                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        label, kind, result, peak, seconds = fut.result()
+                        cell = (label, kind)
+                        results[cell] = result
+                        if self.cache is not None:
+                            self.cache.put_cell(
+                                result, workload, seed, with_remaining
+                            )
+                            if peak is not None:
+                                self.cache.put_peak(
+                                    label, kind, workload, seed, peak
+                                )
+                        done += 1
+                        self.timings.append(CellTiming(label, kind, seconds, False))
+                        if self.progress is not None:
+                            self.progress(done, total, cell, seconds, False)
+
+        return {cell: results[cell] for cell in cells}
+
+    # ------------------------------------------------------------------
+    def run_matrix(
+        self,
+        labels: Iterable[str],
+        kinds: Iterable,
+        workload: Workload = DEFAULT_WORKLOAD,
+        seed: int = 1013,
+        with_remaining: bool = True,
+    ) -> dict[Cell, ConfigResult]:
+        """Run a (config x kind) grid; keys are (label, kind_name)."""
+        kind_names = [k if isinstance(k, str) else k.name for k in kinds]
+        cells = [(label, kn) for label in labels for kn in kind_names]
+        return self.run_cells(cells, workload, seed, with_remaining)
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Order-preserving parallel map for independent, picklable work.
+
+        Used by the sensitivity sweep, whose units are knob cases rather
+        than matrix cells.  Serial for ``workers=1``.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
+            return list(pool.map(fn, items, chunksize=1))
+
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    def reset_timings(self) -> None:
+        self.timings.clear()

@@ -9,12 +9,17 @@ configurations replay a single node's trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import TYPE_CHECKING, Optional
 
 from ..nvm.kinds import NVMKind, kind_by_name
 from ..ssd.metrics import RunMetrics
 from ..trace.replay import replay
 from ..trace.synth import ooc_eigensolver_trace
 from .configs import ExpConfig, config_by_label
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .cache import ResultCache
 
 __all__ = ["Workload", "ConfigResult", "run_config", "run_matrix", "DEFAULT_WORKLOAD"]
 
@@ -40,17 +45,29 @@ class Workload:
         return self.panels * self.panel_bytes * self.iterations
 
     def traces(self, clients: int):
-        """One trace per client, each owning its own H partition."""
-        return [
-            ooc_eigensolver_trace(
-                panels=self.panels,
-                panel_bytes=self.panel_bytes,
-                iterations=self.iterations,
-                client=c,
-                offset=c * self.bytes_per_client,
-            )
-            for c in range(clients)
-        ]
+        """One trace per client, each owning its own H partition.
+
+        Memoized: a frozen workload plus a client count fully determines
+        the traces, and replay never mutates them, so ION configurations
+        sweeping four NVM kinds (and the peak replays behind Figures
+        7b/8b) share one generation instead of regenerating each time.
+        """
+        return list(_workload_traces(self, clients))
+
+
+@lru_cache(maxsize=64)
+def _workload_traces(workload: Workload, clients: int) -> tuple:
+    """Generate (once) the per-client traces of a frozen workload."""
+    return tuple(
+        ooc_eigensolver_trace(
+            panels=workload.panels,
+            panel_bytes=workload.panel_bytes,
+            iterations=workload.iterations,
+            client=c,
+            offset=c * workload.bytes_per_client,
+        )
+        for c in range(clients)
+    )
 
 
 DEFAULT_WORKLOAD = Workload()
@@ -73,7 +90,11 @@ class ConfigResult:
 
 
 def _unconstrained_media_peak(
-    config: ExpConfig, kind: NVMKind, workload: Workload, seed: int
+    config: ExpConfig,
+    kind: NVMKind,
+    workload: Workload,
+    seed: int,
+    traces=None,
 ) -> float:
     """Aggregate rate of the same run with a free interface (MB/s).
 
@@ -93,8 +114,9 @@ def _unconstrained_media_peak(
     path.device.bus = BusSpec(name="infinite", mhz=10**9, ddr=True, cmd_ns=0)
     path.device.host = HostPath(name="infinite", bytes_per_sec=1e18, per_request_ns=0)
     path.device.command_overhead_ns = 0
-    summary = replay(path, workload.traces(path.clients),
-                     posix_window=workload.posix_window)
+    if traces is None or len(traces) != path.clients:
+        traces = workload.traces(path.clients)
+    summary = replay(path, traces, posix_window=workload.posix_window)
     return summary.aggregate_mb
 
 
@@ -105,24 +127,41 @@ def run_config(
     seed: int = 1013,
     keep_metrics: bool = False,
     with_remaining: bool = True,
+    cache: Optional["ResultCache"] = None,
 ) -> ConfigResult:
     """Run one Table-2 cell and collect every figure's quantities.
 
     ``with_remaining=False`` skips the second (unconstrained-interface)
-    replay used only by Figures 7b/8b, halving the cost.
+    replay used only by Figures 7b/8b, halving the cost.  ``cache``,
+    when given, serves the whole cell — or at least the peak replay —
+    from prior identical runs (``keep_metrics=True`` bypasses the cell
+    cache because metrics objects are never cached).
     """
     if isinstance(config, str):
         config = config_by_label(config)
     if isinstance(kind, str):
         kind = kind_by_name(kind)
+    if cache is not None and not keep_metrics:
+        hit = cache.get_cell(config.label, kind.name, workload, seed, with_remaining)
+        if hit is not None:
+            return hit
     data_bytes = workload.bytes_per_client
     path = config.build(kind, data_bytes, seed=seed)
     clients = path.clients
-    summary = replay(path, workload.traces(clients), posix_window=workload.posix_window)
+    traces = workload.traces(clients)
+    summary = replay(path, traces, posix_window=workload.posix_window)
     m = summary.metrics
     remaining = 0.0
     if with_remaining:
-        peak = _unconstrained_media_peak(config, kind, workload, seed)
+        peak = None
+        if cache is not None:
+            peak = cache.get_peak(config.label, kind.name, workload, seed)
+        if peak is None:
+            peak = _unconstrained_media_peak(
+                config, kind, workload, seed, traces=traces
+            )
+            if cache is not None:
+                cache.put_peak(config.label, kind.name, workload, seed, peak)
         remaining = max(0.0, peak - summary.aggregate_mb)
     return ConfigResult(
         label=config.label,
@@ -144,13 +183,18 @@ def run_matrix(
     workload: Workload = DEFAULT_WORKLOAD,
     seed: int = 1013,
     with_remaining: bool = True,
+    workers: Optional[int] = None,
+    cache: Optional["ResultCache"] = None,
+    progress=None,
 ) -> dict[tuple[str, str], ConfigResult]:
-    """Run a (config x kind) grid; keys are (label, kind_name)."""
-    out: dict[tuple[str, str], ConfigResult] = {}
-    for label in labels:
-        for kind in kinds:
-            kind_name = kind if isinstance(kind, str) else kind.name
-            out[(label, kind_name)] = run_config(
-                label, kind_name, workload, seed, with_remaining=with_remaining
-            )
-    return out
+    """Run a (config x kind) grid; keys are (label, kind_name).
+
+    Routed through :class:`~repro.experiments.parallel.MatrixEngine`:
+    ``workers`` > 1 fans the cells out over a process pool (``None``
+    auto-detects via ``REPRO_WORKERS`` / CPU count), ``workers=1`` runs
+    the exact serial path; either way the results are identical.
+    """
+    from .parallel import MatrixEngine
+
+    engine = MatrixEngine(workers=workers, cache=cache, progress=progress)
+    return engine.run_matrix(labels, kinds, workload, seed, with_remaining)

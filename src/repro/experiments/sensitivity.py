@@ -115,22 +115,39 @@ def _case(
     )
 
 
-def sensitivity_analysis(workload: Workload | None = None) -> SensitivityReport:
-    """Perturb each calibration knob by ±25 % and re-check conclusions."""
+def _case_from_kwargs(kw: dict) -> SensitivityCase:
+    """Picklable adapter so a process pool can run one knob case."""
+    return _case(**kw)
+
+
+def sensitivity_analysis(
+    workload: Workload | None = None, engine=None
+) -> SensitivityReport:
+    """Perturb each calibration knob by ±25 % and re-check conclusions.
+
+    The knob cases are independent seeded replays, so a
+    :class:`~repro.experiments.parallel.MatrixEngine` with ``workers>1``
+    fans them out over its process pool; case order in the report is
+    preserved either way.
+    """
     w = workload or Workload(panels=6, panel_bytes=8 * MiB)
-    report = SensitivityReport()
-    report.cases.append(_case("baseline", "1.00x", w))
+    specs: list[dict] = [dict(knob="baseline", setting="1.00x", workload=w)]
     for scale, tag in ((0.75, "0.75x"), (1.25, "1.25x")):
-        report.cases.append(
-            _case("gpfs-efficiency", tag, w, gpfs_efficiency=0.24 * scale)
+        specs.append(
+            dict(knob="gpfs-efficiency", setting=tag, workload=w,
+                 gpfs_efficiency=0.24 * scale)
         )
-        report.cases.append(
-            _case("fs-readahead", tag, w, readahead_scale=scale)
+        specs.append(
+            dict(knob="fs-readahead", setting=tag, workload=w,
+                 readahead_scale=scale)
         )
-        report.cases.append(
-            _case(
-                "ftl-cmd-overhead", tag, w,
-                command_overhead_ns=int(5_000 * scale),
-            )
+        specs.append(
+            dict(knob="ftl-cmd-overhead", setting=tag, workload=w,
+                 command_overhead_ns=int(5_000 * scale))
         )
+    report = SensitivityReport()
+    if engine is not None and engine.workers > 1:
+        report.cases = engine.map(_case_from_kwargs, specs)
+    else:
+        report.cases = [_case(**kw) for kw in specs]
     return report

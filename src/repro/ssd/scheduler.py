@@ -25,6 +25,17 @@ Resource model (per Section 2.3 / Figure 5):
 The scheduler is deterministic and processes transactions in submission
 order; parallelism emerges from the per-resource availability times
 exactly as in a non-preemptive list schedule.
+
+Implementation note (performance): per :class:`CommandGroup` batch, the
+address decode, cell-latency ladder lookups, bus/host transfer times
+and command-sharing discounts carry no cross-transaction dependency, so
+they are precomputed with numpy in one vectorized pass; only the
+irreducibly sequential resource-timeline recurrence runs as a scalar
+loop over plain ints.  Log rows land in preallocated int64 column
+buffers (one row per :data:`LOG_COLUMNS` entry), so :meth:`finish`
+returns views without the list-of-tuples transpose copy.  The schedule
+itself is bit-identical to the scalar reference implementation kept in
+:mod:`repro.ssd.reference_scheduler` (enforced by the golden test).
 """
 
 from __future__ import annotations
@@ -71,6 +82,9 @@ LOG_COLUMNS = (
 )
 
 KIND_CODES = {"data": 0, "journal": 1, "metadata": 2}
+
+#: name -> row index in the scheduler's preallocated column buffer
+_COL = {name: i for i, name in enumerate(LOG_COLUMNS)}
 
 
 @dataclass
@@ -126,8 +140,26 @@ class TransactionScheduler:
         self._cmd_ns = bus.cmd_ns
         self._bus_ns_per_byte = 1e9 / bus.bytes_per_sec
         self._host_ns_per_byte = 1e9 / host.bytes_per_sec
-        self._rows: list[tuple] = []
+        # cached latency ladders as ndarrays for vectorized lookup
+        k = self.kind
+        self._read_ladder_a = np.asarray(k.read_ladder, dtype=np.int64)
+        self._prog_ladder_a = np.asarray(k.program_ladder, dtype=np.int64)
+        # preallocated columnar log: one row per LOG_COLUMNS entry
+        self._buf = np.empty((len(LOG_COLUMNS), 1024), dtype=np.int64)
+        self._n = 0
         self._txn_counter = 0
+
+    def _reserve(self, extra: int) -> None:
+        """Grow the column buffers to hold ``extra`` more rows."""
+        need = self._n + extra
+        cap = self._buf.shape[1]
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        buf = np.empty((len(LOG_COLUMNS), cap), dtype=np.int64)
+        buf[:, : self._n] = self._buf[:, : self._n]
+        self._buf = buf
 
     # ------------------------------------------------------------------
     def _decode(self, flat: int) -> tuple[int, int, int, int]:
@@ -168,46 +200,85 @@ class TransactionScheduler:
         """
         if arrival < 0:
             raise ValueError("negative arrival")
-        bus_nspb = self._bus_ns_per_byte
-        host_nspb = self._host_ns_per_byte
-        cmd_ns = self._cmd_ns
+        if not isinstance(txns, (list, tuple)):
+            txns = list(txns)
+        n = len(txns)
+        if n == 0:
+            return arrival
+
+        # -- vectorized pre-pass: everything without a cross-transaction
+        # dependency (address decode, latency ladders, transfer times,
+        # command-sharing discounts) in one numpy sweep
+        arr = np.asarray(txns, dtype=np.int64).reshape(n, 5)
+        op_a = arr[:, 0]
+        flat_a = arr[:, 1]
+        nbytes_a = arr[:, 2]
+        group_a = arr[:, 3]
+        pib_a = arr[:, 4]
+
+        u_a = flat_a % self._U
+        plane_a = u_a % self._P
+        rest = u_a // self._P
+        chan_a = rest % self._C
+        rest = rest // self._C
+        pkg_a = rest // self._D + self._K * chan_a
+        die_a = rest % self._D + self._D * pkg_a
+
+        read_ladder = self._read_ladder_a
+        prog_ladder = self._prog_ladder_a
+        cell_a = np.full(n, self.kind.erase_ns, dtype=np.int64)
+        is_read = op_a == OpCode.READ
+        is_write = op_a == OpCode.WRITE
+        if is_read.any():
+            cell_a[is_read] = read_ladder[pib_a[is_read] % len(read_ladder)]
+        if is_write.any():
+            cell_a[is_write] = prog_ladder[pib_a[is_write] % len(prog_ladder)]
+
+        fb_a = (nbytes_a * self._bus_ns_per_byte).astype(np.int64)
+        hb_a = (nbytes_a * self._host_ns_per_byte).astype(np.int64)
+        # members of a multi-plane group after the first share the
+        # command/address cycles already paid on the channel
+        shared = np.zeros(n, dtype=bool)
+        if n > 1:
+            shared[1:] = (group_a[1:] >= 0) & (group_a[1:] == group_a[:-1])
+        cmd_a = np.where(shared, 0, self._cmd_ns)
+
+        # -- scalar recurrence over plain ints (ndarray item access is
+        # slower than list indexing in the dependency loop)
+        op_l = op_a.tolist()
+        unit_l = u_a.tolist()
+        chan_l = chan_a.tolist()
+        pkg_l = pkg_a.tolist()
+        die_l = die_a.tolist()
+        cell_l = cell_a.tolist()
+        fb_l = fb_a.tolist()
+        hb_l = hb_a.tolist()
+        cmd_l = cmd_a.tolist()
+
         chan_free = self.chan_free
         pkg_free = self.pkg_free
         die_free = self.die_free
         plane_free = self.plane_free
-        kcode = KIND_CODES.get(kind_label, 0)
-        completion = arrival
-        rows = self._rows
-
-        # hot loop: cache attribute lookups locally
-        U, P, C, D, K = self._U, self._P, self._C, self._D, self._K
-        kind = self.kind
-        read_ladder = kind.read_ladder
-        prog_ladder = kind.program_ladder
-        n_read = len(read_ladder)
-        n_prog = len(prog_ladder)
-        erase_ns = kind.erase_ns
         host_free = self.host_free
         READ, WRITE = OpCode.READ, OpCode.WRITE
-        append = rows.append
+        completion = arrival
 
-        prev_group = -2  # group id of the previous txn (for cmd sharing)
-        for op, flat, nbytes, group, pib in txns:
-            u = flat % U
-            plane = u % P
-            rest = u // P
-            channel = rest % C
-            rest //= C
-            pkg_g = rest // D + K * channel
-            die_g = rest % D + D * pkg_g
-            # members of a multi-plane group after the first share the
-            # command/address cycles already paid on the channel
-            this_cmd = 0 if (group >= 0 and group == prev_group) else cmd_ns
-            prev_group = group
+        cs_l = [0] * n
+        ce_l = [0] * n
+        fs_l = [0] * n
+        fe_l = [0] * n
+        ss_l = [0] * n
+        se_l = [0] * n
+        hs_l = [0] * n
+        he_l = [0] * n
+        md_l = [0] * n
+        dn_l = [0] * n
 
-            unit = flat % U
+        for i in range(n):
+            op = op_l[i]
+            unit = unit_l[i]
+            die_g = die_l[i]
             if op == READ:
-                cell_ns = read_ladder[pib % n_read]
                 # full-page sense regardless of payload size; the sense
                 # needs the cell array free AND this plane's register
                 # drained from its previous transfer
@@ -218,34 +289,37 @@ class TransactionScheduler:
                 pl = plane_free[unit]
                 if pl > c_start:
                     c_start = pl
-                c_end = c_start + cell_ns
+                c_end = c_start + cell_l[i]
                 die_free[die_g] = c_end
-                fb_ns = int(nbytes * bus_nspb)
+                fb_ns = fb_l[i]
+                pkg_g = pkg_l[i]
                 pf = pkg_free[pkg_g]
                 f_start = pf if pf > c_end else c_end
                 f_end = f_start + fb_ns
                 pkg_free[pkg_g] = f_end
+                channel = chan_l[i]
                 cf = chan_free[channel]
                 s_start = cf if cf > f_end else f_end
-                s_end = s_start + this_cmd + fb_ns
+                s_end = s_start + cmd_l[i] + fb_ns
                 chan_free[channel] = s_end
                 plane_free[unit] = s_end  # register drains with the bus
                 h_start = host_free if host_free > s_end else s_end
-                h_end = h_start + int(nbytes * host_nspb)
+                h_end = h_start + hb_l[i]
                 host_free = h_end
                 media_done = s_end
                 done = h_end
             elif op == WRITE:
-                cell_ns = prog_ladder[pib % n_prog]
                 h_start = host_free if host_free > arrival else arrival
-                h_end = h_start + int(nbytes * host_nspb)
+                h_end = h_start + hb_l[i]
                 host_free = h_end
-                fb_ns = int(nbytes * bus_nspb)
+                fb_ns = fb_l[i]
+                channel = chan_l[i]
                 cf = chan_free[channel]
                 s_start = cf if cf > h_end else h_end
-                s_end = s_start + this_cmd + fb_ns
+                s_end = s_start + cmd_l[i] + fb_ns
                 chan_free[channel] = s_end
                 # loading the register needs it drained from prior use
+                pkg_g = pkg_l[i]
                 pf = pkg_free[pkg_g]
                 f_start = pf if pf > s_end else s_end
                 pl = plane_free[unit]
@@ -255,7 +329,7 @@ class TransactionScheduler:
                 pkg_free[pkg_g] = f_end
                 df = die_free[die_g]
                 c_start = df if df > f_end else f_end
-                c_end = c_start + cell_ns
+                c_end = c_start + cell_l[i]
                 die_free[die_g] = c_end
                 plane_free[unit] = c_end  # register held during program
                 media_done = c_end
@@ -268,7 +342,7 @@ class TransactionScheduler:
                 pl = plane_free[unit]
                 if pl > c_start:
                     c_start = pl
-                c_end = c_start + erase_ns
+                c_end = c_start + cell_l[i]
                 die_free[die_g] = c_end
                 plane_free[unit] = c_end
                 f_start = f_end = c_end
@@ -279,44 +353,57 @@ class TransactionScheduler:
 
             if done > completion:
                 completion = done
-            append(
-                (
-                    req_id,
-                    client,
-                    op,
-                    channel,
-                    pkg_g,
-                    die_g,
-                    plane,
-                    nbytes,
-                    group,
-                    kcode,
-                    flat,
-                    pib,
-                    arrival,
-                    c_start,
-                    c_end,
-                    f_start,
-                    f_end,
-                    s_start,
-                    s_end,
-                    h_start,
-                    h_end,
-                    media_done,
-                    done,
-                )
-            )
+            cs_l[i] = c_start
+            ce_l[i] = c_end
+            fs_l[i] = f_start
+            fe_l[i] = f_end
+            ss_l[i] = s_start
+            se_l[i] = s_end
+            hs_l[i] = h_start
+            he_l[i] = h_end
+            md_l[i] = media_done
+            dn_l[i] = done
+
         self.host_free = host_free
+
+        # -- bulk write into the preallocated column buffers
+        self._reserve(n)
+        base = self._n
+        end = base + n
+        buf = self._buf
+        buf[_COL["req"], base:end] = req_id
+        buf[_COL["client"], base:end] = client
+        buf[_COL["op"], base:end] = op_a
+        buf[_COL["channel"], base:end] = chan_a
+        buf[_COL["package"], base:end] = pkg_a
+        buf[_COL["die"], base:end] = die_a
+        buf[_COL["plane"], base:end] = plane_a
+        buf[_COL["nbytes"], base:end] = nbytes_a
+        buf[_COL["group"], base:end] = group_a
+        buf[_COL["kind_code"], base:end] = KIND_CODES.get(kind_label, 0)
+        buf[_COL["flat"], base:end] = flat_a
+        buf[_COL["pib"], base:end] = pib_a
+        buf[_COL["arrival"], base:end] = arrival
+        buf[_COL["cell_start"], base:end] = cs_l
+        buf[_COL["cell_end"], base:end] = ce_l
+        buf[_COL["fb_start"], base:end] = fs_l
+        buf[_COL["fb_end"], base:end] = fe_l
+        buf[_COL["ch_start"], base:end] = ss_l
+        buf[_COL["ch_end"], base:end] = se_l
+        buf[_COL["h_start"], base:end] = hs_l
+        buf[_COL["h_end"], base:end] = he_l
+        buf[_COL["media_done"], base:end] = md_l
+        buf[_COL["done"], base:end] = dn_l
+        self._n = end
         return completion
 
     # ------------------------------------------------------------------
     def finish(self) -> TxnLog:
-        """Freeze the log into columnar arrays."""
-        if not self._rows:
-            return TxnLog({name: np.empty(0, dtype=np.int64) for name in LOG_COLUMNS})
-        arr = np.asarray(self._rows, dtype=np.int64)
-        return TxnLog({name: arr[:, i] for i, name in enumerate(LOG_COLUMNS)})
+        """Freeze the log into columnar arrays (views, no transpose copy)."""
+        n = self._n
+        buf = self._buf
+        return TxnLog({name: buf[i, :n] for i, name in enumerate(LOG_COLUMNS)})
 
     @property
     def n_txns(self) -> int:
-        return len(self._rows)
+        return self._n

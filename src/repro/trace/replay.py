@@ -14,6 +14,7 @@ reports per-client bandwidth the way the paper reports per-CN numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import cycle, islice
 
 import numpy as np
 
@@ -49,16 +50,23 @@ class ReplaySummary:
 
 
 def _interleave(per_client_groups: list[list[CommandGroup]]) -> list[CommandGroup]:
-    """Round-robin merge of the clients' group streams."""
+    """Round-robin merge of the clients' group streams.
+
+    Single-pass ``itertools`` round-robin: exhausted clients drop out of
+    the rotation instead of being rescanned every cycle, so the merge is
+    O(total groups) even when client stream lengths are skewed.
+    """
     merged: list[CommandGroup] = []
-    idx = [0] * len(per_client_groups)
-    remaining = sum(len(g) for g in per_client_groups)
-    while remaining:
-        for c, groups in enumerate(per_client_groups):
-            if idx[c] < len(groups):
-                merged.append(groups[idx[c]])
-                idx[c] += 1
-                remaining -= 1
+    append = merged.append
+    num_active = len(per_client_groups)
+    nexts = cycle(iter(groups).__next__ for groups in per_client_groups)
+    while num_active:
+        try:
+            for nxt in nexts:
+                append(nxt())
+        except StopIteration:
+            num_active -= 1
+            nexts = cycle(islice(nexts, num_active))
     return merged
 
 

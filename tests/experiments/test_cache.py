@@ -1,0 +1,129 @@
+"""ResultCache: key schema, round-trips, fallbacks, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ResultCache, Workload, run_config
+from repro.experiments.cache import cell_key, peak_key
+
+KiB = 1024
+TINY = Workload(panels=2, panel_bytes=256 * KiB)
+OTHER = Workload(panels=3, panel_bytes=256 * KiB)
+SEED = 1013
+
+
+class TestKeys:
+    def test_deterministic(self):
+        assert cell_key("CNL-UFS", "SLC", TINY, SEED, True) == cell_key(
+            "CNL-UFS", "SLC", TINY, SEED, True
+        )
+
+    def test_every_component_matters(self):
+        base = cell_key("CNL-UFS", "SLC", TINY, SEED, True)
+        assert cell_key("CNL-EXT2", "SLC", TINY, SEED, True) != base
+        assert cell_key("CNL-UFS", "TLC", TINY, SEED, True) != base
+        assert cell_key("CNL-UFS", "SLC", OTHER, SEED, True) != base
+        assert cell_key("CNL-UFS", "SLC", TINY, SEED + 1, True) != base
+        assert cell_key("CNL-UFS", "SLC", TINY, SEED, False) != base
+
+    def test_schema_version_invalidates(self, monkeypatch):
+        from repro.experiments import cache as cache_mod
+
+        base = cell_key("CNL-UFS", "SLC", TINY, SEED, True)
+        monkeypatch.setattr(cache_mod, "SCHEMA_VERSION", 999)
+        assert cell_key("CNL-UFS", "SLC", TINY, SEED, True) != base
+
+    def test_peak_key_distinct_from_cell_key(self):
+        assert peak_key("CNL-UFS", "SLC", TINY, SEED) != cell_key(
+            "CNL-UFS", "SLC", TINY, SEED, True
+        )
+
+
+class TestRoundTrip:
+    def test_memory_cell_roundtrip(self):
+        cache = ResultCache()
+        result = run_config("CNL-EXT4", "TLC", TINY, SEED)
+        cache.put_cell(result, TINY, SEED, True)
+        hit = cache.get_cell("CNL-EXT4", "TLC", TINY, SEED, True)
+        assert hit is not None
+        assert hit.bandwidth_mb == result.bandwidth_mb
+        assert hit.remaining_mb == result.remaining_mb
+        assert hit.breakdown == result.breakdown
+        assert hit.parallelism == result.parallelism
+        assert hit.metrics is None
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ResultCache()
+        assert cache.get_cell("CNL-EXT4", "TLC", TINY, SEED, True) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_disk_persistence(self, tmp_path):
+        result = run_config("CNL-UFS", "SLC", TINY, SEED)
+        ResultCache(tmp_path).put_cell(result, TINY, SEED, True)
+        fresh = ResultCache(tmp_path)
+        hit = fresh.get_cell("CNL-UFS", "SLC", TINY, SEED, True)
+        assert hit is not None and hit.bandwidth_mb == result.bandwidth_mb
+        assert len(fresh) == 1
+
+    def test_peak_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_peak("CNL-UFS", "SLC", TINY, SEED, 1234.5)
+        assert ResultCache(tmp_path).get_peak(
+            "CNL-UFS", "SLC", TINY, SEED
+        ) == pytest.approx(1234.5)
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_config("CNL-UFS", "SLC", TINY, SEED)
+        cache.put_cell(result, TINY, SEED, True)
+        for f in tmp_path.glob("*.json"):
+            f.write_text("{not json")
+        assert ResultCache(tmp_path).get_cell(
+            "CNL-UFS", "SLC", TINY, SEED, True
+        ) is None
+
+
+class TestRemainingFallbacks:
+    def test_true_entry_serves_false_request_with_zero_remaining(self):
+        cache = ResultCache()
+        result = run_config("CNL-EXT2", "SLC", TINY, SEED, with_remaining=True)
+        assert result.remaining_mb > 0
+        cache.put_cell(result, TINY, SEED, True)
+        hit = cache.get_cell("CNL-EXT2", "SLC", TINY, SEED, False)
+        assert hit is not None
+        assert hit.remaining_mb == 0.0
+        assert hit.bandwidth_mb == result.bandwidth_mb
+
+    def test_false_entry_plus_peak_serves_true_request(self):
+        cache = ResultCache()
+        full = run_config("CNL-EXT2", "SLC", TINY, SEED, cache=cache)
+        # seed the cache with only the False cell + the peak
+        cheap = run_config("CNL-EXT2", "SLC", TINY, SEED, with_remaining=False)
+        cache.put_cell(cheap, TINY, SEED, False)
+        hit = cache.get_cell("CNL-EXT2", "SLC", TINY, SEED, True)
+        assert hit is not None
+        assert hit.remaining_mb == pytest.approx(full.remaining_mb)
+
+    def test_run_config_reuses_cached_peak(self):
+        cache = ResultCache()
+        run_config("CNL-EXT2", "SLC", TINY, SEED, cache=cache)
+        hits_before = cache.hits
+        # fresh cell request with metrics kept: cell cache bypassed, but
+        # the peak replay must still be served from the cache
+        r = run_config(
+            "CNL-EXT2", "SLC", TINY, SEED, cache=cache, keep_metrics=True
+        )
+        assert r.metrics is not None
+        assert cache.hits == hits_before + 1
+
+
+class TestMaintenance:
+    def test_clear_memory_and_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_peak("CNL-UFS", "SLC", TINY, SEED, 1.0)
+        cache.put_peak("CNL-UFS", "TLC", TINY, SEED, 2.0)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get_peak("CNL-UFS", "SLC", TINY, SEED) is None

@@ -1,0 +1,146 @@
+"""MatrixEngine: parallel == serial, caching, timings, progress."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    MatrixEngine,
+    ResultCache,
+    TABLE2_CONFIGS,
+    Workload,
+    run_config,
+    run_matrix,
+)
+
+KiB = 1024
+TINY = Workload(panels=2, panel_bytes=256 * KiB)
+ALL_LABELS = tuple(c.label for c in TABLE2_CONFIGS)
+ALL_KINDS = ("SLC", "MLC", "TLC", "PCM")
+
+
+def assert_results_equal(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        ra, rb = a[key], b[key]
+        assert ra.label == rb.label and ra.kind == rb.kind
+        assert ra.bandwidth_mb == rb.bandwidth_mb, key
+        assert ra.aggregate_mb == rb.aggregate_mb, key
+        assert ra.remaining_mb == rb.remaining_mb, key
+        assert ra.channel_utilization == rb.channel_utilization, key
+        assert ra.package_utilization == rb.package_utilization, key
+        assert ra.breakdown == rb.breakdown, key
+        assert ra.parallelism == rb.parallelism, key
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial_full_grid(self):
+        """The full 13x4 matrix, with the peak replays, both ways."""
+        serial = run_matrix(ALL_LABELS, ALL_KINDS, TINY, workers=1)
+        parallel = MatrixEngine(workers=2).run_matrix(ALL_LABELS, ALL_KINDS, TINY)
+        assert len(serial) == 52
+        assert_results_equal(serial, parallel)
+
+    def test_engine_serial_path_matches_run_config(self):
+        engine = MatrixEngine(workers=1)
+        out = engine.run_cells([("CNL-EXT4", "TLC")], TINY)
+        direct = run_config("CNL-EXT4", "TLC", TINY)
+        assert out[("CNL-EXT4", "TLC")].bandwidth_mb == direct.bandwidth_mb
+        assert out[("CNL-EXT4", "TLC")].remaining_mb == direct.remaining_mb
+
+
+class TestEngineMechanics:
+    def test_key_order_and_dedup(self):
+        engine = MatrixEngine(workers=1)
+        cells = [("CNL-UFS", "SLC"), ("CNL-EXT2", "SLC"), ("CNL-UFS", "SLC")]
+        out = engine.run_cells(cells, TINY, with_remaining=False)
+        assert list(out) == [("CNL-UFS", "SLC"), ("CNL-EXT2", "SLC")]
+
+    def test_progress_and_timings(self):
+        seen = []
+        engine = MatrixEngine(
+            workers=1, progress=lambda done, total, cell, sec, cached: seen.append(
+                (done, total, cell, cached)
+            )
+        )
+        engine.run_cells(
+            [("CNL-UFS", "SLC"), ("CNL-UFS", "TLC")], TINY, with_remaining=False
+        )
+        assert [s[0] for s in seen] == [1, 2]
+        assert all(s[1] == 2 for s in seen)
+        assert len(engine.timings) == 2
+        assert all(t.seconds > 0 and not t.cached for t in engine.timings)
+        assert engine.total_seconds > 0
+
+    def test_workers_clamped_to_minimum_one(self):
+        assert MatrixEngine(workers=0).workers == 1
+
+    def test_auto_detect_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert MatrixEngine().workers == 3
+
+    def test_map_preserves_order(self):
+        engine = MatrixEngine(workers=2)
+        assert engine.map(abs, [-3, 1, -2]) == [3, 1, 2]
+
+
+class TestEngineCaching:
+    def test_second_run_fully_cached(self):
+        engine = MatrixEngine(workers=1, cache=ResultCache())
+        cells = [("CNL-EXT4", "SLC"), ("ION-GPFS", "TLC")]
+        first = engine.run_cells(cells, TINY)
+        engine.reset_timings()
+        second = engine.run_cells(cells, TINY)
+        assert_results_equal(first, second)
+        assert all(t.cached and t.seconds == 0.0 for t in engine.timings)
+
+    def test_parallel_results_populate_cache(self):
+        cache = ResultCache()
+        engine = MatrixEngine(workers=2, cache=cache)
+        cells = [("CNL-UFS", kind) for kind in ALL_KINDS]
+        engine.run_cells(cells, TINY)
+        served = MatrixEngine(workers=1, cache=cache)
+        served.run_cells(cells, TINY)
+        assert all(t.cached for t in served.timings)
+
+    def test_disk_cache_shared_across_engines(self, tmp_path):
+        first = MatrixEngine(workers=1, cache=ResultCache(tmp_path))
+        a = first.run_cells([("CNL-EXT3", "MLC")], TINY)
+        fresh = MatrixEngine(workers=1, cache=ResultCache(tmp_path))
+        b = fresh.run_cells([("CNL-EXT3", "MLC")], TINY)
+        assert_results_equal(a, b)
+        assert fresh.timings[0].cached
+
+    def test_peak_shared_across_remaining_flags(self):
+        """A with_remaining=False run + cached peak upgrades for free."""
+        cache = ResultCache()
+        engine = MatrixEngine(workers=1, cache=cache)
+        engine.run_cells([("CNL-EXT2", "SLC")], TINY, with_remaining=True)
+        engine.reset_timings()
+        out = engine.run_cells([("CNL-EXT2", "SLC")], TINY, with_remaining=False)
+        assert engine.timings[0].cached
+        assert out[("CNL-EXT2", "SLC")].remaining_mb == 0.0
+
+
+class TestFigureRouting:
+    def test_figures_share_engine_cells(self):
+        from repro.experiments import figure9, figure10
+
+        engine = MatrixEngine(workers=1, cache=ResultCache())
+        figure9(TINY, engine=engine)
+        n_after_9 = sum(1 for t in engine.timings if not t.cached)
+        figure10(TINY, engine=engine)
+        n_after_10 = sum(1 for t in engine.timings if not t.cached)
+        # figure10 reads the exact grid figure9 computed
+        assert n_after_10 == n_after_9
+
+    def test_headline_engine_matches_serial(self):
+        from repro.experiments import compute_headline
+
+        serial = compute_headline(TINY)
+        pooled = compute_headline(TINY, engine=MatrixEngine(workers=2))
+        assert serial.average_native16_over_ion == pytest.approx(
+            pooled.average_native16_over_ion
+        )
+        assert serial.worst_cnl_gain == pooled.worst_cnl_gain
+        assert serial.native16_over_ion == pooled.native16_over_ion

@@ -72,3 +72,45 @@ class TestWindowEffect:
         s1 = replay(make_cnl_device("EXT4", MLC, DATA), trace(), posix_window=1)
         s4 = replay(make_cnl_device("EXT4", MLC, DATA), trace(), posix_window=4)
         assert s4.bandwidth_mb >= s1.bandwidth_mb * 0.95
+
+
+class TestInterleave:
+    """Single-pass round-robin merge of per-client group streams."""
+
+    @staticmethod
+    def _reference(streams):
+        # the original O(clients x groups) rescan merge, kept as oracle
+        merged, idx = [], [0] * len(streams)
+        remaining = sum(len(s) for s in streams)
+        while remaining:
+            for c, groups in enumerate(streams):
+                if idx[c] < len(groups):
+                    merged.append(groups[idx[c]])
+                    idx[c] += 1
+                    remaining -= 1
+        return merged
+
+    def test_round_robin_order_even(self):
+        from repro.trace.replay import _interleave
+
+        streams = [["a0", "a1"], ["b0", "b1"], ["c0", "c1"]]
+        assert _interleave(streams) == ["a0", "b0", "c0", "a1", "b1", "c1"]
+
+    def test_skewed_streams_match_reference(self):
+        from repro.trace.replay import _interleave
+
+        streams = [
+            [f"a{i}" for i in range(7)],
+            [f"b{i}" for i in range(1)],
+            [f"c{i}" for i in range(4)],
+            [],
+            [f"e{i}" for i in range(2)],
+        ]
+        assert _interleave(streams) == self._reference(streams)
+
+    def test_single_and_empty(self):
+        from repro.trace.replay import _interleave
+
+        assert _interleave([["x", "y"]]) == ["x", "y"]
+        assert _interleave([[], []]) == []
+        assert _interleave([]) == []
