@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: query the simulation service instead of running batches.
+
+Starts an in-process ``repro.service`` server on an ephemeral port —
+the same server ``python -m repro serve`` runs — then drives it with
+:class:`repro.service.ServiceClient`: a burst of concurrent cell jobs
+(with deliberate duplicates to show in-flight coalescing), a streamed
+headline job with live progress, and finally the ``status`` metrics
+snapshot.  Against a long-running server you would replace the
+server-setup block with just ``ServiceClient.connect(host, port)``.
+
+Run:  python examples/service_quickstart.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.experiments import Workload
+from repro.service import (
+    CellJob,
+    HeadlineJob,
+    ServiceClient,
+    ServiceServer,
+    SimulationService,
+)
+
+KiB = 1024
+# a tiny workload so the example finishes in seconds
+TINY = Workload(panels=2, panel_bytes=256 * KiB)
+
+
+async def main() -> None:
+    server = ServiceServer(SimulationService(queue_limit=32, max_concurrency=2))
+    host, port = await server.start()
+    print(f"service on {host}:{port}\n")
+
+    async with await ServiceClient.connect(host, port) as client:
+        # -- a burst of cell queries, 3 distinct cells submitted 3x each
+        cells = [
+            ("CNL-UFS", "SLC"),
+            ("CNL-EXT4", "TLC"),
+            ("ION-GPFS", "MLC"),
+        ] * 3
+        jobs = [
+            client.submit(CellJob(label=label, kind=kind, workload=TINY))
+            for label, kind in cells
+        ]
+        results = await asyncio.gather(*jobs)
+        print(f"{len(results)} cell queries answered:")
+        for (label, kind), payload in list(zip(cells, results))[:3]:
+            r = payload["result"]
+            print(f"  {label:<10} {kind:<4} {r['bandwidth_mb']:8.1f} MB/s "
+                  f"({r['remaining_mb']:.1f} MB/s of media headroom)")
+
+        # -- one full exhibit with live progress
+        def on_progress(event):
+            label, kind = event["cell"]
+            print(f"  [{event['done']}/{event['total']}] {label} x {kind}"
+                  f"{'  (cached)' if event['cached'] else ''}")
+
+        print("\nheadline claims, streamed:")
+        payload = await client.submit(
+            HeadlineJob(workload=TINY), on_progress=on_progress
+        )
+        print(payload["text"].splitlines()[0])
+
+        # -- what the service saw
+        status = await client.status()
+        print(f"\nstatus: {status['submitted']} submitted, "
+              f"{status['executed']} executed, "
+              f"{status['coalesced']} coalesced, "
+              f"cache hit ratio {status['cache']['hit_ratio']:.0%}, "
+              f"p50 latency {status['latency']['p50_s'] * 1000:.0f} ms")
+
+    await server.close()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

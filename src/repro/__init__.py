@@ -16,7 +16,9 @@ The package provides:
   block SpMM, DOoC middleware, DataCutter),
 * :mod:`repro.trace` — POSIX/block tracing and replay,
 * :mod:`repro.experiments` — the Table-2 configuration matrix and the
-  per-figure reproduction harness.
+  per-figure reproduction harness,
+* :mod:`repro.service` — async simulation-as-a-service layer (admission
+  control, request coalescing, live progress; ``python -m repro serve``).
 """
 
 __version__ = "1.0.0"

@@ -10,6 +10,7 @@ Usage::
     python -m repro all -o results/         # write exhibits to a dir
     python -m repro all --workers 8         # parallel matrix cells
     python -m repro all --cache-dir ~/.cache/repro   # reuse across runs
+    python -m repro serve --port 8077       # simulation-as-a-service
 
 Each exhibit prints the same rows/series the paper plots; ``--out``
 additionally writes one text file per exhibit.  The matrix exhibits
@@ -17,6 +18,13 @@ additionally writes one text file per exhibit.  The matrix exhibits
 fans independent (config, kind) cells out over a process pool
 (``--workers 0`` auto-detects), and an in-memory result cache dedupes
 the cells the figures have in common; ``--cache-dir`` persists it.
+
+``serve`` starts the long-running JSON-lines TCP service
+(:mod:`repro.service`): typed cell/matrix/figure/headline jobs, bounded
+admission queue with backpressure, in-flight coalescing, streaming
+progress and a ``status`` metrics endpoint.  Talk to it with
+:class:`repro.service.ServiceClient` (see
+``examples/service_quickstart.py``).
 """
 
 from __future__ import annotations
@@ -65,14 +73,94 @@ def _exhibits(scale: float, engine: MatrixEngine):
     }
 
 
+def _serve_main(argv: list[str]) -> int:
+    """``python -m repro serve``: run the simulation service."""
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve simulation jobs over a JSON-lines TCP endpoint.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8077, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine worker processes per job (0 = auto-detect, default 1)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission queue bound; beyond it jobs are rejected (default 64)",
+    )
+    parser.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="jobs executing simultaneously (default 4)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persist matrix-cell results on disk (default: in-memory only)",
+    )
+    args = parser.parse_args(argv)
+
+    from .experiments.parallel import detect_workers
+    from .service import ServiceServer, SimulationService
+
+    try:
+        cache = ResultCache(args.cache_dir)
+    except NotADirectoryError as exc:
+        parser.error(f"--cache-dir: {exc}")
+
+    async def _run() -> None:
+        service = SimulationService(
+            workers_per_job=detect_workers() if args.workers == 0 else args.workers,
+            cache=cache,
+            queue_limit=args.queue_limit,
+            max_concurrency=args.max_concurrency,
+        )
+        server = ServiceServer(service, args.host, args.port)
+        host, port = await server.start()
+        print(
+            f"repro service on {host}:{port} "
+            f"(queue={args.queue_limit}, concurrency={args.max_concurrency}, "
+            f"workers/job={service.executor.workers_per_job})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining in-flight jobs...", flush=True)
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures from the simulation.",
     )
     parser.add_argument(
         "exhibit",
-        help="exhibit name, 'all', or 'list'",
+        help="exhibit name, 'all', 'list', or 'serve'",
     )
     parser.add_argument(
         "--scale",
@@ -136,6 +224,14 @@ def main(argv: list[str] | None = None) -> int:
             f"[matrix engine: {len(engine.timings)} cells ({cached} cached), "
             f"{engine.total_seconds:.1f}s cell time, {engine.workers} workers]"
         )
+        stats = engine.cache_stats()
+        if stats is not None and (stats["hits"] or stats["misses"]):
+            print(
+                f"[result cache: {stats['hits']} hits "
+                f"({stats['memory_hits']} mem / {stats['disk_hits']} disk), "
+                f"{stats['misses']} misses, {stats['puts']} puts, "
+                f"hit ratio {stats['hit_ratio']:.0%}]"
+            )
     return 0
 
 

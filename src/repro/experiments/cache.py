@@ -104,6 +104,9 @@ class ResultCache:
         self._mem: dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.puts = 0
 
     # -- raw entry storage ---------------------------------------------
     def _path(self, key: str) -> Path:
@@ -113,6 +116,7 @@ class ResultCache:
     def _load(self, key: str) -> Optional[dict]:
         payload = self._mem.get(key)
         if payload is not None:
+            self._last_source = "memory"
             return payload
         if self.root is not None:
             path = self._path(key)
@@ -121,11 +125,20 @@ class ResultCache:
             except (OSError, ValueError):
                 return None
             self._mem[key] = payload
+            self._last_source = "disk"
             return payload
         return None
 
+    def _count_hit(self) -> None:
+        self.hits += 1
+        if getattr(self, "_last_source", "memory") == "disk":
+            self.disk_hits += 1
+        else:
+            self.memory_hits += 1
+
     def _store(self, key: str, payload: dict) -> None:
         self._mem[key] = payload
+        self.puts += 1
         if self.root is not None:
             path = self._path(key)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -166,7 +179,7 @@ class ResultCache:
         if payload is None:
             self.misses += 1
             return None
-        self.hits += 1
+        self._count_hit()
         fields = {name: payload[name] for name in _CELL_FIELDS}
         if remaining_override is not None:
             fields["remaining_mb"] = remaining_override
@@ -200,7 +213,7 @@ class ResultCache:
                 self.misses += 1
             return None
         if _count:
-            self.hits += 1
+            self._count_hit()
         return float(payload["peak_mb"])
 
     def put_peak(
@@ -209,6 +222,29 @@ class ResultCache:
         self._store(
             peak_key(label, kind, workload, seed), {"peak_mb": float(peak_mb)}
         )
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict:
+        """Counters since construction plus current entry counts.
+
+        ``hits`` splits into ``memory_hits``/``disk_hits`` (an entry read
+        from disk is promoted to memory, so later hits on it are memory
+        hits); ``hit_ratio`` is hits over all counted lookups.
+        """
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "hit_ratio": self.hits / lookups if lookups else 0.0,
+            "memory_entries": len(self._mem),
+            "disk_entries": (
+                len(list(self.root.glob("*.json"))) if self.root is not None else 0
+            ),
+            "persistent": self.root is not None,
+        }
 
     # -- maintenance ----------------------------------------------------
     def clear(self) -> int:

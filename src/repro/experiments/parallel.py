@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
@@ -32,10 +33,22 @@ Cell = tuple[str, str]  # (config label, kind name)
 
 
 def detect_workers() -> int:
-    """Worker count: ``REPRO_WORKERS`` env override, else CPU count."""
+    """Worker count: ``REPRO_WORKERS`` env override, else CPU count.
+
+    A non-integer override is ignored with a warning rather than
+    aborting the run — the env var is set far from where it's read.
+    """
     env = os.environ.get("REPRO_WORKERS")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer REPRO_WORKERS={env!r}; "
+                "falling back to CPU count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return os.cpu_count() or 1
 
 
@@ -196,3 +209,18 @@ class MatrixEngine:
 
     def reset_timings(self) -> None:
         self.timings.clear()
+
+    def cache_stats(self) -> Optional[dict]:
+        """The attached :class:`ResultCache`'s counters, or ``None``."""
+        return self.cache.stats() if self.cache is not None else None
+
+    def summary(self) -> dict:
+        """Timing + cache roll-up for status lines and service metrics."""
+        cached = sum(1 for t in self.timings if t.cached)
+        return {
+            "cells": len(self.timings),
+            "cached_cells": cached,
+            "cell_seconds": self.total_seconds,
+            "workers": self.workers,
+            "cache": self.cache_stats(),
+        }

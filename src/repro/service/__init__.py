@@ -1,0 +1,52 @@
+"""Simulation-as-a-service: async serving layer over the experiment engine.
+
+The batch harness answers "regenerate figure 7"; this package answers
+"what bandwidth would this stack give me?" as a long-running service —
+typed job specs, a bounded admission queue with backpressure, in-flight
+coalescing of identical requests, an asyncio bridge over
+:class:`~repro.experiments.parallel.MatrixEngine`, live progress
+streams, and a metrics/status endpoint.  ``python -m repro serve``
+starts the TCP front end; :class:`ServiceClient` talks to it.
+"""
+
+from .coalescer import Coalescer, InflightEntry
+from .client import ServiceClient, submit_one
+from .executor import EngineExecutor, execute_job, result_to_payload
+from .jobs import (
+    CellJob,
+    FigureJob,
+    HeadlineJob,
+    JobSpec,
+    JobValidationError,
+    MatrixJob,
+    ServiceError,
+    job_from_dict,
+)
+from .metrics import LatencyRecorder, ServiceMetrics
+from .queue import AdmissionError, AdmissionQueue
+from .server import JobHandle, ServiceServer, SimulationService
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionQueue",
+    "CellJob",
+    "Coalescer",
+    "EngineExecutor",
+    "FigureJob",
+    "HeadlineJob",
+    "InflightEntry",
+    "JobHandle",
+    "JobSpec",
+    "JobValidationError",
+    "LatencyRecorder",
+    "MatrixJob",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceServer",
+    "SimulationService",
+    "execute_job",
+    "job_from_dict",
+    "result_to_payload",
+    "submit_one",
+]

@@ -1,0 +1,158 @@
+"""Asyncio client for the JSON-lines simulation service.
+
+One connection multiplexes any number of concurrent requests: each is
+tagged with a ``req`` id, a background reader task routes responses to
+the awaiting caller.  ``submit`` returns the job's result payload (and
+optionally streams progress events to a callback); rejections and
+failures surface as :class:`ServiceError` with the server's structured
+code intact, so callers can distinguish ``queue_full`` from
+``invalid_job`` from ``deadline_expired`` programmatically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Callable, Mapping, Optional, Union
+
+from .jobs import JobSpec, ServiceError
+
+__all__ = ["ServiceClient", "submit_one"]
+
+
+class ServiceClient:
+    """Connection to a running ``python -m repro serve`` instance."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._req_seq = itertools.count(1)
+        self._pending: dict[int, asyncio.Queue] = {}
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 8077
+                      ) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                message = json.loads(line)
+                queue = self._pending.get(message.get("req"))
+                if queue is not None:
+                    queue.put_nowait(message)
+        except (ConnectionResetError, asyncio.CancelledError):
+            raise
+        finally:
+            for queue in self._pending.values():
+                queue.put_nowait({"ok": False, "error": "connection_lost",
+                                  "detail": "server connection closed"})
+
+    async def _send(self, message: dict) -> tuple[int, asyncio.Queue]:
+        req = next(self._req_seq)
+        message["req"] = req
+        queue: asyncio.Queue = asyncio.Queue()
+        self._pending[req] = queue
+        async with self._write_lock:
+            self._writer.write(json.dumps(message).encode() + b"\n")
+            await self._writer.drain()
+        return req, queue
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        job: Union[JobSpec, Mapping],
+        on_progress: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Submit a job and wait for its result payload.
+
+        Raises :class:`ServiceError` carrying the server's structured
+        ``code``/``detail`` when the job is rejected or fails.
+        """
+        if isinstance(job, JobSpec):
+            job = job.to_dict()
+        req, queue = await self._send(
+            {"op": "submit", "job": dict(job), "stream": on_progress is not None}
+        )
+        try:
+            accepted = await queue.get()
+            if not accepted.get("ok"):
+                raise ServiceError(
+                    accepted.get("detail", "submission refused"),
+                    code=accepted.get("error", "rejected"),
+                )
+            while True:
+                message = await queue.get()
+                event = message.get("event")
+                if event == "progress":
+                    if on_progress is not None:
+                        on_progress(message)
+                elif event == "result":
+                    return message["result"]
+                elif event == "error":
+                    raise ServiceError(
+                        message.get("detail", "job failed"),
+                        code=message.get("error", "execution_failed"),
+                    )
+                elif message.get("error") == "connection_lost":
+                    raise ServiceError("server connection closed",
+                                       code="connection_lost")
+        finally:
+            self._pending.pop(req, None)
+
+    async def status(self) -> dict:
+        """The service's metrics snapshot."""
+        req, queue = await self._send({"op": "status"})
+        try:
+            message = await queue.get()
+        finally:
+            self._pending.pop(req, None)
+        if not message.get("ok"):
+            raise ServiceError(message.get("detail", "status failed"),
+                               code=message.get("error", "internal"))
+        return message["status"]
+
+    async def ping(self) -> bool:
+        req, queue = await self._send({"op": "ping"})
+        try:
+            message = await queue.get()
+        finally:
+            self._pending.pop(req, None)
+        return bool(message.get("pong"))
+
+
+async def submit_one(
+    job: Union[JobSpec, Mapping],
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    on_progress: Optional[Callable[[dict], None]] = None,
+) -> dict:
+    """One-shot convenience: connect, submit, return the result."""
+    async with await ServiceClient.connect(host, port) as client:
+        return await client.submit(job, on_progress=on_progress)

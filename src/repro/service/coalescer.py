@@ -1,0 +1,98 @@
+"""In-flight request coalescing keyed on job identity.
+
+Two concurrent jobs with the same :meth:`JobSpec.key` — the same
+``ResultCache`` identity — must not compute twice: the first submission
+becomes the *leader* (it occupies a queue slot and an executor slot),
+later identical submissions attach as *followers* sharing the leader's
+result future and progress stream.  The window spans admission to
+completion; once a job finishes, its key leaves the table (the result
+is then in the cache, so a re-submission is a cache hit instead).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["InflightEntry", "Coalescer"]
+
+
+@dataclass(eq=False)  # identity semantics: entries live in sets
+class InflightEntry:
+    """One computed-once unit of work plus everyone waiting on it."""
+
+    key: str
+    spec: Any
+    future: asyncio.Future = field(default_factory=asyncio.Future)
+    waiters: int = 1
+    cancelled: bool = False
+    started: bool = False
+    enqueued_at: float = 0.0
+    expires_at: Optional[float] = None
+    subscribers: list[asyncio.Queue] = field(default_factory=list)
+
+    def publish(self, event: dict) -> None:
+        """Fan a progress event out to every subscribed handle."""
+        for q in self.subscribers:
+            q.put_nowait(event)
+
+
+class Coalescer:
+    """Table of in-flight entries; leases keys, fans results out."""
+
+    def __init__(self):
+        self._inflight: dict[str, InflightEntry] = {}
+        self.coalesced = 0  # follower attachments (saved computations)
+
+    # ------------------------------------------------------------------
+    def lease(self, key: str, spec: Any) -> tuple[InflightEntry, bool]:
+        """Return ``(entry, is_leader)`` for a submission of ``key``.
+
+        The leader gets a fresh entry it must eventually ``resolve`` or
+        ``fail``; followers share the existing one.
+        """
+        entry = self._inflight.get(key)
+        if entry is not None and not entry.cancelled:
+            entry.waiters += 1
+            self.coalesced += 1
+            return entry, False
+        entry = InflightEntry(key=key, spec=spec)
+        self._inflight[key] = entry
+        return entry, True
+
+    def release(self, entry: InflightEntry) -> bool:
+        """Detach one waiter; returns True when none remain.
+
+        A leaderless entry (all waiters detached before dispatch) is
+        marked cancelled so the dispatcher skips it and a fresh
+        submission of the same key starts over.
+        """
+        entry.waiters -= 1
+        if entry.waiters <= 0 and not entry.started:
+            entry.cancelled = True
+            self._inflight.pop(entry.key, None)
+            return True
+        return entry.waiters <= 0
+
+    # ------------------------------------------------------------------
+    def resolve(self, entry: InflightEntry, result: Any) -> None:
+        self._inflight.pop(entry.key, None)
+        if not entry.future.done():
+            entry.future.set_result(result)
+
+    def fail(self, entry: InflightEntry, exc: BaseException) -> None:
+        self._inflight.pop(entry.key, None)
+        if not entry.future.done():
+            entry.future.set_exception(exc)
+
+    def forget(self, entry: InflightEntry) -> None:
+        self._inflight.pop(entry.key, None)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    def get(self, key: str) -> Optional[InflightEntry]:
+        return self._inflight.get(key)

@@ -1,0 +1,124 @@
+"""Executor bridge: drive the blocking engine from the event loop.
+
+:class:`MatrixEngine` is synchronous (and, with ``workers > 1``, fans
+out over a process pool).  The bridge runs each job's engine pass on a
+bounded thread pool via :func:`asyncio.run_in_executor` so the event
+loop keeps serving submissions, status queries and progress streams
+while cells compute.  The engine's ``progress`` hook fires on the
+worker thread; events are marshalled back onto the loop with
+``call_soon_threadsafe`` before they reach any subscriber.
+
+All jobs share one :class:`ResultCache`, so a cell computed for one
+job is a cache hit for every later job that overlaps it (CPython dict
+operations are atomic under the GIL; disk entries are written via
+atomic rename — see ``experiments/cache.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Callable, Optional
+
+from ..experiments.cache import _CELL_FIELDS, ResultCache
+from ..experiments.figures import figure7, figure8, figure9, figure10
+from ..experiments.headline import compute_headline
+from ..experiments.parallel import MatrixEngine
+from .jobs import CellJob, FigureJob, HeadlineJob, JobSpec, MatrixJob
+
+__all__ = ["EngineExecutor", "execute_job", "result_to_payload"]
+
+_FIGURES = {
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+}
+
+
+def result_to_payload(result) -> dict:
+    """A ConfigResult as the JSON-safe dict the wire protocol carries."""
+    return {name: getattr(result, name) for name in _CELL_FIELDS}
+
+
+def execute_job(spec: JobSpec, engine: MatrixEngine) -> dict:
+    """Run one validated job to a JSON-serialisable result payload.
+
+    Blocking; called on an executor thread.  Cell/matrix payloads carry
+    every cached ConfigResult field, figure/headline payloads carry the
+    rendered exhibit text.
+    """
+    if isinstance(spec, CellJob):
+        cell = (spec.label, spec.kind)
+        results = engine.run_cells(
+            [cell], spec.workload, spec.seed, spec.with_remaining
+        )
+        return {"kind": "cell", "result": result_to_payload(results[cell])}
+    if isinstance(spec, MatrixJob):
+        results = engine.run_matrix(
+            spec.labels, spec.kinds, spec.workload, spec.seed, spec.with_remaining
+        )
+        return {
+            "kind": "matrix",
+            "results": {
+                f"{label}|{kind}": result_to_payload(res)
+                for (label, kind), res in results.items()
+            },
+        }
+    if isinstance(spec, FigureJob):
+        text = _FIGURES[spec.figure](spec.workload, engine=engine).text
+        return {"kind": "figure", "figure": spec.figure, "text": text}
+    if isinstance(spec, HeadlineJob):
+        text = compute_headline(spec.workload, engine=engine).render()
+        return {"kind": "headline", "text": text}
+    raise TypeError(f"unknown job spec {type(spec).__name__}")
+
+
+class EngineExecutor:
+    """Bounded thread pool running engine passes off the event loop."""
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        workers_per_job: int = 1,
+        max_concurrency: int = 4,
+    ):
+        self.cache = cache
+        self.workers_per_job = max(1, int(workers_per_job))
+        self.max_concurrency = max(1, int(max_concurrency))
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.max_concurrency, thread_name_prefix="repro-exec"
+        )
+
+    async def run(
+        self,
+        spec: JobSpec,
+        progress: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Execute ``spec``; ``progress`` is called on the event loop."""
+        loop = asyncio.get_running_loop()
+        hook = None
+        if progress is not None:
+
+            def hook(done, total, cell, seconds, cached):  # worker thread
+                loop.call_soon_threadsafe(
+                    progress,
+                    {
+                        "done": done,
+                        "total": total,
+                        "cell": list(cell),
+                        "seconds": seconds,
+                        "cached": cached,
+                    },
+                )
+
+        engine = MatrixEngine(
+            workers=self.workers_per_job, cache=self.cache, progress=hook
+        )
+        return await loop.run_in_executor(
+            self._threads, partial(execute_job, spec, engine)
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._threads.shutdown(wait=wait)

@@ -1,0 +1,287 @@
+"""Typed job specifications for the simulation service.
+
+A job names work the experiment engine already knows how to do — one
+matrix cell, a (configs x kinds) grid, a whole figure, or the headline
+claims — plus scheduling attributes (priority, deadline).  Every spec
+is frozen, validates itself eagerly (a bad label is rejected at
+admission, not minutes later inside a worker), serialises to a flat
+JSON dict for the wire protocol, and exposes a deterministic
+:meth:`JobSpec.key` aligned with the :class:`~repro.experiments.cache`
+key schema so identical in-flight jobs can be coalesced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from ..experiments.cache import SCHEMA_VERSION, cell_key
+from ..experiments.configs import TABLE2_CONFIGS
+from ..experiments.runner import DEFAULT_WORKLOAD, Workload
+from ..nvm.kinds import KINDS
+
+__all__ = [
+    "ServiceError",
+    "JobValidationError",
+    "JobSpec",
+    "CellJob",
+    "MatrixJob",
+    "FigureJob",
+    "HeadlineJob",
+    "job_from_dict",
+    "FIGURE_NAMES",
+]
+
+VALID_LABELS = frozenset(c.label for c in TABLE2_CONFIGS)
+VALID_KINDS = frozenset(k.name for k in KINDS)
+FIGURE_NAMES = ("figure7", "figure8", "figure9", "figure10")
+
+
+class ServiceError(Exception):
+    """Base service error carrying a machine-readable code + detail."""
+
+    code = "service_error"
+
+    def __init__(self, detail: str, code: Optional[str] = None):
+        super().__init__(detail)
+        if code is not None:
+            self.code = code
+        self.detail = detail
+
+    def to_dict(self) -> dict:
+        return {"error": self.code, "detail": self.detail}
+
+
+class JobValidationError(ServiceError):
+    """The job spec itself is malformed (unknown label/kind/figure...)."""
+
+    code = "invalid_job"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Common scheduling attributes; subclasses add the work payload.
+
+    ``priority``: higher values dispatch first (FIFO within a level).
+    ``deadline_s``: wall-clock budget from admission; a job still
+    queued when it lapses fails with ``deadline_expired`` instead of
+    occupying an executor slot.
+    """
+
+    workload: Workload = DEFAULT_WORKLOAD
+    seed: int = 1013
+    with_remaining: bool = True
+    priority: int = 0
+    deadline_s: Optional[float] = None
+
+    job_type = "abstract"
+
+    # -- validation -----------------------------------------------------
+    def validate(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise JobValidationError(f"seed must be an int, got {self.seed!r}")
+        if self.workload.panels < 1 or self.workload.panel_bytes < 1:
+            raise JobValidationError(
+                f"workload must stream at least one panel byte, got "
+                f"panels={self.workload.panels} panel_bytes={self.workload.panel_bytes}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise JobValidationError(
+                f"deadline_s must be positive, got {self.deadline_s!r}"
+            )
+
+    # -- identity -------------------------------------------------------
+    def key(self) -> str:
+        """Coalescing identity: equal keys -> field-for-field equal results."""
+        blob = json.dumps(self._key_parts(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _key_parts(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "job": self.job_type,
+            "workload": dataclasses.asdict(self.workload),
+            "seed": self.seed,
+            "with_remaining": bool(self.with_remaining),
+        }
+
+    # -- wire format ----------------------------------------------------
+    def to_dict(self) -> dict:
+        d = {
+            "job": self.job_type,
+            "workload": dataclasses.asdict(self.workload),
+            "seed": self.seed,
+            "with_remaining": self.with_remaining,
+            "priority": self.priority,
+        }
+        if self.deadline_s is not None:
+            d["deadline_s"] = self.deadline_s
+        return d
+
+    def describe(self) -> str:
+        return self.job_type
+
+
+@dataclass(frozen=True)
+class CellJob(JobSpec):
+    """One Table-2 matrix cell: ``(config label, NVM kind)``."""
+
+    label: str = ""
+    kind: str = ""
+
+    job_type = "cell"
+
+    def validate(self) -> None:
+        super().validate()
+        if self.label not in VALID_LABELS:
+            raise JobValidationError(
+                f"unknown config label {self.label!r}; have {sorted(VALID_LABELS)}"
+            )
+        if self.kind not in VALID_KINDS:
+            raise JobValidationError(
+                f"unknown NVM kind {self.kind!r}; have {sorted(VALID_KINDS)}"
+            )
+
+    def key(self) -> str:
+        # exactly the ResultCache cell key: the service coalesces on the
+        # same identity the cache stores under
+        return cell_key(
+            self.label, self.kind, self.workload, self.seed, self.with_remaining
+        )
+
+    def to_dict(self) -> dict:
+        return {**super().to_dict(), "label": self.label, "kind": self.kind}
+
+    def describe(self) -> str:
+        return f"cell({self.label}, {self.kind})"
+
+
+@dataclass(frozen=True)
+class MatrixJob(JobSpec):
+    """A (config labels x NVM kinds) grid, one engine pass."""
+
+    labels: tuple[str, ...] = ()
+    kinds: tuple[str, ...] = ()
+
+    job_type = "matrix"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.labels or not self.kinds:
+            raise JobValidationError("matrix job needs at least one label and kind")
+        for label in self.labels:
+            if label not in VALID_LABELS:
+                raise JobValidationError(
+                    f"unknown config label {label!r}; have {sorted(VALID_LABELS)}"
+                )
+        for kind in self.kinds:
+            if kind not in VALID_KINDS:
+                raise JobValidationError(
+                    f"unknown NVM kind {kind!r}; have {sorted(VALID_KINDS)}"
+                )
+
+    def _key_parts(self) -> dict:
+        return {
+            **super()._key_parts(),
+            "labels": list(self.labels),
+            "kinds": list(self.kinds),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            **super().to_dict(),
+            "labels": list(self.labels),
+            "kinds": list(self.kinds),
+        }
+
+    def describe(self) -> str:
+        return f"matrix({len(self.labels)}x{len(self.kinds)})"
+
+
+@dataclass(frozen=True)
+class FigureJob(JobSpec):
+    """One full paper exhibit (figure7..figure10), rendered as text."""
+
+    figure: str = ""
+
+    job_type = "figure"
+
+    def validate(self) -> None:
+        super().validate()
+        if self.figure not in FIGURE_NAMES:
+            raise JobValidationError(
+                f"unknown figure {self.figure!r}; have {list(FIGURE_NAMES)}"
+            )
+
+    def _key_parts(self) -> dict:
+        return {**super()._key_parts(), "figure": self.figure}
+
+    def to_dict(self) -> dict:
+        return {**super().to_dict(), "figure": self.figure}
+
+    def describe(self) -> str:
+        return self.figure
+
+
+@dataclass(frozen=True)
+class HeadlineJob(JobSpec):
+    """The paper's headline claims (Section 1 numbers)."""
+
+    job_type = "headline"
+
+    def describe(self) -> str:
+        return "headline"
+
+
+_JOB_TYPES: dict[str, type[JobSpec]] = {
+    "cell": CellJob,
+    "matrix": MatrixJob,
+    "figure": FigureJob,
+    "headline": HeadlineJob,
+}
+
+
+def job_from_dict(data: Mapping[str, Any]) -> JobSpec:
+    """Parse + validate a wire-format job dict; raises JobValidationError."""
+    if not isinstance(data, Mapping):
+        raise JobValidationError(f"job must be an object, got {type(data).__name__}")
+    job_type = data.get("job")
+    cls = _JOB_TYPES.get(job_type)
+    if cls is None:
+        raise JobValidationError(
+            f"unknown job type {job_type!r}; have {sorted(_JOB_TYPES)}"
+        )
+    kwargs: dict[str, Any] = {}
+    try:
+        if "workload" in data:
+            w = data["workload"]
+            if not isinstance(w, Mapping):
+                raise JobValidationError("workload must be an object")
+            known = {f.name for f in dataclasses.fields(Workload)}
+            bad = set(w) - known
+            if bad:
+                raise JobValidationError(
+                    f"unknown workload field(s) {sorted(bad)}; have {sorted(known)}"
+                )
+            kwargs["workload"] = Workload(**w)
+        for name in ("seed", "with_remaining", "priority", "deadline_s"):
+            if name in data:
+                kwargs[name] = data[name]
+        if cls is CellJob:
+            kwargs["label"] = data.get("label", "")
+            kwargs["kind"] = data.get("kind", "")
+        elif cls is MatrixJob:
+            kwargs["labels"] = tuple(data.get("labels", ()))
+            kwargs["kinds"] = tuple(data.get("kinds", ()))
+        elif cls is FigureJob:
+            kwargs["figure"] = data.get("figure", "")
+        spec = cls(**kwargs)
+    except JobValidationError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise JobValidationError(f"malformed job: {exc}") from None
+    spec.validate()
+    return spec

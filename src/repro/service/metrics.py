@@ -1,0 +1,95 @@
+"""Service metrics registry: counters, gauges, latency percentiles.
+
+Everything the ``status`` endpoint reports lives here.  Counters are
+monotonic since service start; latencies go into a bounded reservoir
+(most recent :data:`LATENCY_WINDOW` completions) so percentiles track
+current behaviour without unbounded memory.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Optional
+
+__all__ = ["LatencyRecorder", "ServiceMetrics", "LATENCY_WINDOW"]
+
+#: completions kept for percentile estimation
+LATENCY_WINDOW = 1024
+
+
+class LatencyRecorder:
+    """Sliding window of per-job wall-clock latencies (seconds)."""
+
+    def __init__(self, window: int = LATENCY_WINDOW):
+        self._window: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._window.append(float(seconds))
+        self.count += 1
+        self.total += seconds
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the window (0 when empty)."""
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_s": self.total / self.count if self.count else 0.0,
+            "p50_s": self.percentile(0.50),
+            "p90_s": self.percentile(0.90),
+            "p99_s": self.percentile(0.99),
+            "max_s": max(self._window) if self._window else 0.0,
+        }
+
+
+class ServiceMetrics:
+    """Monotonic counters plus the latency reservoir.
+
+    Gauges (queue depth, in-flight) are read live from their owners at
+    snapshot time rather than double-book-kept here.
+    """
+
+    def __init__(self):
+        self.submitted = 0  # every submit() call, accepted or not
+        self.admitted = 0  # leaders that took a queue slot
+        self.coalesced = 0  # followers attached to an in-flight leader
+        self.rejected: Counter[str] = Counter()  # by structured reason
+        self.executed = 0  # jobs actually handed to the engine
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.expired = 0  # deadline lapsed while queued
+        self.latency = LatencyRecorder()
+
+    def reject(self, code: str) -> None:
+        self.rejected[code] += 1
+
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        in_flight: int = 0,
+        cache_stats: Optional[dict] = None,
+    ) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "coalesced": self.coalesced,
+            "rejected": dict(self.rejected),
+            "rejected_total": sum(self.rejected.values()),
+            "executed": self.executed,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "expired": self.expired,
+            "queue_depth": queue_depth,
+            "in_flight": in_flight,
+            "latency": self.latency.snapshot(),
+            "cache": cache_stats,
+        }

@@ -1,0 +1,89 @@
+"""Bounded admission queue with priorities and backpressure.
+
+Admission is synchronous and never blocks: a full queue rejects the
+submission with a structured :class:`AdmissionError` (code
+``queue_full``) so the caller gets immediate backpressure instead of
+unbounded buffering — the same reject-with-reason shape an
+inference-serving front end needs.  Dispatch order is highest
+``priority`` first, FIFO within a priority level.  The queue is
+asyncio-native on the consumer side only: ``get`` awaits work, ``put``
+either succeeds or raises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Any
+
+from .jobs import ServiceError
+
+__all__ = ["AdmissionError", "AdmissionQueue"]
+
+
+class AdmissionError(ServiceError):
+    """Submission refused at the front door; ``code`` says why."""
+
+    code = "admission_refused"
+
+
+class QueueClosed(AdmissionError):
+    code = "draining"
+
+
+class QueueFull(AdmissionError):
+    code = "queue_full"
+
+
+class AdmissionQueue:
+    """Priority queue bounded at ``limit`` entries.
+
+    ``put_nowait`` raises :class:`AdmissionError` subclasses rather than
+    blocking; ``get`` awaits the highest-priority entry.  ``close()``
+    flips the queue into drain mode: every later ``put_nowait`` is
+    rejected with ``draining`` while queued entries remain gettable.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = int(limit)
+        self._heap: list[tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self._ready = asyncio.Event()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def put_nowait(self, item: Any, priority: int = 0) -> None:
+        if self._closed:
+            raise QueueClosed("service is draining; not accepting new jobs")
+        if len(self._heap) >= self.limit:
+            raise QueueFull(
+                f"admission queue full ({self.limit} jobs queued); retry later"
+            )
+        # negate priority: heapq pops smallest, we dispatch highest first
+        heapq.heappush(self._heap, (-int(priority), next(self._seq), item))
+        self._ready.set()
+
+    async def get(self) -> Any:
+        while not self._heap:
+            self._ready.clear()
+            await self._ready.wait()
+        _, _, item = heapq.heappop(self._heap)
+        return item
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        return len(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)

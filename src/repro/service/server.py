@@ -1,0 +1,401 @@
+"""The simulation service: admission → coalescing → executor bridge.
+
+:class:`SimulationService` is the in-process core — an asyncio layer
+that accepts typed :class:`~repro.service.jobs.JobSpec` submissions and
+answers them from the experiment engine:
+
+* **admission** — a bounded :class:`AdmissionQueue`; a full queue or a
+  draining service rejects with a structured reason instead of
+  buffering without bound,
+* **coalescing** — identical in-flight jobs (same ``ResultCache``-level
+  key) compute once; followers share the leader's future and progress
+  stream,
+* **execution** — ``max_concurrency`` dispatcher tasks feed the
+  :class:`EngineExecutor`, which runs engine passes on a thread pool so
+  the event loop never blocks,
+* **observability** — per-job progress events, and a
+  :meth:`SimulationService.status` snapshot (queue depth, in-flight,
+  counters, latency percentiles, cache hit ratio).
+
+:class:`ServiceServer` is a thin JSON-lines TCP front end over the same
+core (``python -m repro serve``); requests are tagged with a client
+``req`` id so one connection can multiplex many jobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from typing import AsyncIterator, Mapping, Optional, Union
+
+from ..experiments.cache import ResultCache
+from .coalescer import Coalescer, InflightEntry
+from .executor import EngineExecutor
+from .jobs import JobSpec, ServiceError, job_from_dict
+from .metrics import ServiceMetrics
+from .queue import AdmissionError, AdmissionQueue
+
+__all__ = ["JobHandle", "SimulationService", "ServiceServer"]
+
+_EVENT_END = None  # sentinel closing a progress stream
+
+
+class JobCancelled(ServiceError):
+    code = "cancelled"
+
+
+class DeadlineExpired(ServiceError):
+    code = "deadline_expired"
+
+
+class ExecutionFailed(ServiceError):
+    code = "execution_failed"
+
+
+class JobHandle:
+    """One submission's view of a (possibly shared) in-flight job."""
+
+    def __init__(self, service: "SimulationService", entry: InflightEntry,
+                 job_id: int, coalesced: bool):
+        self._service = service
+        self._entry = entry
+        self.id = job_id
+        self.coalesced = coalesced  # True: attached to an existing leader
+        self._detached = False
+
+    @property
+    def spec(self) -> JobSpec:
+        return self._entry.spec
+
+    @property
+    def done(self) -> bool:
+        return self._entry.future.done()
+
+    async def result(self) -> dict:
+        """The job's result payload; raises ServiceError on failure."""
+        if self._detached:
+            raise JobCancelled(f"job {self.id} was cancelled by this handle")
+        return await asyncio.shield(self._entry.future)
+
+    def cancel(self) -> bool:
+        """Detach this handle; cancels the job only while still queued.
+
+        Running jobs are not interrupted (an engine pass on a worker
+        thread is not preemptible) — cancelling then returns False and
+        the shared computation completes for any other waiters.
+        """
+        if self._detached or self._entry.future.done() or self._entry.started:
+            return False
+        self._detached = True
+        self._service._on_handle_cancelled(self._entry)
+        return True
+
+    async def events(self) -> AsyncIterator[dict]:
+        """Yield progress events until the job completes."""
+        queue: asyncio.Queue = asyncio.Queue()
+        self._entry.subscribers.append(queue)
+        if self._entry.future.done():  # completed before subscription
+            self._entry.subscribers.remove(queue)
+            return
+        try:
+            while True:
+                event = await queue.get()
+                if event is _EVENT_END:
+                    return
+                yield event
+        finally:
+            if queue in self._entry.subscribers:
+                self._entry.subscribers.remove(queue)
+
+
+class SimulationService:
+    """Long-running async façade over the experiment engine."""
+
+    def __init__(
+        self,
+        workers_per_job: int = 1,
+        cache: Optional[ResultCache] = None,
+        queue_limit: int = 64,
+        max_concurrency: int = 4,
+    ):
+        self.cache = cache if cache is not None else ResultCache()
+        self.queue = AdmissionQueue(queue_limit)
+        self.coalescer = Coalescer()
+        self.executor = EngineExecutor(self.cache, workers_per_job, max_concurrency)
+        self.metrics = ServiceMetrics()
+        self.max_concurrency = max(1, int(max_concurrency))
+        self._dispatchers: list[asyncio.Task] = []
+        self._running: set[InflightEntry] = set()
+        self._draining = False
+        self._job_seq = itertools.count(1)
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> "SimulationService":
+        if self._dispatchers:
+            return self
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch_loop(), name=f"repro-dispatch-{i}")
+            for i in range(self.max_concurrency)
+        ]
+        return self
+
+    async def drain(self, poll_s: float = 0.01) -> None:
+        """Stop admitting; wait until queued + running jobs finish."""
+        self._draining = True
+        self.queue.close()
+        while self.coalescer.in_flight or self._running:
+            await asyncio.sleep(poll_s)
+
+    async def shutdown(self) -> None:
+        """Graceful: drain in-flight work, then stop dispatchers."""
+        await self.drain()
+        for task in self._dispatchers:
+            task.cancel()
+        await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._dispatchers.clear()
+        self.executor.shutdown()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- submission -----------------------------------------------------
+    def submit(self, spec: Union[JobSpec, Mapping]) -> JobHandle:
+        """Admit one job; raises a structured ServiceError on refusal.
+
+        Must be called with the service's event loop running.  Identical
+        in-flight jobs coalesce: the returned handle then shares the
+        leader's result without taking a queue slot.
+        """
+        self.metrics.submitted += 1
+        try:
+            if isinstance(spec, Mapping):
+                spec = job_from_dict(spec)
+            else:
+                spec.validate()
+            if self._draining:
+                raise AdmissionError(
+                    "service is draining; not accepting new jobs", code="draining"
+                )
+            entry, leader = self.coalescer.lease(spec.key(), spec)
+            if leader:
+                now = time.monotonic()
+                entry.enqueued_at = now
+                entry.expires_at = (
+                    now + spec.deadline_s if spec.deadline_s is not None else None
+                )
+                try:
+                    self.queue.put_nowait(entry, spec.priority)
+                except ServiceError:
+                    self.coalescer.forget(entry)
+                    raise
+                self.metrics.admitted += 1
+            else:
+                self.metrics.coalesced += 1
+        except ServiceError as exc:
+            self.metrics.reject(exc.code)
+            raise
+        return JobHandle(self, entry, next(self._job_seq), coalesced=not leader)
+
+    def _on_handle_cancelled(self, entry: InflightEntry) -> None:
+        self.metrics.cancelled += 1
+        if self.coalescer.release(entry) and not entry.future.done():
+            entry.future.set_exception(
+                JobCancelled("job cancelled before dispatch")
+            )
+            entry.future.exception()  # no-one awaits a cancelled future
+            self._finish_events(entry)
+
+    # -- dispatch -------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            entry = await self.queue.get()
+            if entry.cancelled or entry.future.done():
+                continue
+            if entry.expires_at is not None and time.monotonic() > entry.expires_at:
+                self.metrics.expired += 1
+                self.coalescer.fail(
+                    entry,
+                    DeadlineExpired(
+                        f"deadline of {entry.spec.deadline_s}s lapsed in queue"
+                    ),
+                )
+                self._finish_events(entry)
+                continue
+            entry.started = True
+            self._running.add(entry)
+            self.metrics.executed += 1
+            try:
+                payload = await self.executor.run(
+                    entry.spec,
+                    progress=lambda ev, e=entry: e.publish(
+                        {"event": "progress", **ev}
+                    ),
+                )
+                self.coalescer.resolve(entry, payload)
+                self.metrics.completed += 1
+                self.metrics.latency.record(time.monotonic() - entry.enqueued_at)
+            except asyncio.CancelledError:
+                self.coalescer.fail(
+                    entry, ExecutionFailed("service shut down mid-job")
+                )
+                self._finish_events(entry)
+                self._running.discard(entry)
+                raise
+            except ServiceError as exc:
+                self.metrics.failed += 1
+                self.coalescer.fail(entry, exc)
+            except Exception as exc:  # engine bug -> structured failure
+                self.metrics.failed += 1
+                self.coalescer.fail(
+                    entry, ExecutionFailed(f"{type(exc).__name__}: {exc}")
+                )
+            finally:
+                self._finish_events(entry)
+                self._running.discard(entry)
+
+    @staticmethod
+    def _finish_events(entry: InflightEntry) -> None:
+        entry.publish(_EVENT_END)
+
+    # -- observability --------------------------------------------------
+    def status(self) -> dict:
+        """The metrics snapshot the ``status`` endpoint serves."""
+        return {
+            "state": "draining" if self._draining else "serving",
+            "queue_limit": self.queue.limit,
+            "max_concurrency": self.max_concurrency,
+            "workers_per_job": self.executor.workers_per_job,
+            **self.metrics.snapshot(
+                queue_depth=self.queue.depth,
+                in_flight=len(self._running),
+                cache_stats=self.cache.stats(),
+            ),
+        }
+
+
+class ServiceServer:
+    """JSON-lines TCP front end over a :class:`SimulationService`.
+
+    One request per line; responses carry the request's ``req`` tag so
+    a single connection can run many jobs concurrently::
+
+        {"op": "submit", "req": 1, "job": {...}, "stream": true}
+        {"op": "status", "req": 2}
+        {"op": "cancel", "req": 3, "id": 7}
+        {"op": "ping",   "req": 4}
+    """
+
+    def __init__(self, service: SimulationService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> tuple[str, int]:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def close(self, shutdown_service: bool = True) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if shutdown_service:
+            await self.service.shutdown()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        lock = asyncio.Lock()
+        handles: dict[int, JobHandle] = {}
+        tasks: set[asyncio.Task] = set()
+
+        async def send(message: dict) -> None:
+            async with lock:
+                writer.write(json.dumps(message).encode() + b"\n")
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except ValueError:
+                    await send({"ok": False, "error": "bad_request",
+                                "detail": "request is not valid JSON"})
+                    continue
+                task = asyncio.create_task(
+                    self._handle_request(request, send, handles)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _handle_request(self, request, send, handles) -> None:
+        req = request.get("req")
+        op = request.get("op")
+        try:
+            if op == "submit":
+                await self._handle_submit(request, req, send, handles)
+            elif op == "status":
+                await send({"req": req, "ok": True,
+                            "status": self.service.status()})
+            elif op == "cancel":
+                handle = handles.get(request.get("id"))
+                await send({"req": req, "ok": True,
+                            "cancelled": bool(handle and handle.cancel())})
+            elif op == "ping":
+                await send({"req": req, "ok": True, "pong": True})
+            else:
+                await send({"req": req, "ok": False, "error": "bad_request",
+                            "detail": f"unknown op {op!r}"})
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            await send({"req": req, "ok": False, "error": "internal",
+                        "detail": f"{type(exc).__name__}: {exc}"})
+
+    async def _handle_submit(self, request, req, send, handles) -> None:
+        try:
+            handle = self.service.submit(request.get("job", {}))
+        except ServiceError as exc:
+            await send({"req": req, "ok": False, **exc.to_dict()})
+            return
+        handles[handle.id] = handle
+        await send({"req": req, "ok": True, "event": "accepted",
+                    "id": handle.id, "coalesced": handle.coalesced})
+        if request.get("stream"):
+            async for event in handle.events():
+                await send({"req": req, "id": handle.id, **event})
+        try:
+            result = await handle.result()
+        except ServiceError as exc:
+            await send({"req": req, "id": handle.id, "event": "error",
+                        **exc.to_dict()})
+            return
+        await send({"req": req, "id": handle.id, "event": "result",
+                    "result": result})

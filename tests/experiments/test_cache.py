@@ -118,6 +118,37 @@ class TestRemainingFallbacks:
         assert cache.hits == hits_before + 1
 
 
+class TestStats:
+    def test_counters_track_traffic(self):
+        cache = ResultCache()
+        assert cache.get_peak("CNL-UFS", "SLC", TINY, SEED) is None  # miss
+        cache.put_peak("CNL-UFS", "SLC", TINY, SEED, 1.0)  # put
+        assert cache.get_peak("CNL-UFS", "SLC", TINY, SEED) == 1.0  # hit
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert stats["memory_hits"] == 1 and stats["disk_hits"] == 0
+        assert stats["hit_ratio"] == 0.5
+        assert stats["memory_entries"] == 1
+        assert stats["disk_entries"] == 0 and not stats["persistent"]
+
+    def test_disk_hits_distinguished_from_memory(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        writer.put_peak("CNL-UFS", "SLC", TINY, SEED, 1.0)
+        fresh = ResultCache(tmp_path)  # cold memory, warm disk
+        assert fresh.get_peak("CNL-UFS", "SLC", TINY, SEED) == 1.0
+        assert fresh.get_peak("CNL-UFS", "SLC", TINY, SEED) == 1.0
+        stats = fresh.stats()
+        assert stats["disk_hits"] == 1  # first read promoted the entry
+        assert stats["memory_hits"] == 1  # second was served from memory
+        assert stats["disk_entries"] == 1 and stats["persistent"]
+
+    def test_empty_cache_reports_zero_ratio(self):
+        stats = ResultCache().stats()
+        assert stats["hit_ratio"] == 0.0
+        assert stats["hits"] == stats["misses"] == stats["puts"] == 0
+
+
 class TestMaintenance:
     def test_clear_memory_and_disk(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -79,6 +79,19 @@ class TestEngineMechanics:
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert MatrixEngine().workers == 3
 
+    def test_non_integer_env_falls_back_with_warning(self, monkeypatch):
+        """Regression: REPRO_WORKERS=lots used to raise ValueError."""
+        import os
+
+        from repro.experiments.parallel import detect_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert detect_workers() == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_WORKERS", "2.5")
+        with pytest.warns(RuntimeWarning):
+            assert detect_workers() == (os.cpu_count() or 1)
+
     def test_map_preserves_order(self):
         engine = MatrixEngine(workers=2)
         assert engine.map(abs, [-3, 1, -2]) == [3, 1, 2]
@@ -110,6 +123,23 @@ class TestEngineCaching:
         b = fresh.run_cells([("CNL-EXT3", "MLC")], TINY)
         assert_results_equal(a, b)
         assert fresh.timings[0].cached
+
+    def test_cache_stats_surfaced_in_summary(self):
+        engine = MatrixEngine(workers=1, cache=ResultCache())
+        cells = [("CNL-EXT4", "SLC")]
+        engine.run_cells(cells, TINY)
+        engine.run_cells(cells, TINY)
+        summary = engine.summary()
+        assert summary["cells"] == 2 and summary["cached_cells"] == 1
+        assert summary["workers"] == 1
+        stats = summary["cache"]
+        assert stats["hits"] >= 1 and stats["puts"] >= 1
+        assert 0 < stats["hit_ratio"] <= 1
+
+    def test_summary_without_cache(self):
+        engine = MatrixEngine(workers=1)
+        assert engine.cache_stats() is None
+        assert engine.summary()["cache"] is None
 
     def test_peak_shared_across_remaining_flags(self):
         """A with_remaining=False run + cached peak upgrades for free."""

@@ -1,0 +1,120 @@
+"""Golden-layout tests for the text renderers in experiments/report.py."""
+
+from __future__ import annotations
+
+from repro.experiments.report import grid_table, kv_lines, percent_table
+
+
+class TestGridTable:
+    def test_golden_layout(self):
+        text = grid_table(
+            "Bandwidth",
+            ["CNL-UFS", "ION-GPFS"],
+            ["SLC", "TLC"],
+            {
+                ("CNL-UFS", "SLC"): 2304.4,
+                ("CNL-UFS", "TLC"): 1035.5,
+                ("ION-GPFS", "SLC"): 983.6,
+                ("ION-GPFS", "TLC"): 421.0,
+            },
+            unit="MB/s",
+        )
+        assert text == "\n".join([
+            "Bandwidth [MB/s]",
+            "                   SLC       TLC",
+            "CNL-UFS         2304.4    1035.5",
+            "ION-GPFS         983.6     421.0",
+        ])
+
+    def test_missing_cell_renders_dash(self):
+        text = grid_table(
+            "Sparse",
+            ["A", "B"],
+            ["x", "y"],
+            {("A", "x"): 1.0, ("B", "y"): 2.0},
+        )
+        lines = text.splitlines()
+        # each missing (row, col) shows a right-aligned '-'
+        assert lines[2] == "A                  1.0         -"
+        assert lines[3] == "B                    -       2.0"
+
+    def test_width_tracks_longest_row_label(self):
+        text = grid_table(
+            "Wide",
+            ["A-VERY-LONG-CONFIG-NAME", "B"],
+            ["x"],
+            {("A-VERY-LONG-CONFIG-NAME", "x"): 1.0, ("B", "x"): 2.0},
+        )
+        lines = text.splitlines()
+        # the header gutter matches the label column width, so the
+        # column header lands in the same place on every line
+        width = len("A-VERY-LONG-CONFIG-NAME") + 1
+        assert lines[1][:width].strip() == ""
+        assert lines[2].startswith("A-VERY-LONG-CONFIG-NAME")
+        assert len(lines[2]) == len(lines[3])
+
+    def test_custom_format(self):
+        text = grid_table(
+            "Pct", ["r"], ["c"], {("r", "c"): 0.5}, fmt="{:9.3f}"
+        )
+        assert "    0.500" in text
+
+
+class TestPercentTable:
+    def test_golden_layout(self):
+        text = percent_table(
+            "Breakdown",
+            ["CNL-UFS"],
+            ["SLC"],
+            {("CNL-UFS", "SLC"): {"media": 0.75, "bus": 0.25}},
+            keys=["media", "bus"],
+        )
+        assert text == "\n".join([
+            "Breakdown",
+            "-- SLC --",
+            "config                   media           bus",
+            "CNL-UFS                  75.0%         25.0%",
+        ])
+
+    def test_missing_row_skipped_not_rendered(self):
+        text = percent_table(
+            "Breakdown",
+            ["A", "B"],
+            ["SLC"],
+            {("A", "SLC"): {"media": 1.0}},
+            keys=["media"],
+        )
+        assert "A " in text
+        assert "\nB" not in text
+
+    def test_key_truncated_to_twelve_chars(self):
+        text = percent_table(
+            "T",
+            ["r"],
+            ["c"],
+            {("r", "c"): {"a-very-long-key-name": 1.0}},
+            keys=["a-very-long-key-name"],
+        )
+        assert "a-very-long-" in text
+        assert "a-very-long-k" not in text
+
+
+class TestKvLines:
+    def test_golden_layout(self):
+        text = kv_lines(
+            "Summary", {"bandwidth": 2304.4375, "kind": "SLC", "cells": 52}
+        )
+        assert text == "\n".join([
+            "Summary",
+            "  bandwidth  2,304.44",
+            "  kind       SLC",
+            "  cells      52",
+        ])
+
+    def test_floats_get_thousands_separator(self):
+        assert "1,234,567.89" in kv_lines("T", {"n": 1234567.891})
+
+    def test_alignment_tracks_longest_key(self):
+        text = kv_lines("T", {"a": 1, "much-longer-key": 2})
+        lines = text.splitlines()
+        assert lines[1].index("1") == lines[2].index("2")

@@ -48,6 +48,12 @@ class TestExamples:
         assert "converged     : True" in out
         assert "CNL-NATIVE-16" in out
 
+    def test_service_quickstart(self, capsys):
+        out = run_example("service_quickstart.py", capsys)
+        assert "cell queries answered" in out
+        assert "coalesced" in out
+        assert "cache hit ratio" in out
+
     def test_all_examples_exist(self):
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {
@@ -57,4 +63,5 @@ class TestExamples:
             "device_future.py",
             "cluster_preload.py",
             "capacity_planning.py",
+            "service_quickstart.py",
         } <= names

@@ -1,0 +1,150 @@
+"""AdmissionQueue backpressure/priorities and Coalescer mechanics."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import AdmissionError, AdmissionQueue, Coalescer
+from repro.service.metrics import LatencyRecorder, ServiceMetrics
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmissionQueue:
+    def test_rejects_beyond_limit_with_structured_reason(self):
+        q = AdmissionQueue(limit=2)
+        q.put_nowait("a")
+        q.put_nowait("b")
+        with pytest.raises(AdmissionError) as exc:
+            q.put_nowait("c")
+        assert exc.value.code == "queue_full"
+        assert "2" in exc.value.detail
+        assert exc.value.to_dict() == {
+            "error": "queue_full",
+            "detail": exc.value.detail,
+        }
+        assert q.depth == 2  # nothing dropped
+
+    def test_priority_order_fifo_within_level(self):
+        async def scenario():
+            q = AdmissionQueue(limit=8)
+            q.put_nowait("low1", priority=0)
+            q.put_nowait("high", priority=5)
+            q.put_nowait("low2", priority=0)
+            return [await q.get() for _ in range(3)]
+
+        assert run(scenario()) == ["high", "low1", "low2"]
+
+    def test_get_waits_for_put(self):
+        async def scenario():
+            q = AdmissionQueue(limit=2)
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                q.put_nowait("late")
+
+            task = asyncio.create_task(producer())
+            item = await asyncio.wait_for(q.get(), 1.0)
+            await task
+            return item
+
+        assert run(scenario()) == "late"
+
+    def test_closed_queue_rejects_as_draining(self):
+        q = AdmissionQueue(limit=2)
+        q.put_nowait("a")
+        q.close()
+        with pytest.raises(AdmissionError) as exc:
+            q.put_nowait("b")
+        assert exc.value.code == "draining"
+        assert q.depth == 1  # queued work survives the close
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(limit=0)
+
+
+class TestCoalescer:
+    def test_same_key_coalesces_and_fans_out(self):
+        async def scenario():
+            c = Coalescer()
+            leader, is_leader = c.lease("k", "spec")
+            follower, follower_leads = c.lease("k", "spec")
+            assert is_leader and not follower_leads
+            assert follower is leader and leader.waiters == 2
+            assert c.coalesced == 1 and c.in_flight == 1
+            c.resolve(leader, {"x": 1})
+            assert await leader.future == {"x": 1}
+            assert c.in_flight == 0
+            # after completion the key is free again
+            fresh, leads = c.lease("k", "spec")
+            assert leads and fresh is not leader
+
+        run(scenario())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            c = Coalescer()
+            _, a_leads = c.lease("a", "spec")
+            _, b_leads = c.lease("b", "spec")
+            assert a_leads and b_leads
+            assert c.coalesced == 0 and c.in_flight == 2
+
+        run(scenario())
+
+    def test_failure_fans_out(self):
+        async def scenario():
+            c = Coalescer()
+            entry, _ = c.lease("k", "spec")
+            c.lease("k", "spec")
+            c.fail(entry, RuntimeError("boom"))
+            with pytest.raises(RuntimeError):
+                await entry.future
+
+        run(scenario())
+
+    def test_release_last_waiter_cancels_undispatched(self):
+        async def scenario():
+            c = Coalescer()
+            entry, _ = c.lease("k", "spec")
+            assert c.release(entry)
+            assert entry.cancelled and c.in_flight == 0
+
+        run(scenario())
+
+
+class TestMetrics:
+    def test_latency_percentiles(self):
+        rec = LatencyRecorder()
+        for ms in range(1, 101):  # 1..100 ms
+            rec.record(ms / 1000)
+        snap = rec.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50_s"] == pytest.approx(0.050, abs=0.002)
+        assert snap["p99_s"] == pytest.approx(0.099, abs=0.002)
+        assert snap["max_s"] == pytest.approx(0.100)
+
+    def test_empty_recorder_is_zero(self):
+        assert LatencyRecorder().snapshot()["p50_s"] == 0.0
+
+    def test_window_is_bounded(self):
+        rec = LatencyRecorder(window=4)
+        for s in (1.0, 1.0, 1.0, 1.0, 0.1, 0.1, 0.1, 0.1):
+            rec.record(s)
+        assert rec.snapshot()["max_s"] == 0.1  # old spikes aged out
+        assert rec.count == 8  # but the counter is monotonic
+
+    def test_snapshot_shape(self):
+        m = ServiceMetrics()
+        m.submitted = 3
+        m.reject("queue_full")
+        m.reject("queue_full")
+        snap = m.snapshot(queue_depth=1, in_flight=2, cache_stats={"hits": 0})
+        assert snap["rejected"] == {"queue_full": 2}
+        assert snap["rejected_total"] == 2
+        assert snap["queue_depth"] == 1 and snap["in_flight"] == 2
+        assert snap["cache"] == {"hits": 0}

@@ -1,0 +1,174 @@
+"""ServiceServer + ServiceClient: the JSON-lines wire protocol."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.experiments import Workload, run_config
+from repro.service import (
+    CellJob,
+    FigureJob,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    SimulationService,
+)
+
+KiB = 1024
+TINY = Workload(panels=2, panel_bytes=64 * KiB)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def started_server(**kwargs) -> ServiceServer:
+    server = ServiceServer(SimulationService(**kwargs))
+    await server.start()
+    return server
+
+
+class TestWireProtocol:
+    def test_submit_round_trip_matches_direct_run(self):
+        async def scenario():
+            server = await started_server(queue_limit=16, max_concurrency=2)
+            async with await ServiceClient.connect(
+                server.host, server.port
+            ) as client:
+                payload = await client.submit(
+                    CellJob(label="CNL-UFS", kind="SLC", workload=TINY)
+                )
+            await server.close()
+            return payload
+
+        payload = run(scenario())
+        direct = run_config("CNL-UFS", "SLC", TINY)
+        assert payload["result"]["bandwidth_mb"] == direct.bandwidth_mb
+        assert payload["result"]["remaining_mb"] == direct.remaining_mb
+
+    def test_one_connection_multiplexes_concurrent_jobs(self):
+        async def scenario():
+            server = await started_server(queue_limit=32, max_concurrency=2)
+            cells = [
+                ("CNL-UFS", "SLC"),
+                ("CNL-EXT4", "TLC"),
+                ("ION-GPFS", "MLC"),
+            ] * 4  # 12 jobs, 3 distinct — duplicates must coalesce
+            async with await ServiceClient.connect(
+                server.host, server.port
+            ) as client:
+                results = await asyncio.gather(*(
+                    client.submit(CellJob(label=label, kind=kind,
+                                          workload=TINY))
+                    for label, kind in cells
+                ))
+                status = await client.status()
+            await server.close()
+            return cells, results, status
+
+        cells, results, status = run(scenario())
+        assert len(results) == 12
+        assert status["submitted"] == 12
+        assert status["executed"] == 3
+        assert status["coalesced"] == 9
+        # duplicates returned the identical payload
+        by_cell = {}
+        for (label, kind), payload in zip(cells, results):
+            by_cell.setdefault((label, kind), []).append(payload["result"])
+        for copies in by_cell.values():
+            assert all(c == copies[0] for c in copies)
+
+    def test_progress_streams_over_the_wire(self):
+        async def scenario():
+            server = await started_server(queue_limit=16, max_concurrency=1)
+            events = []
+            async with await ServiceClient.connect(
+                server.host, server.port
+            ) as client:
+                payload = await client.submit(
+                    FigureJob(figure="figure7", workload=TINY),
+                    on_progress=events.append,
+                )
+            await server.close()
+            return events, payload
+
+        events, payload = run(scenario())
+        assert "Figure 7" in payload["text"]
+        assert events
+        assert events[-1]["done"] == events[-1]["total"]
+        assert all(e["event"] == "progress" for e in events)
+
+    def test_invalid_job_rejected_with_structured_error(self):
+        async def scenario():
+            server = await started_server(queue_limit=4)
+            async with await ServiceClient.connect(
+                server.host, server.port
+            ) as client:
+                with pytest.raises(ServiceError) as exc:
+                    await client.submit(
+                        {"job": "cell", "label": "CNL-NOPE", "kind": "SLC"}
+                    )
+                pong = await client.ping()
+            await server.close()
+            return exc.value, pong
+
+        error, pong = run(scenario())
+        assert error.code == "invalid_job"
+        assert "CNL-NOPE" in error.detail
+        assert pong is True  # the connection survived the rejection
+
+    def test_status_endpoint_shape(self):
+        async def scenario():
+            server = await started_server(queue_limit=7, max_concurrency=3)
+            async with await ServiceClient.connect(
+                server.host, server.port
+            ) as client:
+                status = await client.status()
+            await server.close()
+            return status
+
+        status = run(scenario())
+        assert status["state"] == "serving"
+        assert status["queue_limit"] == 7
+        assert status["max_concurrency"] == 3
+        for key in ("submitted", "executed", "coalesced", "queue_depth",
+                    "in_flight", "latency", "cache", "rejected"):
+            assert key in status
+
+    def test_draining_service_rejects_over_the_wire(self):
+        async def scenario():
+            server = await started_server(queue_limit=4)
+            await server.service.drain()
+            async with await ServiceClient.connect(
+                server.host, server.port
+            ) as client:
+                with pytest.raises(ServiceError) as exc:
+                    await client.submit(
+                        CellJob(label="CNL-UFS", kind="SLC", workload=TINY)
+                    )
+            await server.close()
+            return exc.value
+
+        assert run(scenario()).code == "draining"
+
+    def test_malformed_line_gets_bad_request(self):
+        async def scenario():
+            server = await started_server(queue_limit=4)
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            import json
+
+            reply = json.loads(await asyncio.wait_for(reader.readline(), 5))
+            writer.close()
+            await writer.wait_closed()
+            await server.close()
+            return reply
+
+        reply = run(scenario())
+        assert reply["ok"] is False
+        assert reply["error"] == "bad_request"

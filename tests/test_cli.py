@@ -33,3 +33,18 @@ class TestCli:
         assert main(["table1", "-o", str(tmp_path)]) == 0
         assert (tmp_path / "table1.txt").exists()
         assert "Table 1" in (tmp_path / "table1.txt").read_text()
+
+    def test_serve_subcommand_wired(self, capsys):
+        """`serve` dispatches to its own parser (here: its --help)."""
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--queue-limit" in out and "--max-concurrency" in out
+
+    def test_serve_rejects_bad_cache_dir(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--cache-dir", str(not_a_dir)])
+        assert exc.value.code == 2
