@@ -10,6 +10,7 @@ Usage::
     python -m repro all -o results/         # write exhibits to a dir
     python -m repro all --workers 8         # parallel matrix cells
     python -m repro all --cache-dir ~/.cache/repro   # reuse across runs
+    python -m repro figure7 --faults        # deterministic fault injection
     python -m repro serve --port 8077       # simulation-as-a-service
 
 Each exhibit prints the same rows/series the paper plots; ``--out``
@@ -18,6 +19,13 @@ additionally writes one text file per exhibit.  The matrix exhibits
 fans independent (config, kind) cells out over a process pool
 (``--workers 0`` auto-detects), and an in-memory result cache dedupes
 the cells the figures have in common; ``--cache-dir`` persists it.
+
+``--faults`` overlays the default chaos regime
+(:meth:`repro.faults.FaultSpec.default_chaos`) on every matrix cell:
+seeded, deterministic device read-retries and die failures (plus pool
+worker chaos), recovered automatically and reported in a fault footer.
+``--fault-seed`` (or the ``REPRO_FAULT_SEED`` env var) pins the seed so
+two runs inject byte-identical faults.
 
 ``serve`` starts the long-running JSON-lines TCP service
 (:mod:`repro.service`): typed cell/matrix/figure/headline jobs, bounded
@@ -30,6 +38,7 @@ progress and a ``status`` metrics endpoint.  Talk to it with
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -187,15 +196,36 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="persist matrix-cell results on disk (default: in-memory only)",
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="inject the default seeded chaos regime into every matrix cell",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="fault-injection seed (default: $REPRO_FAULT_SEED or 0); "
+        "implies --faults",
+    )
     args = parser.parse_args(argv)
 
     try:
         cache = ResultCache(args.cache_dir)
     except NotADirectoryError as exc:
         parser.error(f"--cache-dir: {exc}")
+    faults = None
+    if args.faults or args.fault_seed is not None:
+        from .faults import FaultSpec
+
+        fault_seed = args.fault_seed
+        if fault_seed is None:
+            fault_seed = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+        faults = FaultSpec.default_chaos(fault_seed)
     engine = MatrixEngine(
         workers=None if args.workers == 0 else args.workers,
         cache=cache,
+        faults=faults,
     )
     exhibits = _exhibits(args.scale, engine)
     if args.exhibit == "list":
@@ -232,6 +262,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"{stats['misses']} misses, {stats['puts']} puts, "
                 f"hit ratio {stats['hit_ratio']:.0%}]"
             )
+    if faults is not None:
+        fs = engine.fault_stats
+        print(
+            f"[fault injection: seed {faults.seed}, "
+            f"{fs['faults_injected']} device faults "
+            f"({fs['device_retries']} retries), "
+            f"{fs['worker_crashes']} worker crashes, "
+            f"{fs['cell_timeouts']} cell timeouts, "
+            f"{fs['cell_retries']} cells retried — all recovered]"
+        )
     return 0
 
 

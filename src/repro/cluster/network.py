@@ -4,11 +4,17 @@ A :class:`SharedLink` serializes message payloads at the link's
 effective bandwidth (from :mod:`repro.interconnect`) with per-message
 latency; concurrent senders contend FIFO, which is how the ION's QDR
 port divides between its compute nodes.
+
+Fault injection attaches a
+:class:`~repro.faults.cluster.LinkFaultModel` (seeded, deterministic):
+flapped transfers stall for the retrain time, degraded fabrics stretch
+wire time — letting ION-vs-CNL comparisons run under lossy fabrics.
+Without a model the timing is bit-identical to the healthy link.
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
 from ..interconnect.links import LinkSpec
 from ..sim import Resource, Simulator
@@ -19,12 +25,24 @@ __all__ = ["SharedLink"]
 class SharedLink:
     """A full-duplex link shared by many DES processes."""
 
-    def __init__(self, sim: Simulator, spec: LinkSpec, name: str = ""):
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: LinkSpec,
+        name: str = "",
+        fault_model=None,
+    ):
         self.sim = sim
         self.spec = spec
         self.name = name or spec.name
         self._wire = Resource(sim, capacity=1, name=self.name)
         self.bytes_moved = 0
+        #: optional :class:`~repro.faults.cluster.LinkFaultModel`
+        self.fault_model = fault_model
+
+    def attach_faults(self, model) -> None:
+        """Overlay a link fault model onto subsequent transfers."""
+        self.fault_model = model
 
     def transfer(self, nbytes: int) -> Generator:
         """(process fragment) Move ``nbytes``; yields until delivered."""
@@ -33,9 +51,19 @@ class SharedLink:
         yield self._wire.acquire()
         try:
             self.bytes_moved += nbytes
-            yield self.sim.timeout(self.spec.request_ns(nbytes))
+            ns = self.spec.request_ns(nbytes)
+            if self.fault_model is not None:
+                ns += self.fault_model.transfer_overlay(nbytes, ns)
+            yield self.sim.timeout(ns)
         finally:
             self._wire.release()
+
+    @property
+    def fault_stats(self) -> Optional[dict]:
+        """Injected-fault roll-up, or ``None`` without a model."""
+        return (
+            self.fault_model.snapshot() if self.fault_model is not None else None
+        )
 
     @property
     def busy_ns(self) -> int:

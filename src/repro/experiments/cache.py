@@ -28,12 +28,16 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.plan import FaultSpec
     from .runner import ConfigResult, Workload
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["SCHEMA_VERSION", "ResultCache", "cell_key", "peak_key"]
 
@@ -60,20 +64,32 @@ def _digest(parts: dict) -> str:
 
 
 def cell_key(
-    label: str, kind: str, workload: "Workload", seed: int, with_remaining: bool
+    label: str,
+    kind: str,
+    workload: "Workload",
+    seed: int,
+    with_remaining: bool,
+    faults: Optional["FaultSpec"] = None,
 ) -> str:
-    """Cache key of one ``run_config`` cell."""
-    return _digest(
-        {
-            "schema": SCHEMA_VERSION,
-            "entry": "cell",
-            "label": label,
-            "kind": kind,
-            "workload": dataclasses.asdict(workload),
-            "seed": seed,
-            "with_remaining": bool(with_remaining),
-        }
-    )
+    """Cache key of one ``run_config`` cell.
+
+    ``faults`` (a :class:`~repro.faults.plan.FaultSpec`) is part of the
+    identity only when present, so fault-free keys are unchanged and
+    faulty results can never be served for healthy requests (or vice
+    versa).
+    """
+    parts = {
+        "schema": SCHEMA_VERSION,
+        "entry": "cell",
+        "label": label,
+        "kind": kind,
+        "workload": dataclasses.asdict(workload),
+        "seed": seed,
+        "with_remaining": bool(with_remaining),
+    }
+    if faults is not None:
+        parts["faults"] = faults.signature()
+    return _digest(parts)
 
 
 def peak_key(label: str, kind: str, workload: "Workload", seed: int) -> str:
@@ -107,27 +123,65 @@ class ResultCache:
         self.memory_hits = 0
         self.disk_hits = 0
         self.puts = 0
+        self.corrupt_entries = 0
 
     # -- raw entry storage ---------------------------------------------
     def _path(self, key: str) -> Path:
         assert self.root is not None
         return self.root / f"{key}.json"
 
-    def _load(self, key: str) -> Optional[dict]:
+    def _quarantine(self, path: Path, why: str) -> None:
+        """A disk entry exists but is unusable: treat as a miss.
+
+        The entry is logged, counted (``corrupt_entries`` in
+        :meth:`stats`) and deleted so the recompute's put overwrites it
+        — a torn write or disk corruption must never poison the run.
+        """
+        self.corrupt_entries += 1
+        logger.warning(
+            "treating corrupt cache entry %s as a miss (%s); recomputing",
+            path.name,
+            why,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _load(self, key: str, required: tuple = ()) -> Optional[dict]:
+        """Fetch one entry; unreadable/truncated disk entries are misses.
+
+        ``required`` names fields the payload must carry — a JSON file
+        that parses but lost fields to truncation is as corrupt as one
+        that does not parse.
+        """
         payload = self._mem.get(key)
         if payload is not None:
             self._last_source = "memory"
             return payload
-        if self.root is not None:
-            path = self._path(key)
-            try:
-                payload = json.loads(path.read_text())
-            except (OSError, ValueError):
-                return None
-            self._mem[key] = payload
-            self._last_source = "disk"
-            return payload
-        return None
+        if self.root is None:
+            return None
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._quarantine(path, f"unreadable: {exc}")
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self._quarantine(path, "not valid JSON")
+            return None
+        if not isinstance(payload, dict) or any(
+            name not in payload for name in required
+        ):
+            self._quarantine(path, "missing required fields (truncated?)")
+            return None
+        self._mem[key] = payload
+        self._last_source = "disk"
+        return payload
 
     def _count_hit(self) -> None:
         self.hits += 1
@@ -153,6 +207,7 @@ class ResultCache:
         workload: "Workload",
         seed: int,
         with_remaining: bool,
+        faults: Optional["FaultSpec"] = None,
     ) -> Optional["ConfigResult"]:
         """Return a cached :class:`ConfigResult`, or ``None`` on miss.
 
@@ -162,11 +217,15 @@ class ResultCache:
         """
         from .runner import ConfigResult
 
-        payload = self._load(cell_key(label, kind, workload, seed, with_remaining))
+        payload = self._load(
+            cell_key(label, kind, workload, seed, with_remaining, faults),
+            required=_CELL_FIELDS,
+        )
         remaining_override = None
         if payload is None:
             other = self._load(
-                cell_key(label, kind, workload, seed, not with_remaining)
+                cell_key(label, kind, workload, seed, not with_remaining, faults),
+                required=_CELL_FIELDS,
             )
             if other is not None and not with_remaining:
                 payload = other
@@ -191,10 +250,13 @@ class ResultCache:
         workload: "Workload",
         seed: int,
         with_remaining: bool,
+        faults: Optional["FaultSpec"] = None,
     ) -> None:
         payload = {name: getattr(result, name) for name in _CELL_FIELDS}
         self._store(
-            cell_key(result.label, result.kind, workload, seed, with_remaining),
+            cell_key(
+                result.label, result.kind, workload, seed, with_remaining, faults
+            ),
             payload,
         )
 
@@ -207,7 +269,7 @@ class ResultCache:
         seed: int,
         _count: bool = True,
     ) -> Optional[float]:
-        payload = self._load(peak_key(label, kind, workload, seed))
+        payload = self._load(peak_key(label, kind, workload, seed), required=("peak_mb",))
         if payload is None:
             if _count:
                 self.misses += 1
@@ -238,6 +300,7 @@ class ResultCache:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "puts": self.puts,
+            "corrupt_entries": self.corrupt_entries,
             "hit_ratio": self.hits / lookups if lookups else 0.0,
             "memory_entries": len(self._mem),
             "disk_entries": (

@@ -1,4 +1,4 @@
-"""Parallel, cached execution engine for the experiment matrix.
+"""Parallel, cached, supervised execution engine for the experiment matrix.
 
 Every exhibit (Figures 7-10, the headline claims, the sensitivity
 sweep) reduces to running independent ``(config, NVM kind)`` cells of
@@ -8,11 +8,23 @@ it fans cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`
 irrelevant to the results), consults a :class:`ResultCache` before
 computing anything, and records per-cell wall-clock timings.
 
+The pool is **supervised**: a cell whose worker dies mid-computation
+(``BrokenProcessPool``) or exceeds ``cell_timeout_s`` is resubmitted on
+a fresh pool with exponential backoff, up to ``max_retries`` extra
+attempts; only then does the typed failure
+(:class:`~repro.faults.errors.RetriesExhausted`) surface.  Completed
+cells checkpoint through the attached cache as they finish, so a
+mid-matrix crash never loses finished work.  An optional
+:class:`~repro.faults.plan.FaultSpec` threads device-fault injection
+into each cell and (via its worker-chaos rates) lets the chaos tests
+kill or hang workers deterministically.
+
 ``workers=1`` bypasses the pool entirely and runs the exact serial
 path (``run_config`` in-process); ``workers=None`` auto-detects from
 ``REPRO_WORKERS`` or the CPU count.  Parallel results are identical to
 serial results field-for-field — enforced by
-``tests/experiments/test_parallel_engine.py``.
+``tests/experiments/test_parallel_engine.py`` and, under injected
+worker crashes, by ``tests/faults/test_engine_chaos.py``.
 """
 
 from __future__ import annotations
@@ -21,27 +33,37 @@ import os
 import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from .cache import ResultCache
 from .runner import DEFAULT_WORKLOAD, ConfigResult, Workload, run_config
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..faults.plan import FaultSpec
 
 __all__ = ["MatrixEngine", "CellTiming", "detect_workers"]
 
 Cell = tuple[str, str]  # (config label, kind name)
 
+#: bound on an injected "hang" — long enough to trip any sane cell
+#: timeout, short enough that a broken teardown can't wedge a test run
+_CHAOS_HANG_S = 60.0
+
 
 def detect_workers() -> int:
     """Worker count: ``REPRO_WORKERS`` env override, else CPU count.
 
-    A non-integer override is ignored with a warning rather than
-    aborting the run — the env var is set far from where it's read.
+    A malformed override — non-integer, zero or negative — is clamped
+    to a safe value with a warning rather than aborting the run (or
+    silently spawning a zero-worker pool): the env var is set far from
+    where it's read.
     """
     env = os.environ.get("REPRO_WORKERS")
     if env:
         try:
-            return max(1, int(env))
+            n = int(env)
         except ValueError:
             warnings.warn(
                 f"ignoring non-integer REPRO_WORKERS={env!r}; "
@@ -49,6 +71,16 @@ def detect_workers() -> int:
                 RuntimeWarning,
                 stacklevel=2,
             )
+        else:
+            if n < 1:
+                warnings.warn(
+                    f"REPRO_WORKERS={env!r} is not a positive integer; "
+                    "clamping to 1 worker",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return 1
+            return n
     return os.cpu_count() or 1
 
 
@@ -63,27 +95,70 @@ class CellTiming:
 
 
 def _compute_cell(
-    label: str, kind: str, workload: Workload, seed: int, with_remaining: bool
+    label: str,
+    kind: str,
+    workload: Workload,
+    seed: int,
+    with_remaining: bool,
+    faults: Optional["FaultSpec"] = None,
+    attempt: int = 0,
 ) -> tuple[str, str, ConfigResult, Optional[float], float]:
-    """Worker-side cell execution; returns the peak for cache sharing."""
+    """Worker-side cell execution; returns the peak for cache sharing.
+
+    When ``faults`` carries worker-chaos rates, the plan may order this
+    process to die or stall — deterministically, and only on a cell's
+    first attempt — before any work happens, exercising the supervisor.
+    """
+    if faults is not None and faults.injects_worker_faults:
+        strike = faults.plan().worker_chaos(label, kind, attempt)
+        if strike == "crash":
+            os._exit(13)  # no cleanup: simulate a hard worker death
+        elif strike == "hang":
+            time.sleep(_CHAOS_HANG_S)
+
     from .cache import ResultCache as _Cache
 
     scratch = _Cache()  # in-memory; captures the peak run_config computes
     t0 = time.perf_counter()
     result = run_config(
-        label, kind, workload, seed, with_remaining=with_remaining, cache=scratch
+        label, kind, workload, seed,
+        with_remaining=with_remaining, cache=scratch, faults=faults,
     )
     seconds = time.perf_counter() - t0
     peak = scratch.get_peak(label, kind, workload, seed, _count=False)
     return label, kind, result, peak, seconds
 
 
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool whose workers may be hung or already dead.
+
+    ``shutdown(wait=False)`` alone leaves a hung worker sleeping until
+    interpreter exit (where the stdlib's atexit handler would join it
+    forever), so the worker processes are terminated outright.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
 class MatrixEngine:
-    """Parallel, cached runner for experiment-matrix cells.
+    """Parallel, cached, supervised runner for experiment-matrix cells.
 
     ``progress``, when given, is called after every finished cell as
     ``progress(done, total, (label, kind), seconds, cached)`` from the
     coordinating process.
+
+    ``faults`` (a :class:`~repro.faults.plan.FaultSpec`) overlays
+    deterministic fault injection: device faults run inside each cell,
+    worker chaos strikes the pool itself.  ``max_retries`` bounds the
+    extra attempts a crashed or timed-out cell gets; ``retry_backoff_s``
+    seeds the exponential backoff between supervision rounds;
+    ``cell_timeout_s`` is the per-round wall-clock budget after which
+    still-running cells are declared hung and resubmitted.
     """
 
     def __init__(
@@ -91,11 +166,27 @@ class MatrixEngine:
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         progress: Optional[Callable[[int, int, Cell, float, bool], None]] = None,
+        faults: Optional["FaultSpec"] = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.1,
+        cell_timeout_s: Optional[float] = None,
     ):
         self.workers = detect_workers() if workers is None else max(1, int(workers))
         self.cache = cache
         self.progress = progress
+        self.faults = faults
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff_s = max(0.0, float(retry_backoff_s))
+        self.cell_timeout_s = cell_timeout_s
         self.timings: list[CellTiming] = []
+        #: supervision + injected-fault roll-up (see :meth:`summary`)
+        self.fault_stats: dict[str, int] = {
+            "worker_crashes": 0,
+            "cell_timeouts": 0,
+            "cell_retries": 0,
+            "faults_injected": 0,
+            "device_retries": 0,
+        }
 
     # ------------------------------------------------------------------
     def run_cells(
@@ -108,18 +199,38 @@ class MatrixEngine:
         """Run distinct ``(label, kind)`` cells; returns results by cell.
 
         Cache hits are served without computing; the rest fan out over
-        the process pool (or run inline for ``workers=1``).
+        the supervised process pool (or run inline for ``workers=1``).
         """
+        faults = self.faults
+        if faults is not None and not faults.enabled:
+            faults = None
         cells = list(dict.fromkeys(cells))  # dedupe, preserve order
         total = len(cells)
         results: dict[Cell, ConfigResult] = {}
         done = 0
 
+        def finish(cell: Cell, result: ConfigResult, seconds: float) -> None:
+            nonlocal done
+            results[cell] = result
+            if result.faults:
+                self.fault_stats["faults_injected"] += result.faults.get(
+                    "faults_injected", 0
+                )
+                self.fault_stats["device_retries"] += result.faults.get(
+                    "retries", 0
+                )
+            done += 1
+            self.timings.append(CellTiming(*cell, seconds, False))
+            if self.progress is not None:
+                self.progress(done, total, cell, seconds, False)
+
         todo: list[Cell] = []
         for cell in cells:
             hit = None
             if self.cache is not None:
-                hit = self.cache.get_cell(*cell, workload, seed, with_remaining)
+                hit = self.cache.get_cell(
+                    *cell, workload, seed, with_remaining, faults=faults
+                )
             if hit is not None:
                 results[cell] = hit
                 done += 1
@@ -136,44 +247,127 @@ class MatrixEngine:
                 result = run_config(
                     *cell, workload, seed,
                     with_remaining=with_remaining, cache=self.cache,
+                    faults=faults,
                 )
                 seconds = time.perf_counter() - t0
-                results[cell] = result
                 if self.cache is not None:
-                    self.cache.put_cell(result, workload, seed, with_remaining)
-                done += 1
-                self.timings.append(CellTiming(*cell, seconds, False))
-                if self.progress is not None:
-                    self.progress(done, total, cell, seconds, False)
+                    self.cache.put_cell(
+                        result, workload, seed, with_remaining, faults=faults
+                    )
+                finish(cell, result, seconds)
         elif todo:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            self._run_supervised(
+                todo, workload, seed, with_remaining, faults, finish
+            )
+
+        return {cell: results[cell] for cell in cells}
+
+    # ------------------------------------------------------------------
+    def _run_supervised(
+        self,
+        todo: list[Cell],
+        workload: Workload,
+        seed: int,
+        with_remaining: bool,
+        faults: Optional["FaultSpec"],
+        finish: Callable[[Cell, ConfigResult, float], None],
+    ) -> None:
+        """Pool fan-out with crash/hang supervision and retry rounds.
+
+        Each round submits the outstanding cells to a fresh pool.  A
+        worker death breaks the whole pool (every unfinished future
+        raises ``BrokenProcessPool``), so the round's survivors are
+        harvested and the casualties resubmitted next round; a round
+        that outlives ``cell_timeout_s`` has its stragglers declared
+        hung and likewise resubmitted.  Finished cells checkpoint into
+        the cache immediately — a later crash cannot lose them.
+        """
+        from ..faults.errors import CellTimeout, RetriesExhausted, WorkerCrash
+
+        attempts: dict[Cell, int] = {cell: 0 for cell in todo}
+        round_no = 0
+
+        def record_failure(cell: Cell, why: str, retry: list[Cell]) -> None:
+            attempts[cell] += 1
+            counter = "worker_crashes" if why == "crash" else "cell_timeouts"
+            self.fault_stats[counter] += 1
+            if attempts[cell] > self.max_retries:
+                cause_cls = WorkerCrash if why == "crash" else CellTimeout
+                raise RetriesExhausted(
+                    f"cell {cell} failed {attempts[cell]} times "
+                    f"(last: {why}); retry budget {self.max_retries} spent",
+                    site=("engine", *cell),
+                ) from cause_cls(f"cell {cell} {why}", site=("engine", *cell))
+            self.fault_stats["cell_retries"] += 1
+            retry.append(cell)
+
+        while todo:
+            if round_no > 0 and self.retry_backoff_s > 0:
+                time.sleep(self.retry_backoff_s * 2 ** (round_no - 1))
+            round_no += 1
+            retry: list[Cell] = []
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(todo))
+            )
+            degraded = False  # pool broken or deadline blown this round
+            try:
                 futures = {
                     pool.submit(
-                        _compute_cell, label, kind, workload, seed, with_remaining
+                        _compute_cell, label, kind, workload, seed,
+                        with_remaining, faults, attempts[(label, kind)],
                     ): (label, kind)
                     for label, kind in todo
                 }
+                handled: set = set()
                 pending = set(futures)
+                deadline = (
+                    None if self.cell_timeout_s is None
+                    else time.monotonic() + self.cell_timeout_s
+                )
                 while pending:
-                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    timeout = (
+                        None if deadline is None
+                        else max(0.0, deadline - time.monotonic())
+                    )
+                    finished, pending = wait(
+                        pending, timeout=timeout, return_when=FIRST_COMPLETED
+                    )
+                    if not finished:  # deadline blown: stragglers are hung
+                        degraded = True
+                        for fut in pending:
+                            record_failure(futures[fut], "timeout", retry)
+                        break
                     for fut in finished:
-                        label, kind, result, peak, seconds = fut.result()
-                        cell = (label, kind)
-                        results[cell] = result
+                        cell = futures[fut]
+                        try:
+                            label, kind, result, peak, seconds = fut.result()
+                        except BrokenProcessPool:
+                            degraded = True
+                            continue  # casualties collected below
+                        handled.add(fut)
                         if self.cache is not None:
                             self.cache.put_cell(
-                                result, workload, seed, with_remaining
+                                result, workload, seed, with_remaining,
+                                faults=faults,
                             )
                             if peak is not None:
                                 self.cache.put_peak(
                                     label, kind, workload, seed, peak
                                 )
-                        done += 1
-                        self.timings.append(CellTiming(label, kind, seconds, False))
-                        if self.progress is not None:
-                            self.progress(done, total, cell, seconds, False)
-
-        return {cell: results[cell] for cell in cells}
+                        finish(cell, result, seconds)
+                    if degraded:
+                        # the pool is broken: every unhandled cell of this
+                        # round died with it and goes to the next round
+                        for fut, cell in futures.items():
+                            if fut not in handled and cell not in retry:
+                                record_failure(cell, "crash", retry)
+                        break
+            finally:
+                if degraded:
+                    _abandon_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+            todo = retry
 
     # ------------------------------------------------------------------
     def run_matrix(
@@ -215,7 +409,7 @@ class MatrixEngine:
         return self.cache.stats() if self.cache is not None else None
 
     def summary(self) -> dict:
-        """Timing + cache roll-up for status lines and service metrics."""
+        """Timing + cache + fault roll-up for status lines and metrics."""
         cached = sum(1 for t in self.timings if t.cached)
         return {
             "cells": len(self.timings),
@@ -223,4 +417,5 @@ class MatrixEngine:
             "cell_seconds": self.total_seconds,
             "workers": self.workers,
             "cache": self.cache_stats(),
+            "faults": dict(self.fault_stats),
         }

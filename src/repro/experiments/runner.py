@@ -19,6 +19,7 @@ from ..trace.synth import ooc_eigensolver_trace
 from .configs import ExpConfig, config_by_label
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..faults.plan import FaultSpec
     from .cache import ResultCache
 
 __all__ = ["Workload", "ConfigResult", "run_config", "run_matrix", "DEFAULT_WORKLOAD"]
@@ -87,6 +88,10 @@ class ConfigResult:
     breakdown: dict[str, float] = field(default_factory=dict)
     parallelism: dict[str, float] = field(default_factory=dict)
     metrics: RunMetrics | None = None
+    #: device-layer injected-fault roll-up of the computed run; ``None``
+    #: when no faults were injected (and for cache hits — fault
+    #: diagnostics, like ``metrics``, are per-computation, not cached)
+    faults: dict | None = None
 
 
 def _unconstrained_media_peak(
@@ -128,6 +133,7 @@ def run_config(
     keep_metrics: bool = False,
     with_remaining: bool = True,
     cache: Optional["ResultCache"] = None,
+    faults: Optional["FaultSpec"] = None,
 ) -> ConfigResult:
     """Run one Table-2 cell and collect every figure's quantities.
 
@@ -136,17 +142,32 @@ def run_config(
     when given, serves the whole cell — or at least the peak replay —
     from prior identical runs (``keep_metrics=True`` bypasses the cell
     cache because metrics objects are never cached).
+
+    ``faults`` overlays a deterministic device fault plan
+    (:class:`~repro.faults.plan.FaultSpec`) on the main replay; its
+    signature participates in the cache key, so faulty results never
+    collide with fault-free ones.  The peak replay stays fault-free —
+    it is the idealized-media baseline "bandwidth remaining" measures
+    against — so faulty and healthy runs share cached peaks.
     """
     if isinstance(config, str):
         config = config_by_label(config)
     if isinstance(kind, str):
         kind = kind_by_name(kind)
+    if faults is not None and not faults.injects_device_faults:
+        faults = None  # nothing to inject: identical to the healthy path
     if cache is not None and not keep_metrics:
-        hit = cache.get_cell(config.label, kind.name, workload, seed, with_remaining)
+        hit = cache.get_cell(
+            config.label, kind.name, workload, seed, with_remaining, faults=faults
+        )
         if hit is not None:
             return hit
     data_bytes = workload.bytes_per_client
     path = config.build(kind, data_bytes, seed=seed)
+    fault_model = None
+    if faults is not None:
+        fault_model = faults.plan().device_model(kind, path.device.geom)
+        path.device.attach_faults(fault_model)
     clients = path.clients
     traces = workload.traces(clients)
     summary = replay(path, traces, posix_window=workload.posix_window)
@@ -174,6 +195,7 @@ def run_config(
         breakdown=dict(m.breakdown),
         parallelism=dict(m.parallelism),
         metrics=m if keep_metrics else None,
+        faults=fault_model.snapshot() if fault_model is not None else None,
     )
 
 
@@ -186,15 +208,20 @@ def run_matrix(
     workers: Optional[int] = None,
     cache: Optional["ResultCache"] = None,
     progress=None,
+    faults: Optional["FaultSpec"] = None,
 ) -> dict[tuple[str, str], ConfigResult]:
     """Run a (config x kind) grid; keys are (label, kind_name).
 
     Routed through :class:`~repro.experiments.parallel.MatrixEngine`:
-    ``workers`` > 1 fans the cells out over a process pool (``None``
-    auto-detects via ``REPRO_WORKERS`` / CPU count), ``workers=1`` runs
-    the exact serial path; either way the results are identical.
+    ``workers`` > 1 fans the cells out over a supervised process pool
+    (``None`` auto-detects via ``REPRO_WORKERS`` / CPU count),
+    ``workers=1`` runs the exact serial path; either way the results
+    are identical.  ``faults`` overlays a deterministic fault plan on
+    every cell.
     """
     from .parallel import MatrixEngine
 
-    engine = MatrixEngine(workers=workers, cache=cache, progress=progress)
+    engine = MatrixEngine(
+        workers=workers, cache=cache, progress=progress, faults=faults
+    )
     return engine.run_matrix(labels, kinds, workload, seed, with_remaining)

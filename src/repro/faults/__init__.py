@@ -1,0 +1,67 @@
+"""repro.faults — deterministic fault injection + resilience.
+
+The paper's media study (Section 2.3, Table 1) is about devices that
+*fail and wear*: NAND endurance limits, read-retry, PCM wear-leveling.
+This package makes the simulator — and the engine/service layers built
+on it — survive that reality instead of assuming a permanently healthy
+happy path:
+
+* :mod:`repro.faults.errors` — the typed :class:`FaultError` taxonomy
+  (transient vs permanent) every layer classifies failures with;
+* :mod:`repro.faults.plan` — :class:`FaultSpec`/:class:`FaultPlan`,
+  the seeded, site-hashed decision oracle whose device rates derive
+  from the Table-1 endurance budgets;
+* :mod:`repro.faults.device` — die failures + ECC read-retry latency
+  overlay behind :class:`~repro.ssd.controller.SSDevice`;
+* :mod:`repro.faults.cluster` — link flap / degraded-fabric overlay
+  for :class:`~repro.cluster.network.SharedLink`.
+
+The engine layer (`repro.experiments.parallel`) supervises pool workers
+and retries crashed/hung cells; the service layer (`repro.service`)
+adds per-job timeouts, transient-retry and load shedding.  With no
+plan attached (or all rates zero) every layer is bit-identical to the
+fault-free path — injection is a pure overlay, golden-guarded by
+``tests/faults/``.
+"""
+
+from .errors import (
+    CellTimeout,
+    DeviceFault,
+    DieFailure,
+    FaultError,
+    LinkFault,
+    LinkFlap,
+    RetriesExhausted,
+    TransientMediaFault,
+    WorkerCrash,
+    is_transient,
+)
+from .plan import (
+    ENDURANCE_REFERENCE,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    media_wear_factor,
+)
+from .device import DeviceFaultModel
+from .cluster import LinkFaultModel
+
+__all__ = [
+    "FaultError",
+    "DeviceFault",
+    "TransientMediaFault",
+    "DieFailure",
+    "LinkFault",
+    "LinkFlap",
+    "WorkerCrash",
+    "CellTimeout",
+    "RetriesExhausted",
+    "is_transient",
+    "ENDURANCE_REFERENCE",
+    "media_wear_factor",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultEvent",
+    "DeviceFaultModel",
+    "LinkFaultModel",
+]

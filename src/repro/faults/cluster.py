@@ -1,0 +1,93 @@
+"""Cluster-layer fault overlay: link flaps and degraded fabrics.
+
+ION-vs-CNL comparisons in the paper assume a healthy QDR fabric; real
+deployments see links retrain (flap) and run derated after lane
+failures.  :class:`LinkFaultModel` attaches to a
+:class:`~repro.cluster.network.SharedLink` and deterministically
+injects:
+
+* **flaps** — with ``link_flap_rate`` per transfer, the link stalls for
+  ``link_flap_ns`` (DC-DC retrain) before the payload moves;
+* **sustained degradation** — ``link_degraded_factor < 1`` stretches
+  every transfer's wire time by ``1/factor`` (half the lanes alive =
+  factor 0.5 = twice the wire time).
+
+Decisions hash ``(link name, transfer seq)``, so two DES runs with the
+same seed produce identical timings and identical fault logs — the DES
+event order is itself deterministic.
+"""
+
+from __future__ import annotations
+
+from .plan import FaultEvent, FaultPlan
+
+__all__ = ["LinkFaultModel"]
+
+#: recorded FaultEvents are capped (counters keep exact totals)
+EVENT_LOG_CAP = 1_000
+
+
+class LinkFaultModel:
+    """Per-link deterministic flap/degradation oracle."""
+
+    def __init__(self, plan: FaultPlan, name: str):
+        spec = plan.spec
+        self.plan = plan
+        self.name = name
+        self.flap_p = spec.link_flap_rate
+        self.flap_ns = spec.link_flap_ns
+        self.degraded_factor = spec.link_degraded_factor
+
+        self.faults_injected = 0
+        self.flaps = 0
+        self.degraded_transfers = 0
+        self.penalty_ns = 0
+        self.events: list[FaultEvent] = []
+        self._events_dropped = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def _record(self, event: FaultEvent) -> None:
+        self.faults_injected += 1
+        if len(self.events) < EVENT_LOG_CAP:
+            self.events.append(event)
+        else:
+            self._events_dropped += 1
+
+    def transfer_overlay(self, nbytes: int, base_ns: int) -> int:
+        """Extra nanoseconds this transfer spends on injected faults.
+
+        Called once per transfer in DES order; the per-link sequence
+        number is the deterministic decision site.
+        """
+        seq = self._seq
+        self._seq += 1
+        extra = 0
+        if self.degraded_factor < 1.0:
+            stretch = int(base_ns * (1.0 / self.degraded_factor - 1.0))
+            if stretch:
+                extra += stretch
+                self.degraded_transfers += 1
+        if self.plan.occurs(self.flap_p, "link", self.name, "flap", seq):
+            extra += self.flap_ns
+            self.flaps += 1
+            self._record(FaultEvent(
+                layer="link", kind="link_flap",
+                site=(self.name, seq), penalty_ns=self.flap_ns,
+            ))
+        if extra:
+            self.penalty_ns += extra
+        return extra
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe roll-up of this link's injected faults."""
+        return {
+            "link": self.name,
+            "faults_injected": self.faults_injected,
+            "flaps": self.flaps,
+            "degraded_transfers": self.degraded_transfers,
+            "penalty_ns": self.penalty_ns,
+            "events": [e.to_dict() for e in self.events],
+            "events_dropped": self._events_dropped,
+        }

@@ -1,0 +1,127 @@
+"""Typed failure taxonomy for deterministic fault injection.
+
+Every injected failure the resilience layers can raise is a subclass of
+:class:`FaultError` carrying a machine-readable ``code`` and the fault
+*site* (the device/die/link/cell it struck), so callers at any layer —
+controller retry loops, the engine supervisor, the service executor —
+can classify failures programmatically instead of string-matching.
+
+The split that matters operationally is transient vs permanent:
+
+* **transient** faults (ECC-correctable read errors, a crashed pool
+  worker, a flapped link) are expected to succeed when retried and the
+  resilience layers retry them with exponential backoff;
+* **permanent** faults (a failed die past its recovery ladder, a cell
+  that exhausted its retry budget) surface to the caller as the typed
+  error itself.
+
+:func:`is_transient` is the single classification point the retry
+machinery consults.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultError",
+    "DeviceFault",
+    "TransientMediaFault",
+    "DieFailure",
+    "LinkFault",
+    "LinkFlap",
+    "WorkerCrash",
+    "CellTimeout",
+    "RetriesExhausted",
+    "is_transient",
+]
+
+
+class FaultError(Exception):
+    """Base of the fault taxonomy; ``code`` is machine-readable."""
+
+    code = "fault"
+    #: retrying is expected to succeed (the retry layers consult this)
+    transient = False
+
+    def __init__(self, detail: str, site: tuple | None = None):
+        super().__init__(detail)
+        self.detail = detail
+        self.site = site
+
+    def to_dict(self) -> dict:
+        d = {"error": self.code, "detail": self.detail}
+        if self.site is not None:
+            d["site"] = list(self.site)
+        return d
+
+
+# -- device layer -------------------------------------------------------
+class DeviceFault(FaultError):
+    """A fault injected below the block interface (die, plane, media)."""
+
+    code = "device_fault"
+
+
+class TransientMediaFault(DeviceFault):
+    """ECC-correctable media error: a read-retry round is expected to
+    succeed.  Raised only in strict mode; in normal operation the
+    controller absorbs it as a retry latency penalty."""
+
+    code = "transient_media_fault"
+    transient = True
+
+
+class DieFailure(DeviceFault):
+    """A die (or plane) is permanently failed; data must be recovered
+    from redundancy (controller remap) or the operation fails."""
+
+    code = "die_failure"
+
+
+# -- cluster layer ------------------------------------------------------
+class LinkFault(FaultError):
+    """A fault on an interconnect/network link."""
+
+    code = "link_fault"
+
+
+class LinkFlap(LinkFault):
+    """The link dropped and retrained; in-flight transfers stall."""
+
+    code = "link_flap"
+    transient = True
+
+
+# -- engine layer -------------------------------------------------------
+class WorkerCrash(FaultError):
+    """A pool worker process died (or was killed) mid-cell."""
+
+    code = "worker_crash"
+    transient = True
+
+
+class CellTimeout(FaultError):
+    """A matrix cell exceeded its wall-clock budget."""
+
+    code = "cell_timeout"
+    transient = True
+
+
+class RetriesExhausted(FaultError):
+    """A transient fault kept recurring past the retry budget; the
+    original (transient) fault is the ``__cause__``."""
+
+    code = "retries_exhausted"
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when retrying ``exc`` is expected to succeed.
+
+    Besides the taxonomy's own transient members this covers the
+    process-pool and connection failures the stdlib raises when a
+    worker or peer disappears mid-operation.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    if isinstance(exc, FaultError):
+        return exc.transient
+    return isinstance(exc, (BrokenProcessPool, ConnectionError))

@@ -1,0 +1,239 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultSpec` is a frozen, JSON-serialisable description of what
+to inject — base rates per layer, retry budgets, backoff constants — and
+a :class:`FaultPlan` is the decision oracle built from it.  Every
+decision the plan makes is a pure function of ``(seed, site)`` where the
+*site* names the decision point (``("device", "read", cmd_seq)``,
+``("link", name, "flap", transfer_seq)``, ``("engine", label, kind,
+attempt)``): the plan hashes the site with BLAKE2b and maps the digest
+to a uniform float.  Consequences:
+
+* two runs with the same seed inject **identical** faults at identical
+  sites, regardless of worker count, scheduling order or wall-clock —
+  the determinism guarantee the chaos tests pin down;
+* a plan is trivially picklable (it is just its spec), so pool workers
+  reconstruct the same oracle the coordinator holds;
+* with every rate at zero — or with no plan attached at all — nothing
+  is injected and the simulation is bit-identical to the fault-free
+  path (faults are a pure overlay, enforced by golden tests).
+
+Device-layer rates are not free parameters: they are **derived from the
+Table-1 endurance budgets** (`repro.nvm.endurance`).  A medium's raw
+bit-error likelihood grows as its program/erase budget shrinks, so the
+base rates in the spec are expressed *at the SLC reference endurance*
+(100k cycles) and scaled by :func:`media_wear_factor` — TLC (3k cycles)
+sees ~33x the SLC read-retry rate, PCM (10M cycles) ~0.01x, matching
+the paper's Section 2.3 ordering of media fragility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..nvm.kinds import NVMKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..ssd.geometry import Geometry
+    from .cluster import LinkFaultModel
+    from .device import DeviceFaultModel
+
+__all__ = [
+    "ENDURANCE_REFERENCE",
+    "media_wear_factor",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultEvent",
+]
+
+#: SLC's Table-1 endurance; the anchor all device rates are expressed at
+ENDURANCE_REFERENCE = 100_000
+
+
+def media_wear_factor(kind: NVMKind) -> float:
+    """Fragility multiplier of a medium relative to SLC.
+
+    Inverse of the endurance budget: SLC 1.0, MLC 10x, TLC ~33x,
+    PCM 0.01x — the Section 2.3 ordering (NAND wears, PCM offers
+    "10^3 to 10^5 times better endurance").
+    """
+    return ENDURANCE_REFERENCE / kind.endurance_cycles
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Frozen description of one fault-injection regime.
+
+    All device rates are per-command base probabilities *at SLC
+    reference endurance*; :class:`~repro.faults.device.DeviceFaultModel`
+    scales them by :func:`media_wear_factor`.  A spec with every rate at
+    zero injects nothing.  Specs are picklable and hashable; their
+    :meth:`signature` participates in result-cache keys so faulty
+    results never collide with fault-free ones.
+    """
+
+    seed: int = 0
+
+    # -- device layer ---------------------------------------------------
+    #: P(one command needs ECC read-retry rounds), at SLC endurance
+    read_fault_rate: float = 0.0
+    #: P(one die is failed for the whole run), at SLC endurance
+    die_failure_rate: float = 0.0
+    #: latency of one ECC retry round (re-sense + transfer); rounds back
+    #: off exponentially: round i costs ``retry_latency_ns * 2**i``
+    retry_latency_ns: int = 40_000
+    #: retry budget per command before the fault counts as unrecovered
+    max_retries: int = 4
+    #: strict mode: exhausted/permanent faults raise typed FaultErrors
+    #: instead of degrading into a recovery-latency penalty
+    strict: bool = False
+
+    # -- cluster layer --------------------------------------------------
+    #: P(one transfer hits a link flap)
+    link_flap_rate: float = 0.0
+    #: retrain stall of one flap
+    link_flap_ns: int = 2_000_000
+    #: sustained bandwidth derating (1.0 = healthy, 0.5 = half speed)
+    link_degraded_factor: float = 1.0
+
+    # -- engine layer ---------------------------------------------------
+    #: P(a pool worker is killed on a cell's *first* attempt) — at most
+    #: one injected crash per cell, so recovery is always possible
+    worker_crash_rate: float = 0.0
+    #: P(a pool worker hangs on a cell's first attempt) — exercised
+    #: with the engine's cell timeout
+    worker_hang_rate: float = 0.0
+
+    def __post_init__(self):
+        for name in ("read_fault_rate", "die_failure_rate", "link_flap_rate",
+                     "worker_crash_rate", "worker_hang_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v!r}")
+        if not 0.0 < self.link_degraded_factor <= 1.0:
+            raise ValueError(
+                f"link_degraded_factor must be in (0, 1], "
+                f"got {self.link_degraded_factor!r}"
+            )
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def injects_device_faults(self) -> bool:
+        return self.read_fault_rate > 0 or self.die_failure_rate > 0
+
+    @property
+    def injects_link_faults(self) -> bool:
+        return self.link_flap_rate > 0 or self.link_degraded_factor < 1.0
+
+    @property
+    def injects_worker_faults(self) -> bool:
+        return self.worker_crash_rate > 0 or self.worker_hang_rate > 0
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.injects_device_faults
+            or self.injects_link_faults
+            or self.injects_worker_faults
+        )
+
+    def signature(self) -> dict:
+        """JSON-safe identity for cache keys and wire payloads."""
+        return dataclasses.asdict(self)
+
+    def plan(self) -> "FaultPlan":
+        return FaultPlan(self)
+
+    @classmethod
+    def default_chaos(cls, seed: int = 0) -> "FaultSpec":
+        """The CLI's ``--faults`` regime: mild, everywhere, recoverable."""
+        return cls(
+            seed=seed,
+            read_fault_rate=0.002,
+            die_failure_rate=0.004,
+            link_flap_rate=0.01,
+            worker_crash_rate=0.1,
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, recorded in deterministic injection order."""
+
+    layer: str  # "device" | "link" | "engine" | "service"
+    kind: str  # taxonomy code, e.g. "transient_media_fault"
+    site: tuple  # decision site (die id, command seq, cell, ...)
+    penalty_ns: int = 0  # latency absorbed recovering from it
+    recovered: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "kind": self.kind,
+            "site": list(self.site),
+            "penalty_ns": self.penalty_ns,
+            "recovered": self.recovered,
+        }
+
+
+class FaultPlan:
+    """Decision oracle over a :class:`FaultSpec`.
+
+    Stateless besides the spec: every query hashes ``(seed, *site)`` so
+    outcomes are independent of call order and process boundaries.
+    """
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self._prefix = f"repro.faults:{spec.seed}:".encode()
+
+    # ------------------------------------------------------------------
+    def uniform(self, *site) -> float:
+        """Deterministic uniform [0, 1) draw for one decision site."""
+        h = hashlib.blake2b(
+            self._prefix + repr(site).encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(h, "big") / 2.0**64
+
+    def occurs(self, rate: float, *site) -> bool:
+        """Does the event with probability ``rate`` strike this site?"""
+        return rate > 0.0 and self.uniform(*site) < rate
+
+    # -- layer model factories ------------------------------------------
+    def device_model(self, kind: NVMKind, geometry: "Geometry"
+                     ) -> "DeviceFaultModel":
+        """The per-device overlay (failed-die set, ECC retry oracle)."""
+        from .device import DeviceFaultModel
+
+        return DeviceFaultModel(self, kind, geometry)
+
+    def link_model(self, name: str) -> "LinkFaultModel":
+        """The per-link overlay (flaps, sustained degradation)."""
+        from .cluster import LinkFaultModel
+
+        return LinkFaultModel(self, name)
+
+    # -- engine-layer decisions -----------------------------------------
+    def worker_chaos(self, label: str, kind: str, attempt: int
+                     ) -> Optional[str]:
+        """Chaos verdict for one (cell, attempt) pool execution.
+
+        Returns ``"crash"`` (worker killed), ``"hang"`` (worker stalls
+        past any timeout) or ``None``.  Injection strikes only
+        ``attempt == 0`` — a transient worker loss, never a permanent
+        one — so a supervised retry always recovers.
+        """
+        if attempt != 0:
+            return None
+        if self.occurs(self.spec.worker_crash_rate, "engine", "crash",
+                       label, kind):
+            return "crash"
+        if self.occurs(self.spec.worker_hang_rate, "engine", "hang",
+                       label, kind):
+            return "hang"
+        return None

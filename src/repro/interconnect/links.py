@@ -80,6 +80,30 @@ class LinkSpec:
         base = self.name.split(" x")[0]
         return replace(self, name=f"{base} x{lanes}", lanes=lanes)
 
+    def degraded(
+        self, bandwidth_factor: float = 0.5, extra_latency_ns: int = 0
+    ) -> "LinkSpec":
+        """A derated copy of this link (lossy-fabric what-ifs).
+
+        ``bandwidth_factor`` scales deliverable payload bandwidth (0.5 =
+        half the lanes alive / heavy retransmit); ``extra_latency_ns``
+        adds per-request protocol latency (retraining, error recovery).
+        Used by fault injection and directly for degraded ION-vs-CNL
+        comparisons.
+        """
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ValueError(
+                f"bandwidth_factor must be in (0, 1], got {bandwidth_factor!r}"
+            )
+        if extra_latency_ns < 0:
+            raise ValueError("extra_latency_ns must be >= 0")
+        return replace(
+            self,
+            name=f"{self.name} (degraded {bandwidth_factor:g}x)",
+            packet_efficiency=self.packet_efficiency * bandwidth_factor,
+            per_request_ns=self.per_request_ns + extra_latency_ns,
+        )
+
 
 def pcie_gen2(lanes: int) -> LinkSpec:
     """PCIe 2.0: 5 GT/s/lane, 8b/10b, ~80 % packet efficiency.

@@ -55,10 +55,15 @@ class Die:
     busy_until: int = 0
     written: np.ndarray = field(init=False, repr=False)
     erase_count: np.ndarray = field(init=False, repr=False)
+    #: planes failed by fault injection; operations on them raise a
+    #: typed :class:`~repro.faults.errors.DieFailure` instead of
+    #: silently succeeding
+    failed_planes: frozenset = field(init=False, repr=False)
 
     def __post_init__(self):
         self.written = np.zeros((self.planes, self.blocks_per_plane), dtype=np.int32)
         self.erase_count = np.zeros((self.planes, self.blocks_per_plane), dtype=np.int64)
+        self.failed_planes = frozenset()
 
     # -- capacity -------------------------------------------------------
     @property
@@ -92,10 +97,32 @@ class Die:
             return self.kind.erase_ns
         raise ValueError(f"unknown op {op!r}")
 
+    # -- fault injection -------------------------------------------------
+    def fail_plane(self, plane: int) -> None:
+        """Mark one plane permanently failed (fault injection)."""
+        if not (0 <= plane < self.planes):
+            raise MediaError(f"plane {plane} out of range")
+        self.failed_planes = self.failed_planes | {plane}
+
+    def is_plane_failed(self, plane: int) -> bool:
+        return plane in self.failed_planes
+
+    @property
+    def failed(self) -> bool:
+        """True when every plane of the die is failed."""
+        return len(self.failed_planes) == self.planes
+
     # -- state-machine operations ----------------------------------------
     def _check_addr(self, plane: int, block: int, page: int | None = None) -> None:
         if not (0 <= plane < self.planes):
             raise MediaError(f"plane {plane} out of range")
+        if plane in self.failed_planes:
+            from ..faults.errors import DieFailure
+
+            raise DieFailure(
+                f"die {self.die_id} plane {plane} is failed",
+                site=("die", self.die_id, plane),
+            )
         if not (0 <= block < self.blocks_per_plane):
             raise MediaError(f"block {block} out of range")
         if page is not None and not (0 <= page < self.kind.pages_per_block):

@@ -11,7 +11,7 @@ starts the TCP front end; :class:`ServiceClient` talks to it.
 
 from .coalescer import Coalescer, InflightEntry
 from .client import ServiceClient, submit_one
-from .executor import EngineExecutor, execute_job, result_to_payload
+from .executor import EngineExecutor, JobTimeout, execute_job, result_to_payload
 from .jobs import (
     CellJob,
     FigureJob,
@@ -23,7 +23,7 @@ from .jobs import (
     job_from_dict,
 )
 from .metrics import LatencyRecorder, ServiceMetrics
-from .queue import AdmissionError, AdmissionQueue
+from .queue import AdmissionError, AdmissionQueue, JobShed, QueueClosed, QueueFull
 from .server import JobHandle, ServiceServer, SimulationService
 
 __all__ = [
@@ -36,10 +36,14 @@ __all__ = [
     "HeadlineJob",
     "InflightEntry",
     "JobHandle",
+    "JobShed",
     "JobSpec",
+    "JobTimeout",
     "JobValidationError",
     "LatencyRecorder",
     "MatrixJob",
+    "QueueClosed",
+    "QueueFull",
     "ServiceClient",
     "ServiceError",
     "ServiceMetrics",

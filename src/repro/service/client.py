@@ -7,6 +7,14 @@ optionally streams progress events to a callback); rejections and
 failures surface as :class:`ServiceError` with the server's structured
 code intact, so callers can distinguish ``queue_full`` from
 ``invalid_job`` from ``deadline_expired`` programmatically.
+
+Resilience: ``connect`` takes a ``connect_timeout_s`` (typed
+``connect_timeout`` on expiry), every request honours a
+``request_timeout_s`` budget (typed ``timeout``), and a submission cut
+off by a dropped server connection is — once, automatically —
+reconnected and resubmitted.  Every job the service runs is idempotent
+(seeded, deterministic, cached), so replaying a submission can only hit
+the cache or recompute identical numbers, never double-apply work.
 """
 
 from __future__ import annotations
@@ -24,19 +32,59 @@ __all__ = ["ServiceClient", "submit_one"]
 class ServiceClient:
     """Connection to a running ``python -m repro serve`` instance."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        connect_timeout_s: Optional[float] = None,
+        request_timeout_s: Optional[float] = None,
+    ):
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self._connect_timeout_s = connect_timeout_s
+        #: default per-request budget; ``None`` waits indefinitely
+        self.request_timeout_s = request_timeout_s
         self._req_seq = itertools.count(1)
         self._pending: dict[int, asyncio.Queue] = {}
         self._write_lock = asyncio.Lock()
         self._reader_task = asyncio.create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 8077
-                      ) -> "ServiceClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        connect_timeout_s: Optional[float] = None,
+        request_timeout_s: Optional[float] = None,
+    ) -> "ServiceClient":
+        reader, writer = await cls._open(host, port, connect_timeout_s)
+        return cls(
+            reader,
+            writer,
+            host=host,
+            port=port,
+            connect_timeout_s=connect_timeout_s,
+            request_timeout_s=request_timeout_s,
+        )
+
+    @staticmethod
+    async def _open(host, port, connect_timeout_s):
+        try:
+            if connect_timeout_s is not None:
+                return await asyncio.wait_for(
+                    asyncio.open_connection(host, port), connect_timeout_s
+                )
+            return await asyncio.open_connection(host, port)
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                f"connect to {host}:{port} timed out after "
+                f"{connect_timeout_s:g}s",
+                code="connect_timeout",
+            ) from None
 
     async def close(self) -> None:
         self._reader_task.cancel()
@@ -49,6 +97,18 @@ class ServiceClient:
             await self._writer.wait_closed()
         except (ConnectionResetError, OSError):
             pass
+
+    async def _reconnect(self) -> None:
+        """Replace a dead connection with a fresh one (same endpoint)."""
+        if self._host is None or self._port is None:
+            raise ServiceError(
+                "cannot reconnect: endpoint unknown", code="connection_lost"
+            )
+        await self.close()
+        self._reader, self._writer = await self._open(
+            self._host, self._port, self._connect_timeout_s
+        )
+        self._reader_task = asyncio.create_task(self._read_loop())
 
     async def __aenter__(self) -> "ServiceClient":
         return self
@@ -79,36 +139,78 @@ class ServiceClient:
         message["req"] = req
         queue: asyncio.Queue = asyncio.Queue()
         self._pending[req] = queue
-        async with self._write_lock:
-            self._writer.write(json.dumps(message).encode() + b"\n")
-            await self._writer.drain()
+        try:
+            async with self._write_lock:
+                self._writer.write(json.dumps(message).encode() + b"\n")
+                await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            self._pending.pop(req, None)
+            raise ServiceError(
+                f"send failed: {exc}", code="connection_lost"
+            ) from None
         return req, queue
+
+    @staticmethod
+    async def _next_message(queue: asyncio.Queue,
+                            deadline: Optional[float]) -> dict:
+        if deadline is None:
+            return await queue.get()
+        remaining = deadline - asyncio.get_running_loop().time()
+        if remaining <= 0:
+            raise asyncio.TimeoutError
+        return await asyncio.wait_for(queue.get(), remaining)
+
+    def _deadline(self, timeout_s: Optional[float]) -> Optional[float]:
+        budget = (
+            timeout_s if timeout_s is not None else self.request_timeout_s
+        )
+        if budget is None:
+            return None
+        return asyncio.get_running_loop().time() + budget
 
     # ------------------------------------------------------------------
     async def submit(
         self,
         job: Union[JobSpec, Mapping],
         on_progress: Optional[Callable[[dict], None]] = None,
+        timeout_s: Optional[float] = None,
+        retry_on_disconnect: bool = True,
     ) -> dict:
         """Submit a job and wait for its result payload.
 
         Raises :class:`ServiceError` carrying the server's structured
-        ``code``/``detail`` when the job is rejected or fails.
+        ``code``/``detail`` when the job is rejected or fails, or with
+        code ``timeout`` when no result lands within ``timeout_s``
+        (default: the client's ``request_timeout_s``).  A dropped
+        server connection triggers one automatic reconnect-and-resubmit
+        (jobs are idempotent); a second drop surfaces as
+        ``connection_lost``.
         """
         if isinstance(job, JobSpec):
             job = job.to_dict()
+        job = dict(job)
+        try:
+            return await self._submit_once(job, on_progress, timeout_s)
+        except ServiceError as exc:
+            if not (retry_on_disconnect and exc.code == "connection_lost"):
+                raise
+        await self._reconnect()
+        return await self._submit_once(job, on_progress, timeout_s)
+
+    async def _submit_once(self, job, on_progress, timeout_s) -> dict:
+        deadline = self._deadline(timeout_s)
         req, queue = await self._send(
-            {"op": "submit", "job": dict(job), "stream": on_progress is not None}
+            {"op": "submit", "job": job, "stream": on_progress is not None}
         )
         try:
-            accepted = await queue.get()
+            accepted = await self._next_message(queue, deadline)
             if not accepted.get("ok"):
                 raise ServiceError(
                     accepted.get("detail", "submission refused"),
                     code=accepted.get("error", "rejected"),
                 )
             while True:
-                message = await queue.get()
+                message = await self._next_message(queue, deadline)
                 event = message.get("event")
                 if event == "progress":
                     if on_progress is not None:
@@ -123,14 +225,23 @@ class ServiceClient:
                 elif message.get("error") == "connection_lost":
                     raise ServiceError("server connection closed",
                                        code="connection_lost")
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                "no result within the request budget", code="timeout"
+            ) from None
         finally:
             self._pending.pop(req, None)
 
-    async def status(self) -> dict:
+    async def status(self, timeout_s: Optional[float] = None) -> dict:
         """The service's metrics snapshot."""
+        deadline = self._deadline(timeout_s)
         req, queue = await self._send({"op": "status"})
         try:
-            message = await queue.get()
+            message = await self._next_message(queue, deadline)
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                "no status within the request budget", code="timeout"
+            ) from None
         finally:
             self._pending.pop(req, None)
         if not message.get("ok"):
@@ -138,10 +249,15 @@ class ServiceClient:
                                code=message.get("error", "internal"))
         return message["status"]
 
-    async def ping(self) -> bool:
+    async def ping(self, timeout_s: Optional[float] = None) -> bool:
+        deadline = self._deadline(timeout_s)
         req, queue = await self._send({"op": "ping"})
         try:
-            message = await queue.get()
+            message = await self._next_message(queue, deadline)
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                "no pong within the request budget", code="timeout"
+            ) from None
         finally:
             self._pending.pop(req, None)
         return bool(message.get("pong"))
@@ -152,7 +268,13 @@ async def submit_one(
     host: str = "127.0.0.1",
     port: int = 8077,
     on_progress: Optional[Callable[[dict], None]] = None,
+    connect_timeout_s: Optional[float] = None,
+    request_timeout_s: Optional[float] = None,
 ) -> dict:
     """One-shot convenience: connect, submit, return the result."""
-    async with await ServiceClient.connect(host, port) as client:
+    async with await ServiceClient.connect(
+        host, port,
+        connect_timeout_s=connect_timeout_s,
+        request_timeout_s=request_timeout_s,
+    ) as client:
         return await client.submit(job, on_progress=on_progress)

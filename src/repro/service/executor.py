@@ -12,6 +12,16 @@ All jobs share one :class:`ResultCache`, so a cell computed for one
 job is a cache hit for every later job that overlaps it (CPython dict
 operations are atomic under the GIL; disk entries are written via
 atomic rename — see ``experiments/cache.py``).
+
+Resilience: each engine pass runs under an optional wall-clock budget
+(``timeout_s`` → typed :class:`JobTimeout`, code ``timeout``) and
+transient failures — classified by
+:func:`~repro.faults.errors.is_transient`: crashed pool workers, typed
+transient faults, dropped connections — are retried with exponential
+backoff up to ``max_retries`` times before surfacing.  A timed-out
+engine pass cannot be preempted (it runs on a worker thread); the job
+fails promptly while the orphaned pass finishes in the background and
+its cells still land in the shared cache.
 """
 
 from __future__ import annotations
@@ -25,9 +35,17 @@ from ..experiments.cache import _CELL_FIELDS, ResultCache
 from ..experiments.figures import figure7, figure8, figure9, figure10
 from ..experiments.headline import compute_headline
 from ..experiments.parallel import MatrixEngine
-from .jobs import CellJob, FigureJob, HeadlineJob, JobSpec, MatrixJob
+from ..faults.errors import is_transient
+from .jobs import CellJob, FigureJob, HeadlineJob, JobSpec, MatrixJob, ServiceError
+from .metrics import ServiceMetrics
 
-__all__ = ["EngineExecutor", "execute_job", "result_to_payload"]
+__all__ = ["EngineExecutor", "JobTimeout", "execute_job", "result_to_payload"]
+
+
+class JobTimeout(ServiceError):
+    """The job's engine pass exceeded its wall-clock budget."""
+
+    code = "timeout"
 
 _FIGURES = {
     "figure7": figure7,
@@ -76,27 +94,50 @@ def execute_job(spec: JobSpec, engine: MatrixEngine) -> dict:
 
 
 class EngineExecutor:
-    """Bounded thread pool running engine passes off the event loop."""
+    """Bounded thread pool running engine passes off the event loop.
+
+    ``max_retries`` extra attempts are granted to jobs that fail with a
+    *transient* error (``is_transient``); ``retry_backoff_s`` seeds the
+    exponential backoff between attempts.  ``metrics``, when given,
+    gets its ``retries``/``timeouts`` counters bumped in place.
+    """
 
     def __init__(
         self,
         cache: ResultCache,
         workers_per_job: int = 1,
         max_concurrency: int = 4,
+        max_retries: int = 1,
+        retry_backoff_s: float = 0.05,
+        metrics: Optional[ServiceMetrics] = None,
     ):
         self.cache = cache
         self.workers_per_job = max(1, int(workers_per_job))
         self.max_concurrency = max(1, int(max_concurrency))
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff_s = max(0.0, float(retry_backoff_s))
+        self.metrics = metrics
         self._threads = ThreadPoolExecutor(
             max_workers=self.max_concurrency, thread_name_prefix="repro-exec"
         )
+
+    def _execute(self, spec: JobSpec, engine: MatrixEngine) -> dict:
+        """One blocking engine pass; the seam resilience tests override
+        to inject transient failures without touching the engine."""
+        return execute_job(spec, engine)
 
     async def run(
         self,
         spec: JobSpec,
         progress: Optional[Callable[[dict], None]] = None,
+        timeout_s: Optional[float] = None,
     ) -> dict:
-        """Execute ``spec``; ``progress`` is called on the event loop."""
+        """Execute ``spec``; ``progress`` is called on the event loop.
+
+        Raises :class:`JobTimeout` when one attempt outlives
+        ``timeout_s``; transient failures are retried (see class
+        docstring) and only the final one propagates.
+        """
         loop = asyncio.get_running_loop()
         hook = None
         if progress is not None:
@@ -116,9 +157,31 @@ class EngineExecutor:
         engine = MatrixEngine(
             workers=self.workers_per_job, cache=self.cache, progress=hook
         )
-        return await loop.run_in_executor(
-            self._threads, partial(execute_job, spec, engine)
-        )
+        attempt = 0
+        while True:
+            try:
+                fut = loop.run_in_executor(
+                    self._threads, partial(self._execute, spec, engine)
+                )
+                if timeout_s is not None:
+                    return await asyncio.wait_for(fut, timeout_s)
+                return await fut
+            except asyncio.TimeoutError:
+                if self.metrics is not None:
+                    self.metrics.timeouts += 1
+                raise JobTimeout(
+                    f"{spec.describe()} exceeded its {timeout_s:g}s "
+                    "execution budget"
+                ) from None
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                if attempt >= self.max_retries or not is_transient(exc):
+                    raise
+                attempt += 1
+                if self.metrics is not None:
+                    self.metrics.retries += 1
+                await asyncio.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
 
     def shutdown(self, wait: bool = True) -> None:
         self._threads.shutdown(wait=wait)

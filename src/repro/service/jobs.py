@@ -69,6 +69,9 @@ class JobSpec:
     ``deadline_s``: wall-clock budget from admission; a job still
     queued when it lapses fails with ``deadline_expired`` instead of
     occupying an executor slot.
+    ``timeout_s``: wall-clock budget for the *execution* itself; a pass
+    that outlives it fails with the typed ``timeout`` code (overrides
+    the service-wide ``job_timeout_s`` default).
     """
 
     workload: Workload = DEFAULT_WORKLOAD
@@ -76,6 +79,7 @@ class JobSpec:
     with_remaining: bool = True
     priority: int = 0
     deadline_s: Optional[float] = None
+    timeout_s: Optional[float] = None
 
     job_type = "abstract"
 
@@ -91,6 +95,10 @@ class JobSpec:
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise JobValidationError(
                 f"deadline_s must be positive, got {self.deadline_s!r}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise JobValidationError(
+                f"timeout_s must be positive, got {self.timeout_s!r}"
             )
 
     # -- identity -------------------------------------------------------
@@ -119,6 +127,8 @@ class JobSpec:
         }
         if self.deadline_s is not None:
             d["deadline_s"] = self.deadline_s
+        if self.timeout_s is not None:
+            d["timeout_s"] = self.timeout_s
         return d
 
     def describe(self) -> str:
@@ -267,7 +277,7 @@ def job_from_dict(data: Mapping[str, Any]) -> JobSpec:
                     f"unknown workload field(s) {sorted(bad)}; have {sorted(known)}"
                 )
             kwargs["workload"] = Workload(**w)
-        for name in ("seed", "with_remaining", "priority", "deadline_s"):
+        for name in ("seed", "with_remaining", "priority", "deadline_s", "timeout_s"):
             if name in data:
                 kwargs[name] = data[name]
         if cls is CellJob:

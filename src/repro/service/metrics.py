@@ -66,6 +66,9 @@ class ServiceMetrics:
         self.failed = 0
         self.cancelled = 0
         self.expired = 0  # deadline lapsed while queued
+        self.retries = 0  # transient failures retried by the executor
+        self.timeouts = 0  # jobs that blew their execution budget
+        self.jobs_shed = 0  # queued jobs evicted for higher-priority work
         self.latency = LatencyRecorder()
 
     def reject(self, code: str) -> None:
@@ -88,6 +91,9 @@ class ServiceMetrics:
             "failed": self.failed,
             "cancelled": self.cancelled,
             "expired": self.expired,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "jobs_shed": self.jobs_shed,
             "queue_depth": queue_depth,
             "in_flight": in_flight,
             "latency": self.latency.snapshot(),

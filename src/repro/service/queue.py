@@ -8,6 +8,12 @@ inference-serving front end needs.  Dispatch order is highest
 ``priority`` first, FIFO within a priority level.  The queue is
 asyncio-native on the consumer side only: ``get`` awaits work, ``put``
 either succeeds or raises.
+
+Graceful degradation: :meth:`AdmissionQueue.put_or_shed` lets a
+saturated service keep serving its most important work — a full queue
+*sheds* its lowest-priority queued entry (the owner is told with the
+typed ``shed`` code) to admit a strictly-higher-priority submission,
+and only rejects with ``queue_full`` when nothing queued ranks lower.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from typing import Any
 
 from .jobs import ServiceError
 
-__all__ = ["AdmissionError", "AdmissionQueue"]
+__all__ = ["AdmissionError", "AdmissionQueue", "JobShed", "QueueClosed", "QueueFull"]
 
 
 class AdmissionError(ServiceError):
@@ -34,6 +40,12 @@ class QueueClosed(AdmissionError):
 
 class QueueFull(AdmissionError):
     code = "queue_full"
+
+
+class JobShed(AdmissionError):
+    """The job was evicted from a full queue by a higher-priority one."""
+
+    code = "shed"
 
 
 class AdmissionQueue:
@@ -65,6 +77,39 @@ class AdmissionQueue:
         # negate priority: heapq pops smallest, we dispatch highest first
         heapq.heappush(self._heap, (-int(priority), next(self._seq), item))
         self._ready.set()
+
+    def put_or_shed(self, item: Any, priority: int = 0) -> Any:
+        """Admit ``item``, shedding a lower-priority entry if full.
+
+        Returns the shed item (the caller owns telling its submitter,
+        with the typed ``shed`` code) or ``None`` when no eviction was
+        needed.  A full queue whose every entry ranks at least as high
+        as ``priority`` still raises :class:`QueueFull` — equal
+        priorities never displace each other, so FIFO fairness within a
+        level is preserved.
+        """
+        if self._closed:
+            raise QueueClosed("service is draining; not accepting new jobs")
+        if len(self._heap) < self.limit:
+            self.put_nowait(item, priority)
+            return None
+        # evict the worst queued entry: lowest priority, newest arrival
+        worst_i = max(
+            range(len(self._heap)),
+            key=lambda i: (self._heap[i][0], self._heap[i][1]),
+        )
+        worst_negpri, _, worst_item = self._heap[worst_i]
+        if -worst_negpri >= int(priority):
+            raise QueueFull(
+                f"admission queue full ({self.limit} jobs queued) and no "
+                "queued job ranks below the submission; retry later"
+            )
+        self._heap[worst_i] = self._heap[-1]
+        self._heap.pop()
+        heapq.heapify(self._heap)
+        heapq.heappush(self._heap, (-int(priority), next(self._seq), item))
+        self._ready.set()
+        return worst_item
 
     async def get(self) -> Any:
         while not self._heap:

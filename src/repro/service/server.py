@@ -35,7 +35,7 @@ from .coalescer import Coalescer, InflightEntry
 from .executor import EngineExecutor
 from .jobs import JobSpec, ServiceError, job_from_dict
 from .metrics import ServiceMetrics
-from .queue import AdmissionError, AdmissionQueue
+from .queue import AdmissionError, AdmissionQueue, JobShed
 
 __all__ = ["JobHandle", "SimulationService", "ServiceServer"]
 
@@ -119,12 +119,27 @@ class SimulationService:
         cache: Optional[ResultCache] = None,
         queue_limit: int = 64,
         max_concurrency: int = 4,
+        job_timeout_s: Optional[float] = None,
+        executor_retries: int = 1,
+        shed_low_priority: bool = True,
     ):
         self.cache = cache if cache is not None else ResultCache()
         self.queue = AdmissionQueue(queue_limit)
         self.coalescer = Coalescer()
-        self.executor = EngineExecutor(self.cache, workers_per_job, max_concurrency)
         self.metrics = ServiceMetrics()
+        self.executor = EngineExecutor(
+            self.cache,
+            workers_per_job,
+            max_concurrency,
+            max_retries=executor_retries,
+            metrics=self.metrics,
+        )
+        #: default per-job execution budget; a job's own ``timeout_s``
+        #: overrides it
+        self.job_timeout_s = job_timeout_s
+        #: graceful degradation: under a full queue, evict the lowest-
+        #: priority queued job (typed ``shed``) for a higher-priority one
+        self.shed_low_priority = bool(shed_low_priority)
         self.max_concurrency = max(1, int(max_concurrency))
         self._dispatchers: list[asyncio.Task] = []
         self._running: set[InflightEntry] = set()
@@ -187,17 +202,36 @@ class SimulationService:
                     now + spec.deadline_s if spec.deadline_s is not None else None
                 )
                 try:
-                    self.queue.put_nowait(entry, spec.priority)
+                    if self.shed_low_priority:
+                        shed = self.queue.put_or_shed(entry, spec.priority)
+                    else:
+                        self.queue.put_nowait(entry, spec.priority)
+                        shed = None
                 except ServiceError:
                     self.coalescer.forget(entry)
                     raise
                 self.metrics.admitted += 1
+                if shed is not None:
+                    self._shed_entry(shed)
             else:
                 self.metrics.coalesced += 1
         except ServiceError as exc:
             self.metrics.reject(exc.code)
             raise
         return JobHandle(self, entry, next(self._job_seq), coalesced=not leader)
+
+    def _shed_entry(self, entry: InflightEntry) -> None:
+        """Fail a queued entry evicted to admit higher-priority work."""
+        self.metrics.jobs_shed += 1
+        self.coalescer.fail(
+            entry,
+            JobShed(
+                f"{entry.spec.describe()} shed from a full queue by a "
+                "higher-priority submission; resubmit later"
+            ),
+        )
+        entry.future.exception()  # the submitter may be fire-and-forget
+        self._finish_events(entry)
 
     def _on_handle_cancelled(self, entry: InflightEntry) -> None:
         self.metrics.cancelled += 1
@@ -228,11 +262,17 @@ class SimulationService:
             self._running.add(entry)
             self.metrics.executed += 1
             try:
+                timeout_s = (
+                    entry.spec.timeout_s
+                    if entry.spec.timeout_s is not None
+                    else self.job_timeout_s
+                )
                 payload = await self.executor.run(
                     entry.spec,
                     progress=lambda ev, e=entry: e.publish(
                         {"event": "progress", **ev}
                     ),
+                    timeout_s=timeout_s,
                 )
                 self.coalescer.resolve(entry, payload)
                 self.metrics.completed += 1

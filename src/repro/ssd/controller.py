@@ -15,6 +15,14 @@ arrival times in the real stack:
 Write barriers (journal commits) stall subsequent commands of the same
 client until the barrier completes, reproducing the serialization cost
 of journaling file systems.
+
+Fault injection (``repro.faults``) attaches as a pure overlay via
+:meth:`SSDevice.attach_faults`: injected die failures and ECC read
+retries become latency penalties on the affected command's completion
+(retry-with-backoff in the controller, exactly how real firmware
+surfaces them), and the penalized completion flows through the same
+flow-control windows.  With no model attached the replay is
+bit-identical to the fault-free path.
 """
 
 from __future__ import annotations
@@ -46,6 +54,8 @@ class ReplayResult:
     #: client) tuple per command as it reached the device — Section
     #: 4.2's second capture level (see repro.trace.block)
     command_log: list[tuple] = field(default_factory=list)
+    #: injected-fault roll-up (empty when no fault model was attached)
+    fault_stats: dict = field(default_factory=dict)
 
     @property
     def makespan_ns(self) -> int:
@@ -82,6 +92,12 @@ class SSDevice:
         #: "fifo" issues transactions in FTL order; "paq" reorders read
         #: batches die-round-robin (physically addressed queueing)
         self.queue_policy = queue_policy
+        #: optional :class:`~repro.faults.device.DeviceFaultModel`
+        self.fault_model = None
+
+    def attach_faults(self, model) -> None:
+        """Overlay a device fault model onto subsequent replays."""
+        self.fault_model = model
 
     def preload(self, nbytes: int) -> None:
         """Install the pre-loaded data set (Section 3.1 pre-staging)."""
@@ -112,6 +128,7 @@ class SSDevice:
         ra = self.readahead_bytes
         ftl = self.ftl
         paq = self.queue_policy == "paq"
+        faults = self.fault_model
 
         # per-client bookkeeping
         by_client: dict[int, list[tuple[int, CommandGroup]]] = {}
@@ -190,6 +207,10 @@ class SSDevice:
                 done = sched.submit(
                     txns, cmd_arrival, req_id, client=st.client, kind_label=cmd.kind
                 )
+                if faults is not None:
+                    done = faults.on_command(
+                        req_id, cmd.op, txns, done, sched._decode
+                    )
             else:  # trim / no-op
                 done = cmd_arrival
             req_id += 1
@@ -216,4 +237,5 @@ class SSDevice:
             metrics=metrics,
             ftl_stats=dict(ftl.stats),
             command_log=command_log,
+            fault_stats=faults.snapshot() if faults is not None else {},
         )

@@ -1,0 +1,186 @@
+"""Engine-layer chaos: supervised pool recovery, worker clamping,
+cross-worker determinism, and corrupt-cache-entry recovery.
+
+The headline guarantee under test: a pool worker killed (or hung)
+mid-matrix never changes the numbers — the supervisor retries the
+casualties and the final results are field-for-field equal to a
+fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import MatrixEngine, detect_workers
+from repro.experiments.runner import Workload, run_config
+from repro.faults import FaultSpec, RetriesExhausted
+
+KiB = 1024
+TINY = Workload(panels=2, panel_bytes=64 * KiB)
+CELLS = [
+    ("CNL-EXT4", "SLC"),
+    ("CNL-UFS", "SLC"),
+    ("ION-GPFS", "MLC"),
+    ("CNL-XFS", "TLC"),
+]
+
+_FIELDS = (
+    "label", "kind", "bandwidth_mb", "aggregate_mb", "remaining_mb",
+    "channel_utilization", "package_utilization", "breakdown",
+)
+
+
+def assert_results_equal(a, b):
+    assert set(a) == set(b)
+    for cell in a:
+        for field in _FIELDS:
+            assert getattr(a[cell], field) == getattr(b[cell], field), (
+                f"{cell} differs on {field}"
+            )
+
+
+class TestDetectWorkers:
+    def test_zero_clamps_to_one_with_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.warns(RuntimeWarning, match="clamping to 1"):
+            assert detect_workers() == 1
+
+    def test_negative_clamps_to_one_with_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.warns(RuntimeWarning, match="clamping to 1"):
+            assert detect_workers() == 1
+
+    def test_non_integer_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.warns(RuntimeWarning, match="non-integer"):
+            assert detect_workers() >= 1
+
+    def test_valid_override_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert detect_workers() == 3
+
+    def test_engine_clamps_constructor_workers(self):
+        assert MatrixEngine(workers=0).workers == 1
+        assert MatrixEngine(workers=-4).workers == 1
+
+
+@pytest.mark.chaos
+class TestWorkerCrashRecovery:
+    def test_killed_workers_never_change_the_numbers(self):
+        baseline = MatrixEngine(workers=2).run_cells(CELLS, TINY)
+        chaos = MatrixEngine(
+            workers=2,
+            faults=FaultSpec(seed=0, worker_crash_rate=1.0),
+            max_retries=2,
+            retry_backoff_s=0.0,
+        )
+        recovered = chaos.run_cells(CELLS, TINY)
+        # every first attempt dies with the pool; retries must converge
+        # to results field-for-field equal to the fault-free run
+        assert_results_equal(recovered, baseline)
+        assert chaos.fault_stats["worker_crashes"] > 0
+        assert chaos.fault_stats["cell_retries"] > 0
+        assert chaos.summary()["faults"]["worker_crashes"] > 0
+
+    def test_hung_workers_time_out_and_recover(self):
+        baseline = MatrixEngine(workers=2).run_cells(CELLS[:2], TINY)
+        chaos = MatrixEngine(
+            workers=2,
+            faults=FaultSpec(seed=0, worker_hang_rate=1.0),
+            max_retries=2,
+            retry_backoff_s=0.0,
+            cell_timeout_s=1.5,
+        )
+        recovered = chaos.run_cells(CELLS[:2], TINY)
+        assert_results_equal(recovered, baseline)
+        assert chaos.fault_stats["cell_timeouts"] > 0
+
+    def test_exhausted_retries_raise_typed_error(self):
+        chaos = MatrixEngine(
+            workers=2,
+            faults=FaultSpec(seed=0, worker_crash_rate=1.0),
+            max_retries=0,
+            retry_backoff_s=0.0,
+        )
+        with pytest.raises(RetriesExhausted) as exc:
+            chaos.run_cells(CELLS[:2], TINY)
+        assert exc.value.code == "retries_exhausted"
+        assert exc.value.__cause__ is not None  # chains the last casualty
+
+
+@pytest.mark.chaos
+class TestDeviceFaultDeterminism:
+    SPEC = FaultSpec(seed=5, read_fault_rate=0.01, die_failure_rate=0.01)
+
+    def _run(self, workers: int):
+        engine = MatrixEngine(workers=workers, faults=self.SPEC,
+                              retry_backoff_s=0.0)
+        return engine.run_cells(CELLS, TINY)
+
+    def test_same_seed_same_numbers_across_worker_counts(self):
+        serial = self._run(1)
+        pooled = self._run(2)
+        assert_results_equal(serial, pooled)
+        # the injected-fault logs themselves are identical too: the
+        # decision sites are (cell, command), never worker identity
+        for cell in serial:
+            assert serial[cell].faults == pooled[cell].faults
+            assert serial[cell].faults is not None
+
+    def test_faulty_cells_never_pollute_the_healthy_cache(self):
+        cache = ResultCache()
+        MatrixEngine(workers=1, cache=cache, faults=self.SPEC,
+                     retry_backoff_s=0.0).run_cells(CELLS[:1], TINY)
+        healthy = MatrixEngine(workers=1, cache=cache).run_cells(
+            CELLS[:1], TINY
+        )
+        direct = run_config(*CELLS[0], TINY)
+        assert healthy[CELLS[0]].bandwidth_mb == direct.bandwidth_mb
+        assert healthy[CELLS[0]].faults is None
+
+
+class TestCorruptCacheEntries:
+    def _populated_cache_dir(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        baseline = MatrixEngine(workers=1, cache=cache).run_cells(
+            CELLS[:1], TINY
+        )
+        files = sorted(tmp_path.glob("*.json"))
+        assert files, "expected disk entries after a cached run"
+        return baseline, files
+
+    def test_garbage_entry_is_a_miss_not_a_crash(self, tmp_path):
+        baseline, files = self._populated_cache_dir(tmp_path)
+        for path in files:
+            path.write_text("{torn write", encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        recomputed = MatrixEngine(workers=1, cache=fresh).run_cells(
+            CELLS[:1], TINY
+        )
+        assert_results_equal(recomputed, baseline)
+        assert fresh.corrupt_entries >= 1
+        assert fresh.stats()["corrupt_entries"] == fresh.corrupt_entries
+        # the quarantined entries were overwritten with good payloads
+        again = ResultCache(tmp_path)
+        cached = MatrixEngine(workers=1, cache=again).run_cells(
+            CELLS[:1], TINY
+        )
+        assert_results_equal(cached, baseline)
+        assert again.corrupt_entries == 0
+        assert again.disk_hits >= 1
+
+    def test_truncated_entry_is_as_corrupt_as_garbage(self, tmp_path):
+        baseline, files = self._populated_cache_dir(tmp_path)
+        cell_file = max(files, key=lambda p: p.stat().st_size)
+        payload = json.loads(cell_file.read_text())
+        payload.pop("bandwidth_mb", None)  # parses fine, field lost
+        cell_file.write_text(json.dumps(payload))
+        fresh = ResultCache(tmp_path)
+        recomputed = MatrixEngine(workers=1, cache=fresh).run_cells(
+            CELLS[:1], TINY
+        )
+        assert_results_equal(recomputed, baseline)
+        assert fresh.corrupt_entries >= 1

@@ -1,0 +1,122 @@
+"""Cluster-layer fault overlay: degraded link specs, deterministic
+flaps, and the SharedLink integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import SharedLink
+from repro.faults import FaultSpec, LinkFaultModel
+from repro.interconnect.links import INFINIBAND_QDR_4X, pcie_gen3
+from repro.sim import Simulator
+
+MiB = 1 << 20
+
+
+def _link_model(spec: FaultSpec, name: str = "qdr") -> LinkFaultModel:
+    return spec.plan().link_model(name)
+
+
+class TestDegradedSpec:
+    def test_bandwidth_factor_scales_payload_rate(self):
+        healthy = INFINIBAND_QDR_4X
+        derated = healthy.degraded(bandwidth_factor=0.5)
+        assert derated.effective_bytes_per_sec == pytest.approx(
+            healthy.effective_bytes_per_sec * 0.5
+        )
+        assert "degraded 0.5x" in derated.name
+
+    def test_extra_latency_adds_per_request(self):
+        base = pcie_gen3(8)
+        slow = base.degraded(bandwidth_factor=1.0, extra_latency_ns=5_000)
+        assert slow.per_request_ns == base.per_request_ns + 5_000
+        assert slow.transfer_ns(MiB) == base.transfer_ns(MiB)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            INFINIBAND_QDR_4X.degraded(bandwidth_factor=0.0)
+        with pytest.raises(ValueError):
+            INFINIBAND_QDR_4X.degraded(bandwidth_factor=1.5)
+        with pytest.raises(ValueError):
+            INFINIBAND_QDR_4X.degraded(extra_latency_ns=-1)
+
+
+class TestLinkFaultModel:
+    def test_zero_rates_add_nothing(self):
+        model = _link_model(FaultSpec(seed=4))
+        assert all(
+            model.transfer_overlay(MiB, 10_000) == 0 for _ in range(100)
+        )
+        assert model.faults_injected == 0
+        assert model.penalty_ns == 0
+
+    def test_same_spec_same_overlay_sequence(self):
+        spec = FaultSpec(seed=6, link_flap_rate=0.3)
+        a, b = _link_model(spec), _link_model(spec)
+        seq_a = [a.transfer_overlay(MiB, 10_000) for _ in range(200)]
+        seq_b = [b.transfer_overlay(MiB, 10_000) for _ in range(200)]
+        assert seq_a == seq_b
+        assert a.flaps == b.flaps > 0
+        assert a.snapshot() == b.snapshot()
+
+    def test_flap_rate_one_stalls_every_transfer(self):
+        model = _link_model(
+            FaultSpec(seed=1, link_flap_rate=1.0, link_flap_ns=7_000)
+        )
+        for _ in range(10):
+            assert model.transfer_overlay(MiB, 10_000) == 7_000
+        assert model.flaps == 10
+        assert model.penalty_ns == 70_000
+        snap = model.snapshot()
+        assert snap["flaps"] == 10
+        assert all(e["kind"] == "link_flap" for e in snap["events"])
+
+    def test_degradation_stretches_wire_time(self):
+        # factor 0.5 = half the lanes alive = wire time doubles, so the
+        # overlay equals the healthy base time
+        model = _link_model(FaultSpec(seed=1, link_degraded_factor=0.5))
+        assert model.transfer_overlay(MiB, 10_000) == 10_000
+        assert model.degraded_transfers == 1
+
+    def test_different_links_flap_independently(self):
+        spec = FaultSpec(seed=2, link_flap_rate=0.5)
+        # same seq index, different link name -> independent draws
+        seq_a = [spec.plan().occurs(0.5, "link", "ion0", "flap", i)
+                 for i in range(64)]
+        seq_b = [spec.plan().occurs(0.5, "link", "ion1", "flap", i)
+                 for i in range(64)]
+        assert seq_a != seq_b
+
+
+class TestSharedLinkIntegration:
+    def _timed_transfer(self, fault_model) -> int:
+        sim = Simulator()
+        link = SharedLink(sim, INFINIBAND_QDR_4X, name="qdr",
+                          fault_model=fault_model)
+        sim.process(link.transfer(8 * MiB))
+        return sim.run()
+
+    def test_zero_rate_model_is_bit_identical(self):
+        healthy = self._timed_transfer(None)
+        overlaid = self._timed_transfer(_link_model(FaultSpec(seed=3)))
+        assert overlaid == healthy
+
+    @pytest.mark.chaos
+    def test_flapping_link_is_slower_and_reports(self):
+        healthy = self._timed_transfer(None)
+        model = _link_model(
+            FaultSpec(seed=3, link_flap_rate=1.0, link_flap_ns=1_000_000)
+        )
+        sim = Simulator()
+        link = SharedLink(sim, INFINIBAND_QDR_4X, name="qdr")
+        link.attach_faults(model)
+        sim.process(link.transfer(8 * MiB))
+        flapped = sim.run()
+        assert flapped == healthy + 1_000_000
+        stats = link.fault_stats
+        assert stats is not None and stats["flaps"] == 1
+
+    def test_no_model_reports_none(self):
+        sim = Simulator()
+        link = SharedLink(sim, INFINIBAND_QDR_4X)
+        assert link.fault_stats is None
