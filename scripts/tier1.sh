@@ -1,6 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 smoke job: the fast correctness suite every PR must keep green.
 # Usage: scripts/tier1.sh [extra pytest args]
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
-PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q "$@"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
+status=$?
+# Propagate pytest's exit code explicitly and make the failure easy to
+# reproduce from a CI log (the one-line repro is the part people miss).
+if [ $status -ne 0 ]; then
+    echo "" >&2
+    echo "tier1 FAILED (pytest exit $status). Reproduce locally with:" >&2
+    echo "  PYTHONPATH=src python -m pytest -x -q $*" >&2
+fi
+exit $status

@@ -12,6 +12,7 @@ Usage::
     python -m repro all --cache-dir ~/.cache/repro   # reuse across runs
     python -m repro figure7 --faults        # deterministic fault injection
     python -m repro serve --port 8077       # simulation-as-a-service
+    python -m repro lint                    # determinism/invariant analyzer
 
 Each exhibit prints the same rows/series the paper plots; ``--out``
 additionally writes one text file per exhibit.  The matrix exhibits
@@ -163,6 +164,10 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures from the simulation.",

@@ -68,10 +68,10 @@ class SharedLink:
     @property
     def busy_ns(self) -> int:
         """Total time the wire has been held."""
-        total = sum(e - s for s, e in self._wire.busy_intervals)
+        total_ns = sum(e - s for s, e in self._wire.busy_intervals)
         if self._wire._busy_since is not None:
-            total += self.sim.now - self._wire._busy_since
-        return total
+            total_ns += self.sim.now - self._wire._busy_since
+        return total_ns
 
     def utilization(self, now: int | None = None) -> float:
         t = self.sim.now if now is None else now

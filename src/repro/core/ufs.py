@@ -78,7 +78,7 @@ class UnifiedFileSystem(FileSystemModel):
         self._align = superpage_bytes(geom)
         self._objects: dict[int, UfsObject] = {}
         self._by_name: dict[str, UfsObject] = {}
-        self._cursor = 0
+        self._cursor_bytes = 0
 
     # -- namespace API (used directly by DOoC) --------------------------
     def allocate(self, name: str, nbytes: int, object_id: Optional[int] = None) -> UfsObject:
@@ -90,8 +90,8 @@ class UnifiedFileSystem(FileSystemModel):
         oid = object_id if object_id is not None else len(self._objects)
         if oid in self._objects:
             raise ValueError(f"object id {oid} already exists")
-        obj = UfsObject(oid, name, self._cursor, nbytes)
-        self._cursor += -(-nbytes // self._align) * self._align
+        obj = UfsObject(oid, name, self._cursor_bytes, nbytes)
+        self._cursor_bytes += -(-nbytes // self._align) * self._align
         self._objects[oid] = obj
         self._by_name[name] = obj
         return obj
@@ -101,7 +101,7 @@ class UnifiedFileSystem(FileSystemModel):
 
     @property
     def allocated_bytes(self) -> int:
-        return self._cursor
+        return self._cursor_bytes
 
     # -- FileSystemModel interface ---------------------------------------
     @property

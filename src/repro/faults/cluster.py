@@ -30,7 +30,7 @@ EVENT_LOG_CAP = 1_000
 class LinkFaultModel:
     """Per-link deterministic flap/degradation oracle."""
 
-    def __init__(self, plan: FaultPlan, name: str):
+    def __init__(self, plan: FaultPlan, name: str) -> None:
         spec = plan.spec
         self.plan = plan
         self.name = name

@@ -47,7 +47,7 @@ RETRY_RECURRENCE = 0.25
 class DeviceFaultModel:
     """Per-device fault state + deterministic injection oracle."""
 
-    def __init__(self, plan: FaultPlan, kind: "NVMKind", geometry: "Geometry"):
+    def __init__(self, plan: FaultPlan, kind: "NVMKind", geometry: "Geometry") -> None:
         spec = plan.spec
         self.plan = plan
         self.kind_name = kind.name

@@ -42,7 +42,7 @@ class FaultError(Exception):
     #: retrying is expected to succeed (the retry layers consult this)
     transient = False
 
-    def __init__(self, detail: str, site: tuple | None = None):
+    def __init__(self, detail: str, site: tuple | None = None) -> None:
         super().__init__(detail)
         self.detail = detail
         self.site = site

@@ -1,0 +1,123 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the CI gate be strict (*any* non-baselined finding
+fails) without demanding every historical finding be fixed in the same
+PR that introduces a new rule.  Every entry **must** carry a written
+justification — the lint run itself fails an entry whose justification
+is empty, so the file cannot silently accumulate unexplained debt.
+
+Matching is by ``(rule, path, fingerprint)`` where the fingerprint
+hashes the offending source line (see
+:meth:`repro.lint.findings.Finding.fingerprint`): renumbering lines
+keeps an entry alive, editing the flagged line expires it.  Entries
+that match nothing are *stale* and reported so they can be pruned with
+``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    justification: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.fingerprint)
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """A set of grandfathered findings loaded from (or saved to) JSON."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None):
+        self.entries: list[BaselineEntry] = list(entries or [])
+
+    # -- persistence ----------------------------------------------------
+    @classmethod
+    def load(cls, path: Path | None) -> "Baseline":
+        """Load a baseline; a missing file is an empty baseline."""
+        if path is None or not path.exists():
+            return cls()
+        payload = json.loads(path.read_text())
+        entries = [
+            BaselineEntry(
+                rule=str(e["rule"]),
+                path=str(e["path"]),
+                fingerprint=str(e["fingerprint"]),
+                justification=str(e.get("justification", "")),
+            )
+            for e in payload.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "Grandfathered `python -m repro lint` findings. Every entry "
+                "needs a justification; prefer fixing or a targeted "
+                "`# repro: noqa[RULE]` at the site. See DESIGN.md section 12."
+            ),
+            "entries": [e.to_dict() for e in sorted(self.entries, key=BaselineEntry.key)],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # -- matching -------------------------------------------------------
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (new, baselined); also return stale entries.
+
+        An entry covers every finding sharing its key — duplicated
+        violations on identical lines are indistinguishable by design.
+        """
+        by_key = {e.key(): e for e in self.entries}
+        used: set[tuple[str, str, str]] = set()
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for f in findings:
+            key = (f.rule, f.path, f.fingerprint())
+            if key in by_key:
+                used.add(key)
+                grandfathered.append(f)
+            else:
+                new.append(f)
+        stale = [e for e in self.entries if e.key() not in used]
+        return new, grandfathered, stale
+
+    def unjustified(self) -> list[BaselineEntry]:
+        """Entries whose justification is missing or whitespace."""
+        return [e for e in self.entries if not e.justification.strip()]
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], justification: str
+    ) -> "Baseline":
+        seen: set[tuple[str, str, str]] = set()
+        entries: list[BaselineEntry] = []
+        for f in findings:
+            entry = BaselineEntry(f.rule, f.path, f.fingerprint(), justification)
+            if entry.key() not in seen:
+                seen.add(entry.key())
+                entries.append(entry)
+        return cls(entries)

@@ -1,0 +1,200 @@
+"""``python -m repro lint`` — the determinism & invariant analyzer CLI.
+
+Exit codes: ``0`` clean (baselined findings and stale entries warn but
+do not fail), ``1`` at least one new finding **or** a baseline entry
+without a justification, ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .baseline import Baseline
+from .context import LintConfig
+from .fingerprint import default_fingerprint_path, write_fingerprints
+from .registry import all_rule_codes
+from .runner import LintResult, lint_paths
+
+__all__ = ["main"]
+
+_DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _package_root() -> Path:
+    """The installed ``repro`` package directory (default lint target)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "AST-based determinism & invariant analyzer for the repro "
+            "codebase (rules: DET, UNIT, SITE, POOL, SCHEMA)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes or families, e.g. DET,UNIT003",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default ./{_DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather current findings into the baseline file and exit",
+    )
+    parser.add_argument(
+        "--justification",
+        default=None,
+        help="justification recorded on entries added by --write-baseline "
+        "(required with --write-baseline)",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print findings suppressed by the baseline",
+    )
+    parser.add_argument(
+        "--update-schema-fingerprint",
+        action="store_true",
+        help="regenerate the committed cache-key fingerprint snapshot "
+        "(do this after an intentional SCHEMA_VERSION bump)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule code and exit",
+    )
+    return parser
+
+
+def _resolve_baseline_path(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    default = Path.cwd() / _DEFAULT_BASELINE
+    return default if default.exists() or args.write_baseline else None
+
+
+def _print_text(result: LintResult, show_baselined: bool) -> None:
+    for f in result.findings:
+        print(f.render())
+    if show_baselined:
+        for f in result.baselined:
+            print(f"{f.render()} [baselined]")
+    for entry in result.stale_entries:
+        print(
+            f"warning: stale baseline entry {entry.rule} {entry.path} "
+            f"{entry.fingerprint} no longer matches anything; prune it "
+            "with --write-baseline",
+            file=sys.stderr,
+        )
+    for entry in result.unjustified_entries:
+        print(
+            f"error: baseline entry {entry.rule} {entry.path} "
+            f"{entry.fingerprint} has no justification; every "
+            "grandfathered finding must say why",
+            file=sys.stderr,
+        )
+    n, b = len(result.findings), len(result.baselined)
+    print(
+        f"{result.files_scanned} files scanned: {n} finding(s), "
+        f"{b} baselined, {result.suppressed} noqa-suppressed",
+        file=sys.stderr,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.list_rules:
+        for code, description in all_rule_codes().items():
+            print(f"{code}  {description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths] or [_package_root()]
+    for p in paths:
+        if not p.exists():
+            parser.error(f"no such file or directory: {p}")
+
+    if args.update_schema_fingerprint:
+        root = _package_root()
+        out = default_fingerprint_path()
+        state = write_fingerprints(root, out)
+        print(
+            f"wrote {len(state.fingerprints)} fingerprint(s) "
+            f"(schema_version={state.schema_version}) to {out}"
+        )
+        if state.missing:
+            print(
+                "warning: watched definitions not found: "
+                + ", ".join(state.missing),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    select = None
+    if args.select:
+        select = frozenset(
+            s.strip().upper() for s in args.select.split(",") if s.strip()
+        )
+    config = LintConfig(select=select)
+
+    baseline_path = _resolve_baseline_path(args)
+    baseline = Baseline.load(baseline_path)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            parser.error("--write-baseline requires --baseline PATH")
+        if not (args.justification or "").strip():
+            parser.error(
+                "--write-baseline requires --justification explaining why "
+                "these findings are grandfathered rather than fixed"
+            )
+        result = lint_paths(paths, config, Baseline())
+        merged = Baseline.from_findings(result.findings, args.justification)
+        merged.save(baseline_path)
+        print(
+            f"baseline {baseline_path} now grandfathers "
+            f"{len(merged.entries)} finding(s)"
+        )
+        return 0
+
+    result = lint_paths(paths, config, baseline)
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_text(result, args.show_baselined)
+    if result.findings or result.unjustified_entries:
+        return 1
+    return 0

@@ -1,0 +1,190 @@
+"""Field fingerprints of cache-key-relevant definitions.
+
+Result-cache keys hash ``(SCHEMA_VERSION, label, kind, Workload fields,
+seed, ...)`` (see :mod:`repro.experiments.cache`), and service job keys
+embed the same version (:mod:`repro.service.jobs`).  Editing any of the
+dataclasses or constants that feed those keys **without bumping**
+``SCHEMA_VERSION`` silently serves stale cached numbers for new
+semantics — the worst kind of reproduction bug, invisible until someone
+diffs a figure.
+
+This module computes a content fingerprint per watched definition —
+for a dataclass, the ordered ``(field name, annotation, has-default)``
+triples plus base-class names; for a constant, its unparsed value
+expression — from the **AST only** (no imports, so linting never
+executes simulation code).  The committed snapshot lives next to this
+file (``schema_fingerprint.json``); the SCHEMA checker diffs the live
+tree against it and demands either a version bump or a regeneration via
+``python -m repro lint --update-schema-fingerprint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "WatchedFile",
+    "DEFAULT_WATCH",
+    "FINGERPRINT_FILENAME",
+    "default_fingerprint_path",
+    "FingerprintState",
+    "compute_fingerprints",
+    "write_fingerprints",
+]
+
+FINGERPRINT_FILENAME = "schema_fingerprint.json"
+
+#: the constant whose bump invalidates every cache entry
+SCHEMA_VERSION_CONST = "SCHEMA_VERSION"
+
+
+@dataclass(frozen=True)
+class WatchedFile:
+    """One source file whose named definitions feed cache keys."""
+
+    relpath: str  # posix, relative to the repro package root
+    classes: tuple[str, ...] = ()
+    constants: tuple[str, ...] = ()
+
+
+#: every definition that participates in cache/job key construction
+DEFAULT_WATCH: tuple[WatchedFile, ...] = (
+    WatchedFile(
+        "experiments/cache.py",
+        constants=(SCHEMA_VERSION_CONST, "_CELL_FIELDS"),
+    ),
+    WatchedFile("experiments/configs.py", classes=("ExpConfig",)),
+    WatchedFile("experiments/runner.py", classes=("Workload",)),
+    WatchedFile(
+        "service/jobs.py",
+        classes=("JobSpec", "CellJob", "MatrixJob", "FigureJob", "HeadlineJob"),
+    ),
+    WatchedFile("faults/plan.py", classes=("FaultSpec",)),
+)
+
+
+def default_fingerprint_path() -> Path:
+    """The committed snapshot that ships inside the lint package."""
+    return Path(__file__).resolve().with_name(FINGERPRINT_FILENAME)
+
+
+@dataclass
+class FingerprintState:
+    """Fingerprints computed from one source tree."""
+
+    schema_version: Optional[int]
+    fingerprints: dict[str, str]  # "relpath::name" -> sha256 hex
+    #: anchor for findings: "relpath::name" -> (relpath, lineno)
+    locations: dict[str, tuple[str, int]]
+    missing: list[str]  # watched files or names not found
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "comment": (
+                "Field fingerprints of cache-key-relevant definitions. "
+                "Regenerate with `python -m repro lint "
+                "--update-schema-fingerprint` after bumping SCHEMA_VERSION. "
+                "Never hand-edit: the SCHEMA lint rule diffs this file."
+            ),
+            "schema_version": self.schema_version,
+            "fingerprints": dict(sorted(self.fingerprints.items())),
+        }
+
+
+def _class_shape(node: ast.ClassDef) -> dict[str, object]:
+    fields: list[list[object]] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            fields.append(
+                [
+                    stmt.target.id,
+                    ast.unparse(stmt.annotation),
+                    stmt.value is not None,
+                ]
+            )
+    bases = [ast.unparse(b) for b in node.bases]
+    return {"name": node.name, "bases": bases, "fields": fields}
+
+
+def _digest(shape: object) -> str:
+    blob = json.dumps(shape, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def compute_fingerprints(
+    root: Path, watch: tuple[WatchedFile, ...] = DEFAULT_WATCH
+) -> FingerprintState:
+    """Fingerprint every watched definition under ``root``."""
+    state = FingerprintState(
+        schema_version=None, fingerprints={}, locations={}, missing=[]
+    )
+    for wf in watch:
+        path = root / wf.relpath
+        if not path.exists():
+            state.missing.append(wf.relpath)
+            continue
+        try:
+            tree = ast.parse(path.read_text())
+        except SyntaxError:
+            state.missing.append(wf.relpath)
+            continue
+        found_classes: dict[str, ast.ClassDef] = {}
+        found_consts: dict[str, ast.Assign] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ClassDef) and stmt.name in wf.classes:
+                found_classes[stmt.name] = stmt
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in wf.constants
+                    ):
+                        found_consts[target.id] = stmt
+        for name in wf.classes:
+            key = f"{wf.relpath}::{name}"
+            node = found_classes.get(name)
+            if node is None:
+                state.missing.append(key)
+                continue
+            state.fingerprints[key] = _digest(_class_shape(node))
+            state.locations[key] = (wf.relpath, node.lineno)
+        for name in wf.constants:
+            key = f"{wf.relpath}::{name}"
+            stmt2 = found_consts.get(name)
+            if stmt2 is None:
+                state.missing.append(key)
+                continue
+            state.locations[key] = (wf.relpath, stmt2.lineno)
+            if name == SCHEMA_VERSION_CONST:
+                value = stmt2.value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, int
+                ):
+                    state.schema_version = value.value
+                # SCHEMA_VERSION participates via its literal value, not a
+                # fingerprint: bumping it must NOT itself look like an
+                # unfingerprinted change.
+                continue
+            state.fingerprints[key] = _digest(
+                {"name": name, "value": ast.unparse(stmt2.value)}
+            )
+    return state
+
+
+def write_fingerprints(
+    root: Path,
+    out_path: Path,
+    watch: tuple[WatchedFile, ...] = DEFAULT_WATCH,
+) -> FingerprintState:
+    """Regenerate the committed snapshot; returns the computed state."""
+    state = compute_fingerprints(root, watch)
+    out_path.write_text(
+        json.dumps(state.to_payload(), indent=2, sort_keys=True) + "\n"
+    )
+    return state

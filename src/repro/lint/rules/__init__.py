@@ -1,0 +1,5 @@
+"""Rule modules; importing this package registers every checker."""
+
+from . import det, pool, schema, site, unit
+
+__all__ = ["det", "pool", "schema", "site", "unit"]

@@ -1,0 +1,92 @@
+"""SITE — stability of fault-plan decision sites.
+
+Every :class:`~repro.faults.plan.FaultPlan` decision hashes
+``(seed, *site)``; the determinism guarantee ("same seed ⇒ identical
+faults, regardless of worker count") holds **only if the site spells
+identically in every process**.  An f-string that interpolates
+``id(obj)``, ``repr(obj)`` or ``hex(id(obj))`` bakes a per-process heap
+address into the site, silently turning deterministic chaos into
+unreproducible chaos — the exact failure mode the chaos tests exist to
+prevent, caught here before a test ever runs.
+
+Checked call shapes: ``plan.uniform(*site)``, ``plan.occurs(rate,
+*site)`` (first argument is the rate, not a site component), and any
+call with a ``site=`` keyword (the typed ``FaultError``s and
+``FaultEvent`` carry sites too).
+
+* ``SITE001`` — a site component contains ``id()``, ``hex()``,
+  ``repr()``, ``hash()`` or ``object()``: process-dependent values;
+* ``SITE002`` — a site component is an f-string interpolating a
+  computed expression (anything but a plain name/attribute/constant):
+  compute the value into a named variable first so its stability can
+  be reviewed, or pass the raw fields as separate site components.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import FileChecker, dotted_name, register
+
+__all__ = ["SiteChecker"]
+
+_QUERY_METHODS = frozenset({"uniform", "occurs"})
+_UNSTABLE_CALLS = frozenset({"id", "hex", "repr", "hash", "object"})
+
+
+def _site_args(call: ast.Call) -> Iterator[ast.expr]:
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _QUERY_METHODS:
+        args = call.args[1:] if call.func.attr == "occurs" else call.args
+        for a in args:
+            yield a.value if isinstance(a, ast.Starred) else a
+    for kw in call.keywords:
+        if kw.arg == "site":
+            yield kw.value
+
+
+@register
+class SiteChecker(FileChecker):
+    codes = {
+        "SITE001": "fault-plan site contains a process-dependent value",
+        "SITE002": "fault-plan site interpolates a computed f-string",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for arg in _site_args(node):
+                yield from self._check_component(ctx, arg)
+
+    def _check_component(
+        self, ctx: FileContext, arg: ast.expr
+    ) -> Iterator[Finding]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Call):
+                name = dotted_name(sub.func)
+                if name in _UNSTABLE_CALLS or (
+                    name is not None and name.endswith(".__repr__")
+                ):
+                    yield ctx.finding(
+                        "SITE001",
+                        sub,
+                        f"`{name}(...)` in a fault-plan site is process-"
+                        "dependent (heap addresses / hash salting); sites "
+                        "must hash identically in every worker — use stable "
+                        "ids (labels, sequence numbers) instead",
+                    )
+            elif isinstance(sub, ast.FormattedValue):
+                if not isinstance(
+                    sub.value, (ast.Name, ast.Attribute, ast.Constant)
+                ):
+                    yield ctx.finding(
+                        "SITE002",
+                        sub,
+                        "f-string site component interpolates a computed "
+                        "expression; bind it to a named variable (or pass "
+                        "the raw fields as separate site components) so "
+                        "its cross-process stability is reviewable",
+                    )

@@ -1,0 +1,152 @@
+"""File discovery, checker dispatch, noqa and baseline filtering."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .baseline import Baseline, BaselineEntry
+from .context import FileContext, LintConfig
+from .findings import Finding
+from .noqa import is_suppressed, noqa_lines
+from .registry import file_checkers, project_checkers
+
+__all__ = ["LintResult", "lint_paths", "iter_python_files"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)  # actionable
+    baselined: list[Finding] = field(default_factory=list)
+    stale_entries: list[BaselineEntry] = field(default_factory=list)
+    unjustified_entries: list[BaselineEntry] = field(default_factory=list)
+    suppressed: int = 0  # count silenced by `# repro: noqa`
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline_entries": [e.to_dict() for e in self.stale_entries],
+            "unjustified_baseline_entries": [
+                e.to_dict() for e in self.unjustified_entries
+            ],
+            "summary": {
+                "findings": len(self.findings),
+                "baselined": len(self.baselined),
+                "suppressed": self.suppressed,
+                "stale_baseline_entries": len(self.stale_entries),
+                "unjustified_baseline_entries": len(self.unjustified_entries),
+                "ok": self.ok,
+            },
+        }
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into ``.py`` files, stably ordered."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (set(p.parts) & _SKIP_DIRS)
+                and not any(part.endswith(".egg-info") for part in p.parts)
+            )
+        else:
+            candidates = [path]
+        for c in candidates:
+            r = c.resolve()
+            if r not in seen:
+                seen.add(r)
+                yield c
+
+
+def _display_path(path: Path) -> str:
+    """Posix path relative to the CWD when possible (baseline identity)."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def _build_context(path: Path, config: LintConfig) -> FileContext | Finding:
+    relpath = _display_path(path)
+    try:
+        source = path.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding(relpath, 1, 0, "PARSE", f"unreadable file: {exc}")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return Finding(
+            relpath,
+            exc.lineno or 1,
+            (exc.offset or 1) - 1,
+            "PARSE",
+            f"syntax error: {exc.msg}",
+        )
+    return FileContext(
+        path=path, relpath=relpath, source=source, tree=tree, config=config
+    )
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint ``paths`` and fold in noqa suppressions and the baseline."""
+    config = config or LintConfig()
+    baseline = baseline or Baseline()
+    result = LintResult()
+
+    contexts: list[FileContext] = []
+    raw: list[Finding] = []
+    for path in iter_python_files(paths):
+        built = _build_context(path, config)
+        if isinstance(built, Finding):
+            raw.append(built)  # a PARSE finding, never suppressible
+            result.files_scanned += 1
+            continue
+        contexts.append(built)
+        result.files_scanned += 1
+
+    checkers = [cls() for cls in file_checkers()]
+    noqa_by_path: dict[str, dict[int, frozenset[str] | None]] = {}
+    for ctx in contexts:
+        noqa_by_path[ctx.relpath] = noqa_lines(ctx.source)
+        for checker in checkers:
+            raw.extend(checker.check(ctx))
+    for pchecker_cls in project_checkers():
+        raw.extend(pchecker_cls().check_project(contexts, config))
+
+    kept: list[Finding] = []
+    for f in raw:
+        if not config.selects(f.rule) and f.rule != "PARSE":
+            continue
+        noqa = noqa_by_path.get(f.path, {})
+        if f.rule != "PARSE" and is_suppressed(f, noqa):
+            result.suppressed += 1
+            continue
+        kept.append(f)
+
+    new, grandfathered, stale = baseline.partition(kept)
+    result.findings = sorted(new)
+    result.baselined = sorted(grandfathered)
+    result.stale_entries = stale
+    result.unjustified_entries = baseline.unjustified()
+    return result

@@ -1,0 +1,13 @@
+"""Picklable twin of pool_violations.py: must lint clean."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(path, seed):
+    return (path, seed)
+
+
+def fan_out(paths, seed):
+    with ProcessPoolExecutor() as pool:
+        futs = [pool.submit(work, p, seed + i) for i, p in enumerate(paths)]
+    return [f.result() for f in futs]

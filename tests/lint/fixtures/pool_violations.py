@@ -1,0 +1,20 @@
+"""Seeded POOL violations."""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(x):
+    return x
+
+
+def fan_out(items):
+    rng = random.Random(7)
+    log = open("log.txt", "w")
+    with ProcessPoolExecutor() as pool:
+        futs = [pool.submit(lambda x: x + 1, item) for item in items]  # POOL001
+        futs.append(pool.submit(work, rng))  # POOL003: live RNG state
+        futs.append(pool.submit(work, log))  # POOL002: open handle
+        futs.append(pool.submit(work, open("data.bin", "rb")))  # POOL002
+    log.close()
+    return futs

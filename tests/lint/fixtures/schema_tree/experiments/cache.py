@@ -1,0 +1,9 @@
+"""Miniature cache module for SCHEMA fingerprint tests."""
+
+SCHEMA_VERSION = 1
+
+_CELL_FIELDS = (
+    "label",
+    "kind",
+    "bandwidth_mb",
+)

@@ -1,0 +1,10 @@
+"""Miniature config module for SCHEMA fingerprint tests."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExpConfig:
+    label: str
+    lanes: int = 1
+    placement: str = "cnl"

@@ -1,0 +1,22 @@
+"""Deterministic twin of det_violations.py: must lint clean."""
+
+import hashlib
+
+import numpy as np
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    return rng.random()
+
+
+def bucket(x):
+    digest = hashlib.blake2b(str(x).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % 7
+
+
+def cache_key(parts):
+    acc = hashlib.sha256()
+    for p in sorted(set(parts)):
+        acc.update(str(p).encode())
+    return acc.hexdigest()

@@ -1,0 +1,35 @@
+"""Seeded DET violations (this file lives under a gated `sim/` dir)."""
+
+import hashlib
+import os
+import random
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()  # DET001: wall clock
+
+
+def token():
+    return os.urandom(8)  # DET002: real entropy
+
+
+def draw():
+    return random.random()  # DET003: process-global RNG
+
+
+def unseeded():
+    return np.random.default_rng()  # DET003: no seed
+
+
+def bucket(x):
+    return hash(x) % 7  # DET004: PYTHONHASHSEED-salted
+
+
+def cache_key(parts):
+    acc = hashlib.sha256()
+    for p in set(parts):  # DET005: unordered iteration into a digest
+        acc.update(str(p).encode())
+    return acc.hexdigest()

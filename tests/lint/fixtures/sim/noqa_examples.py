@@ -1,0 +1,19 @@
+"""Suppression spellings; only the mismatched rule should survive."""
+
+import time
+
+
+def stamped():
+    return time.time()  # repro: noqa[DET001]
+
+
+def stamped_family():
+    return time.time()  # repro: noqa[DET]
+
+
+def stamped_blanket():
+    return time.time()  # repro: noqa
+
+
+def stamped_wrong_rule():
+    return time.time()  # repro: noqa[UNIT001]

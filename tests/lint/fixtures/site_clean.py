@@ -1,0 +1,17 @@
+"""Stable-site twin of site_violations.py: must lint clean."""
+
+
+def stable(plan, rate, label, seq):
+    return plan.occurs(rate, "device", "read", label, seq)
+
+
+def stable_star(plan, site):
+    return plan.uniform(*site)
+
+
+def stable_fstring(plan, name, seq):
+    return plan.uniform("link", f"wire-{name}", seq)
+
+
+def stable_event(cls, label):
+    return cls("boom", site=("engine", label))

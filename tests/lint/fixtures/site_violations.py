@@ -1,0 +1,17 @@
+"""Seeded SITE violations."""
+
+
+def unstable_id(plan, rate, txn):
+    return plan.occurs(rate, "device", "read", id(txn))  # SITE001
+
+
+def unstable_repr(plan, link):
+    return plan.uniform("link", repr(link))  # SITE001
+
+
+def unstable_fstring(plan, txn):
+    return plan.uniform(f"txn-{txn.key()}")  # SITE002: computed f-string
+
+
+def unstable_event(cls, obj):
+    return cls("boom", site=("device", hash(obj)))  # SITE001 via site= kw

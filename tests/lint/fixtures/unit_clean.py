@@ -1,0 +1,17 @@
+"""Unit-correct twin of unit_violations.py: must lint clean."""
+
+
+def total_ns(cmd_ns, fb_ns):
+    return cmd_ns + fb_ns
+
+
+def span_us(start_us, end_us):
+    return end_us - start_us
+
+
+def to_bytes(size_mb):
+    return int(size_mb * 1024 * 1024)
+
+
+def rate_mb(moved_bytes, window_ns):
+    return moved_bytes * 1e3 / window_ns

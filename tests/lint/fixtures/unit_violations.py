@@ -1,0 +1,27 @@
+"""Seeded UNIT violations."""
+
+
+def total_latency(cmd_ns, xfer_us):
+    return cmd_ns + xfer_us  # UNIT001: ns + us
+
+
+def budget(size_mb, size_bytes):
+    return size_mb - size_bytes  # UNIT001: mb - bytes (same family)
+
+
+def overrun(used_ns, quota_mb):
+    used_ns += quota_mb  # UNIT001: time += size (cross family)
+    return used_ns
+
+
+def deadline_passed(now_ns, deadline_us):
+    return now_ns > deadline_us  # UNIT002: ns compared to us
+
+
+def window_ns(span_us):
+    return span_us  # UNIT003: _ns function returns a _us name
+
+
+def elapsed_ns(start_ns):
+    total = start_ns + start_ns
+    return total  # UNIT004: _ns function returns an unsuffixed name

@@ -1,0 +1,97 @@
+"""Golden fixture tests: one clean + one violating file per rule family."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rules_in(path: Path, select: str | None = None) -> list[str]:
+    config = LintConfig(
+        select=frozenset(select.split(",")) if select else None
+    )
+    result = lint_paths([path], config)
+    return [f.rule for f in result.findings]
+
+
+# -- DET ----------------------------------------------------------------
+def test_det_violations_all_fire():
+    rules = rules_in(FIXTURES / "sim" / "det_violations.py", "DET")
+    assert rules.count("DET001") == 1
+    assert rules.count("DET002") == 1
+    assert rules.count("DET003") == 2  # global RNG + unseeded ctor
+    assert rules.count("DET004") == 1
+    assert rules.count("DET005") == 1
+
+
+def test_det_clean_file_is_clean():
+    assert rules_in(FIXTURES / "sim" / "det_clean.py") == []
+
+
+def test_det_only_gated_dirs(tmp_path):
+    """The same nondeterminism outside sim/ssd/... is not DET's business."""
+    src = (FIXTURES / "sim" / "det_violations.py").read_text()
+    ungated = tmp_path / "tools" / "report.py"
+    ungated.parent.mkdir(parents=True)
+    ungated.write_text(src)
+    assert rules_in(ungated, "DET") == []
+    gated = tmp_path / "ssd" / "model.py"
+    gated.parent.mkdir(parents=True)
+    gated.write_text(src)
+    assert "DET001" in rules_in(gated, "DET")
+
+
+# -- UNIT ---------------------------------------------------------------
+def test_unit_violations_all_fire():
+    rules = rules_in(FIXTURES / "unit_violations.py")
+    assert rules.count("UNIT001") == 3
+    assert rules.count("UNIT002") == 1
+    assert rules.count("UNIT003") == 1
+    assert rules.count("UNIT004") == 1
+
+
+def test_unit_clean_file_is_clean():
+    assert rules_in(FIXTURES / "unit_clean.py") == []
+
+
+def test_unit_messages_distinguish_families():
+    result = lint_paths([FIXTURES / "unit_violations.py"])
+    by_line = {f.line: f.message for f in result.findings}
+    mixed_family = [m for m in by_line.values() if "dimensionally" in m]
+    assert mixed_family, "cross-family arithmetic should say it is meaningless"
+
+
+# -- SITE ---------------------------------------------------------------
+def test_site_violations_all_fire():
+    rules = rules_in(FIXTURES / "site_violations.py")
+    assert rules.count("SITE001") >= 3  # id(), repr(), hash() via site=
+    assert "SITE002" in rules
+
+
+def test_site_clean_file_is_clean():
+    assert rules_in(FIXTURES / "site_clean.py") == []
+
+
+# -- POOL ---------------------------------------------------------------
+def test_pool_violations_all_fire():
+    rules = rules_in(FIXTURES / "pool_violations.py")
+    assert rules.count("POOL001") == 1
+    assert rules.count("POOL002") == 2
+    assert rules.count("POOL003") == 1
+
+
+def test_pool_clean_file_is_clean():
+    assert rules_in(FIXTURES / "pool_clean.py") == []
+
+
+# -- select filter ------------------------------------------------------
+@pytest.mark.parametrize(
+    "select,expected",
+    [("UNIT003", {"UNIT003"}), ("UNIT", {"UNIT001", "UNIT002", "UNIT003", "UNIT004"})],
+)
+def test_select_filters_by_code_and_family(select, expected):
+    rules = set(rules_in(FIXTURES / "unit_violations.py", select))
+    assert rules == expected

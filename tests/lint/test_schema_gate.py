@@ -1,0 +1,125 @@
+"""SCHEMA fingerprint workflow: change detection, bump, regeneration."""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, WatchedFile, lint_paths, write_fingerprints
+from repro.lint.fingerprint import compute_fingerprints
+
+FIXTURE_TREE = Path(__file__).parent / "fixtures" / "schema_tree"
+
+WATCH = (
+    WatchedFile(
+        "experiments/cache.py", constants=("SCHEMA_VERSION", "_CELL_FIELDS")
+    ),
+    WatchedFile("experiments/configs.py", classes=("ExpConfig",)),
+)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    root = tmp_path / "repro"
+    shutil.copytree(FIXTURE_TREE, root)
+    fp = tmp_path / "schema_fingerprint.json"
+    write_fingerprints(root, fp, WATCH)
+    return root, fp
+
+
+def run(root, fp):
+    config = LintConfig(
+        select=frozenset({"SCHEMA"}),
+        schema_root=root,
+        schema_watch=WATCH,
+        schema_fingerprint_path=fp,
+    )
+    return lint_paths([root], config)
+
+
+def bump_version(root: Path) -> None:
+    cache = root / "experiments" / "cache.py"
+    cache.write_text(
+        cache.read_text().replace("SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2")
+    )
+
+
+def add_field(root: Path) -> None:
+    configs = root / "experiments" / "configs.py"
+    configs.write_text(
+        configs.read_text().replace(
+            'placement: str = "cnl"', 'placement: str = "cnl"\n    lanes2: int = 0'
+        )
+    )
+
+
+def test_untouched_tree_is_clean(tree):
+    root, fp = tree
+    assert run(root, fp).findings == []
+
+
+def test_field_change_without_bump_fails(tree):
+    root, fp = tree
+    add_field(root)
+    rules = [f.rule for f in run(root, fp).findings]
+    assert rules == ["SCHEMA002"]
+
+
+def test_constant_change_without_bump_fails(tree):
+    root, fp = tree
+    cache = root / "experiments" / "cache.py"
+    cache.write_text(cache.read_text().replace('"bandwidth_mb",\n', ""))
+    rules = [f.rule for f in run(root, fp).findings]
+    assert rules == ["SCHEMA002"]
+
+
+def test_bump_without_regeneration_is_stale(tree):
+    root, fp = tree
+    add_field(root)
+    bump_version(root)
+    rules = [f.rule for f in run(root, fp).findings]
+    assert rules == ["SCHEMA003"]
+
+
+def test_bump_plus_regeneration_is_clean(tree):
+    root, fp = tree
+    add_field(root)
+    bump_version(root)
+    write_fingerprints(root, fp, WATCH)
+    assert run(root, fp).findings == []
+
+
+def test_missing_snapshot_reports_schema001(tree):
+    root, fp = tree
+    fp.unlink()
+    rules = [f.rule for f in run(root, fp).findings]
+    assert rules == ["SCHEMA001"]
+
+
+def test_removed_watched_class_reports_schema001(tree):
+    root, fp = tree
+    (root / "experiments" / "configs.py").write_text("# class removed\n")
+    rules = [f.rule for f in run(root, fp).findings]
+    assert "SCHEMA001" in rules
+
+
+def test_version_bump_alone_is_not_a_field_change(tree):
+    """Bumping SCHEMA_VERSION must not itself read as unfingerprinted drift."""
+    root, fp = tree
+    before = compute_fingerprints(root, WATCH)
+    bump_version(root)
+    after = compute_fingerprints(root, WATCH)
+    assert before.fingerprints == after.fingerprints
+    assert before.schema_version == 1 and after.schema_version == 2
+
+
+def test_real_repo_snapshot_is_current():
+    """The committed snapshot matches the live tree (pre-commit invariant)."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    result = lint_paths(
+        [root / "experiments", root / "service", root / "faults"],
+        LintConfig(select=frozenset({"SCHEMA"}), schema_root=root),
+    )
+    assert result.findings == []

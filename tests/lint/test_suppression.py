@@ -1,0 +1,97 @@
+"""`# repro: noqa` spellings and the committed-baseline workflow."""
+
+from pathlib import Path
+
+from repro.lint import Baseline, LintConfig, lint_paths
+from repro.lint.baseline import BaselineEntry
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+# -- noqa ---------------------------------------------------------------
+def test_noqa_spellings():
+    result = lint_paths([FIXTURES / "sim" / "noqa_examples.py"])
+    # exact rule, family, and blanket comments suppress; a comment naming
+    # a different rule does not
+    assert [f.rule for f in result.findings] == ["DET001"]
+    assert result.suppressed == 3
+    (finding,) = result.findings
+    assert "stamped_wrong_rule" in finding.snippet or finding.line > 15
+
+
+def test_noqa_inside_string_is_not_a_suppression(tmp_path):
+    f = tmp_path / "sim" / "x.py"
+    f.parent.mkdir()
+    f.write_text(
+        'import time\n\n\ndef stamp():\n    s = "# repro: noqa"\n'
+        "    return time.time(), s\n"
+    )
+    result = lint_paths([f])
+    assert [x.rule for x in result.findings] == ["DET001"]
+
+
+# -- baseline -----------------------------------------------------------
+def test_baseline_grandfathers_and_expires(tmp_path):
+    target = FIXTURES / "unit_violations.py"
+    fresh = lint_paths([target])
+    assert fresh.findings, "fixture must produce findings"
+
+    baseline = Baseline.from_findings(fresh.findings, "legacy code, tracked")
+    gated = lint_paths([target], baseline=baseline)
+    assert gated.findings == []  # everything grandfathered
+    assert len(gated.baselined) == len(fresh.findings)
+    assert gated.stale_entries == []
+    assert gated.ok
+
+    # pointing the same baseline at a clean file expires every entry
+    stale = lint_paths([FIXTURES / "unit_clean.py"], baseline=baseline)
+    assert stale.findings == []
+    assert len(stale.stale_entries) == len(baseline.entries)
+
+
+def test_baseline_survives_line_renumbering(tmp_path):
+    src = (FIXTURES / "unit_violations.py").read_text()
+    f = tmp_path / "moved.py"
+    f.write_text(src)
+    baseline = Baseline.from_findings(
+        lint_paths([f]).findings, "grandfathered"
+    )
+    # shift every finding down ten lines; fingerprints must still match
+    f.write_text("# pad\n" * 10 + src)
+    shifted = lint_paths([f], baseline=baseline)
+    assert shifted.findings == []
+    assert shifted.stale_entries == []
+
+
+def test_baseline_expires_when_flagged_line_changes(tmp_path):
+    f = tmp_path / "edit.py"
+    f.write_text("def window_ns(span_us):\n    return span_us\n")
+    baseline = Baseline.from_findings(lint_paths([f]).findings, "tracked")
+    f.write_text("def window_ns(span_ms):\n    return span_ms\n")
+    edited = lint_paths([f], baseline=baseline)
+    assert [x.rule for x in edited.findings] == ["UNIT003"]  # new finding
+    assert len(edited.stale_entries) == 1  # old entry expired
+
+
+def test_unjustified_entries_are_reported():
+    entry = BaselineEntry("UNIT003", "x.py", "deadbeef", "   ")
+    result = lint_paths(
+        [FIXTURES / "unit_clean.py"], baseline=Baseline([entry])
+    )
+    assert result.unjustified_entries == [entry]
+
+
+def test_baseline_roundtrip(tmp_path):
+    fresh = lint_paths([FIXTURES / "unit_violations.py"])
+    baseline = Baseline.from_findings(fresh.findings, "why: legacy")
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert [e.key() for e in loaded.entries] == sorted(
+        e.key() for e in baseline.entries
+    )
+    assert all(e.justification == "why: legacy" for e in loaded.entries)
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert Baseline.load(tmp_path / "nope.json").entries == []
