@@ -1,17 +1,23 @@
 """Performance trajectory of the experiment engine.
 
-Times the full 13x4 matrix (with the unconstrained-peak replays)
-serially and through the parallel :class:`MatrixEngine`, plus the
-vectorized-vs-reference scheduler micro-benchmark, and writes
-``benchmarks/output/BENCH_matrix.json`` with per-cell and total
-timings so later PRs have a perf baseline to compare against.
+Times the full 13x4 matrix (with the unconstrained-peak replays) three
+ways — the frozen serial scalar baseline, the columnar batch kernel,
+and (on multicore hosts) the process pool — asserts that the batch
+numbers equal the scalar ones field-for-field, and records the run:
+
+* ``benchmarks/output/BENCH_matrix.json`` — full per-cell timings of
+  this run (scratch, regenerated every run),
+* ``benchmarks/BENCH_trajectory.jsonl`` — one appended line per run
+  with *machine-normalized ratios* (batch and pool speedups vs the
+  in-run serial baseline, never wall seconds across machines), the
+  ratcheted history that ``scripts/perf_gate.py`` gates CI against.
 
 The workload here is deliberately smaller than the figure benchmarks
 (cells of tens of milliseconds): the point is the *relative* engine
 numbers, recorded at every commit, not full-fidelity figures.  The
-parallel-speedup assertion only engages on machines with >= 4 cores —
-with short cells and few cores, process-pool overhead can dominate —
-and is intentionally looser than the >= 3x seen at full fidelity.
+batch-speedup assertion is the ISSUE's acceptance floor (>= 5x on a
+single core); the parallel-speedup assertion only engages on machines
+with >= 4 cores, where a pool can actually help.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from pathlib import Path
 
 from conftest import OUTPUT_DIR
 
@@ -33,10 +40,11 @@ MiB = 1024 * 1024
 BENCH_WORKLOAD = Workload(panels=2, panel_bytes=2 * MiB)
 ALL_LABELS = tuple(c.label for c in TABLE2_CONFIGS)
 ALL_KINDS = ("SLC", "MLC", "TLC", "PCM")
+TRAJECTORY = Path(__file__).parent / "BENCH_trajectory.jsonl"
 
 
-def _run_engine(workers: int) -> tuple[dict, dict[str, float], float]:
-    engine = MatrixEngine(workers=workers)
+def _run_engine(workers: int, backend: str) -> tuple[dict, dict[str, float], float]:
+    engine = MatrixEngine(workers=workers, backend=backend)
     t0 = time.perf_counter()
     results = engine.run_matrix(ALL_LABELS, ALL_KINDS, BENCH_WORKLOAD)
     wall = time.perf_counter() - t0
@@ -68,21 +76,34 @@ def _scheduler_microbench(rounds: int = 200, batch: int = 256) -> dict:
 
 def test_perf_engine_matrix(output_dir):
     cpu = os.cpu_count() or 1
-    par_workers = min(4, cpu) if cpu > 1 else 2
 
-    serial_results, serial_cells, serial_wall = _run_engine(workers=1)
-    par_results, par_cells, par_wall = _run_engine(workers=par_workers)
+    serial_results, serial_cells, serial_wall = _run_engine(1, "scalar")
+    batch_results, batch_cells, batch_wall = _run_engine(1, "batch")
 
-    # parallel results must be identical to serial, every field
-    assert set(serial_results) == set(par_results) and len(serial_results) == 52
+    # the golden contract: batch results identical to scalar, every field
+    assert set(serial_results) == set(batch_results) and len(serial_results) == 52
     for key, a in serial_results.items():
-        b = par_results[key]
+        b = batch_results[key]
         assert a.bandwidth_mb == b.bandwidth_mb, key
         assert a.aggregate_mb == b.aggregate_mb, key
         assert a.remaining_mb == b.remaining_mb, key
         assert a.breakdown == b.breakdown and a.parallelism == b.parallelism, key
 
-    speedup = serial_wall / max(par_wall, 1e-9)
+    batch_speedup = serial_wall / max(batch_wall, 1e-9)
+
+    par = None
+    if cpu >= 4:
+        par_workers = min(4, cpu)
+        par_results, par_cells, par_wall = _run_engine(par_workers, "scalar")
+        for key, a in serial_results.items():
+            assert a.aggregate_mb == par_results[key].aggregate_mb, key
+        par = {
+            "workers": par_workers,
+            "total_s": round(par_wall, 4),
+            "speedup": round(serial_wall / max(par_wall, 1e-9), 3),
+            "cells": par_cells,
+        }
+
     bench = {
         "workload": {
             "panels": BENCH_WORKLOAD.panels,
@@ -92,27 +113,48 @@ def test_perf_engine_matrix(output_dir):
         "cpu_count": cpu,
         "grid": [len(ALL_LABELS), len(ALL_KINDS)],
         "serial": {"total_s": round(serial_wall, 4), "cells": serial_cells},
-        "parallel": {
-            "workers": par_workers,
-            "total_s": round(par_wall, 4),
-            "cells": par_cells,
-        },
-        "speedup": round(speedup, 3),
+        "batch": {"total_s": round(batch_wall, 4), "cells": batch_cells},
+        "batch_speedup": round(batch_speedup, 3),
+        "parallel": par,
         "scheduler_microbench": _scheduler_microbench(),
     }
     path = output_dir / "BENCH_matrix.json"
     path.write_text(json.dumps(bench, indent=2) + "\n")
+
+    # ratcheted trajectory: ratios vs the in-run serial baseline, so
+    # entries from different machines stay comparable
+    entry = {
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": cpu,
+        "grid": [len(ALL_LABELS), len(ALL_KINDS)],
+        "workload_panels": BENCH_WORKLOAD.panels,
+        "workload_panel_bytes": BENCH_WORKLOAD.panel_bytes,
+        "serial_s": round(serial_wall, 4),
+        "batch_s": round(batch_wall, 4),
+        "batch_speedup": round(batch_speedup, 3),
+        "parallel_speedup": par["speedup"] if par else None,
+    }
+    with TRAJECTORY.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
     print(
-        f"\nmatrix 13x4: serial {serial_wall:.2f}s, "
-        f"parallel({par_workers}) {par_wall:.2f}s, speedup {speedup:.2f}x"
-        f"\n[saved to {path}]"
+        f"\nmatrix 13x4: serial {serial_wall:.2f}s, batch {batch_wall:.2f}s "
+        f"({batch_speedup:.2f}x)"
+        + (f", pool({par['workers']}) {par['total_s']:.2f}s" if par else "")
+        + f"\n[saved to {path}; trajectory {TRAJECTORY}]"
     )
 
-    assert len(serial_cells) == 52 and len(par_cells) == 52
-    if cpu >= 4:
-        assert speedup >= 1.5, (
+    assert len(serial_cells) == 52 and len(batch_cells) == 52
+    # acceptance floor: the columnar kernel beats the serial scalar
+    # baseline >= 5x on a single core
+    assert batch_speedup >= 5.0, (
+        f"batch kernel below the 5x floor: {batch_speedup:.2f}x "
+        f"(serial {serial_wall:.2f}s, batch {batch_wall:.2f}s)"
+    )
+    if par is not None:
+        assert par["speedup"] >= 1.5, (
             f"parallel engine slower than expected on {cpu} cores: "
-            f"{speedup:.2f}x (serial {serial_wall:.2f}s, parallel {par_wall:.2f}s)"
+            f"{par['speedup']:.2f}x"
         )
 
 

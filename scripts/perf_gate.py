@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the ratcheted BENCH trajectory.
+
+``benchmarks/test_perf_engine.py`` appends one line per run to
+``benchmarks/BENCH_trajectory.jsonl`` with the batch kernel's speedup
+over the in-run serial scalar baseline (a machine-normalized ratio —
+wall seconds never cross machines).  This gate fails when the newest
+entry's ``batch_speedup`` drops more than ``--tolerance`` (default
+20%) below the best speedup ever recorded, so an accidental slowdown
+of the columnar kernel cannot land silently, while the ratchet only
+ever tightens as faster entries are recorded.
+
+Usage:
+    python scripts/perf_gate.py [--trajectory PATH] [--tolerance 0.2]
+
+Exit codes: 0 pass, 1 regression, 2 unusable trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TRAJECTORY = Path(__file__).parent.parent / "benchmarks" / "BENCH_trajectory.jsonl"
+
+
+def load_entries(path: Path) -> list[dict]:
+    entries = []
+    for i, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            print(f"perf_gate: skipping malformed line {i} of {path}", file=sys.stderr)
+            continue
+        if isinstance(entry, dict) and "batch_speedup" in entry:
+            entries.append(entry)
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trajectory", type=Path, default=DEFAULT_TRAJECTORY)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop below the best recorded speedup",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.trajectory.exists():
+        print(f"perf_gate: no trajectory at {args.trajectory}", file=sys.stderr)
+        return 2
+    entries = load_entries(args.trajectory)
+    if not entries:
+        print(f"perf_gate: no usable entries in {args.trajectory}", file=sys.stderr)
+        return 2
+
+    latest = float(entries[-1]["batch_speedup"])
+    best = max(float(e["batch_speedup"]) for e in entries)
+    floor = best * (1.0 - args.tolerance)
+    verdict = "PASS" if latest >= floor else "FAIL"
+    print(
+        f"perf_gate: latest batch speedup {latest:.2f}x, best {best:.2f}x, "
+        f"floor {floor:.2f}x ({args.tolerance:.0%} tolerance) -> {verdict} "
+        f"[{len(entries)} entries]"
+    )
+    if latest < floor:
+        print(
+            "perf_gate: the columnar batch kernel regressed; either fix the "
+            "slowdown or justify re-baselining in the PR.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

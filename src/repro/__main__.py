@@ -196,6 +196,13 @@ def main(argv: list[str] | None = None) -> int:
         help="matrix-cell worker processes (0 = auto-detect, default 1)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("batch", "scalar"),
+        default="batch",
+        help="matrix-cell execution backend: the columnar batch kernel "
+        "(default, bit-identical to scalar) or the frozen scalar reference",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -231,6 +238,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=None if args.workers == 0 else args.workers,
         cache=cache,
         faults=faults,
+        backend=args.backend,
     )
     exhibits = _exhibits(args.scale, engine)
     if args.exhibit == "list":
@@ -259,6 +267,12 @@ def main(argv: list[str] | None = None) -> int:
             f"[matrix engine: {len(engine.timings)} cells ({cached} cached), "
             f"{engine.total_seconds:.1f}s cell time, {engine.workers} workers]"
         )
+        if engine.batch_stats["batch_cells"]:
+            print(
+                f"[batch kernel: {engine.batch_stats['batch_cells']} cells "
+                f"columnar, {engine.batch_stats['fallback_cells']} scalar "
+                f"fallbacks, {engine.batch_stats['batch_seconds']:.1f}s]"
+            )
         stats = engine.cache_stats()
         if stats is not None and (stats["hits"] or stats["misses"]):
             print(

@@ -41,8 +41,11 @@ logger = logging.getLogger(__name__)
 
 __all__ = ["SCHEMA_VERSION", "ResultCache", "cell_key", "peak_key"]
 
-#: bump when simulated numbers can change; invalidates every entry
-SCHEMA_VERSION = 1
+#: bump when simulated numbers can change; invalidates every entry.
+#: v2: cell entries grew the ``backend`` provenance field (columnar
+#: batch kernel) — the numbers are golden-tested bit-identical, but v1
+#: entries lack the field and must miss rather than half-load
+SCHEMA_VERSION = 2
 
 #: ConfigResult fields persisted in a cell entry (metrics excluded)
 _CELL_FIELDS = (
@@ -55,6 +58,7 @@ _CELL_FIELDS = (
     "package_utilization",
     "breakdown",
     "parallelism",
+    "backend",
 )
 
 

@@ -25,6 +25,21 @@ path (``run_config`` in-process); ``workers=None`` auto-detects from
 serial results field-for-field — enforced by
 ``tests/experiments/test_parallel_engine.py`` and, under injected
 worker crashes, by ``tests/faults/test_engine_chaos.py``.
+
+Two execution backends share this engine:
+
+* ``backend="batch"`` (default) — cells the columnar kernel
+  (:mod:`repro.batch`) can express are planned, stacked and simulated
+  in one numpy pass in-process; only the cells it refuses (and every
+  cell of a fault-injected run) take the scalar path below.  Batch
+  results are bit-identical to scalar results (golden-tested).
+* ``backend="scalar"`` — the frozen reference path: every cell runs
+  ``run_config``.
+
+On a single-CPU host a process pool is pure overhead (0.83x measured),
+so a fault-free run degrades ``workers > 1`` to serial and records the
+decision in :meth:`MatrixEngine.summary` under ``"pool"``; fault
+injection keeps the pool, because worker chaos needs workers to strike.
 """
 
 from __future__ import annotations
@@ -170,7 +185,10 @@ class MatrixEngine:
         max_retries: int = 2,
         retry_backoff_s: float = 0.1,
         cell_timeout_s: Optional[float] = None,
+        backend: str = "batch",
     ):
+        if backend not in ("batch", "scalar"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.workers = detect_workers() if workers is None else max(1, int(workers))
         self.cache = cache
         self.progress = progress
@@ -178,6 +196,7 @@ class MatrixEngine:
         self.max_retries = max(0, int(max_retries))
         self.retry_backoff_s = max(0.0, float(retry_backoff_s))
         self.cell_timeout_s = cell_timeout_s
+        self.backend = backend
         self.timings: list[CellTiming] = []
         #: supervision + injected-fault roll-up (see :meth:`summary`)
         self.fault_stats: dict[str, int] = {
@@ -187,6 +206,16 @@ class MatrixEngine:
             "faults_injected": 0,
             "device_retries": 0,
         }
+        #: columnar-kernel roll-up: cells it ran vs cells it refused
+        self.batch_stats: dict[str, float] = {
+            "batch_cells": 0,
+            "fallback_cells": 0,
+            "batch_seconds": 0.0,
+        }
+        #: cell -> BatchUnsupported reason for refused cells (last run)
+        self.batch_fallbacks: dict[Cell, str] = {}
+        #: last pool sizing decision (see :meth:`_effective_workers`)
+        self.pool_decision: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def run_cells(
@@ -240,7 +269,32 @@ class MatrixEngine:
             else:
                 todo.append(cell)
 
-        n_workers = min(self.workers, len(todo))
+        # columnar batch kernel: runs in-process, before any pool forms.
+        # Fault-injected runs skip it wholesale — fault models mutate
+        # completions mid-replay, which the static plan cannot express —
+        # so chaos cells fall back to the scalar path by construction.
+        if todo and self.backend == "batch" and faults is None:
+            from ..batch import run_cells_batch
+
+            t0 = time.perf_counter()
+            batch_results, batch_report = run_cells_batch(
+                todo, workload, seed, with_remaining, cache=self.cache
+            )
+            self.batch_stats["batch_cells"] += len(batch_results)
+            self.batch_stats["fallback_cells"] += len(batch_report.fallback)
+            self.batch_stats["batch_seconds"] += time.perf_counter() - t0
+            self.batch_fallbacks = dict(batch_report.fallback)
+            for cell in list(todo):
+                if cell in batch_results:
+                    result = batch_results[cell]
+                    if self.cache is not None:
+                        self.cache.put_cell(
+                            result, workload, seed, with_remaining, faults=None
+                        )
+                    finish(cell, result, batch_report.seconds.get(cell, 0.0))
+            todo = [cell for cell in todo if cell not in batch_results]
+
+        n_workers = self._effective_workers(len(todo), faults) if todo else 0
         if n_workers <= 1:
             for cell in todo:
                 t0 = time.perf_counter()
@@ -257,10 +311,44 @@ class MatrixEngine:
                 finish(cell, result, seconds)
         elif todo:
             self._run_supervised(
-                todo, workload, seed, with_remaining, faults, finish
+                todo, workload, seed, with_remaining, faults, finish, n_workers
             )
 
         return {cell: results[cell] for cell in cells}
+
+    # ------------------------------------------------------------------
+    def _effective_workers(self, n_todo: int, faults: Optional["FaultSpec"]) -> int:
+        """Pool sizing with the 1-CPU degrade; records the decision.
+
+        A process pool on a single-CPU host is pure serialization plus
+        pickling overhead (BENCH_matrix measured 0.83x vs serial), so a
+        fault-free run degrades to the in-process serial path.  Worker
+        fault injection keeps the pool regardless: chaos needs worker
+        processes to crash.
+        """
+        cpus = os.cpu_count() or 1
+        n = min(self.workers, n_todo)
+        decision = {
+            "requested_workers": self.workers,
+            "cpu_count": cpus,
+            "effective_workers": n,
+            "degraded": False,
+            "reason": None,
+        }
+        if n > 1 and cpus == 1:
+            if faults is None:
+                decision["effective_workers"] = 1
+                decision["degraded"] = True
+                decision["reason"] = (
+                    "1-CPU host: pool overhead exceeds parallel gain"
+                )
+                n = 1
+            else:
+                decision["reason"] = (
+                    "1-CPU host, but fault injection needs the worker pool"
+                )
+        self.pool_decision = decision
+        return n
 
     # ------------------------------------------------------------------
     def _run_supervised(
@@ -271,6 +359,7 @@ class MatrixEngine:
         with_remaining: bool,
         faults: Optional["FaultSpec"],
         finish: Callable[[Cell, ConfigResult, float], None],
+        n_workers: Optional[int] = None,
     ) -> None:
         """Pool fan-out with crash/hang supervision and retry rounds.
 
@@ -284,6 +373,8 @@ class MatrixEngine:
         """
         from ..faults.errors import CellTimeout, RetriesExhausted, WorkerCrash
 
+        if n_workers is None:
+            n_workers = self.workers
         attempts: dict[Cell, int] = {cell: 0 for cell in todo}
         round_no = 0
 
@@ -307,7 +398,7 @@ class MatrixEngine:
             round_no += 1
             retry: list[Cell] = []
             pool = ProcessPoolExecutor(
-                max_workers=min(self.workers, len(todo))
+                max_workers=min(n_workers, len(todo))
             )
             degraded = False  # pool broken or deadline blown this round
             try:
@@ -393,7 +484,10 @@ class MatrixEngine:
         items = list(items)
         if self.workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
+        n_workers = self._effective_workers(len(items), None)
+        if n_workers <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(items))) as pool:
             return list(pool.map(fn, items, chunksize=1))
 
     # ------------------------------------------------------------------
@@ -409,7 +503,7 @@ class MatrixEngine:
         return self.cache.stats() if self.cache is not None else None
 
     def summary(self) -> dict:
-        """Timing + cache + fault roll-up for status lines and metrics."""
+        """Timing + cache + fault + backend roll-up for status lines."""
         cached = sum(1 for t in self.timings if t.cached)
         return {
             "cells": len(self.timings),
@@ -418,4 +512,8 @@ class MatrixEngine:
             "workers": self.workers,
             "cache": self.cache_stats(),
             "faults": dict(self.fault_stats),
+            "backend": self.backend,
+            "batch": dict(self.batch_stats),
+            #: the last pool sizing decision (None: no pool was needed)
+            "pool": dict(self.pool_decision) if self.pool_decision else None,
         }

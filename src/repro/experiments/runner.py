@@ -92,6 +92,10 @@ class ConfigResult:
     #: when no faults were injected (and for cache hits — fault
     #: diagnostics, like ``metrics``, are per-computation, not cached)
     faults: dict | None = None
+    #: which engine produced the numbers — "scalar" (the frozen
+    #: bit-exact reference path) or "batch" (the columnar kernel);
+    #: cached cells keep the provenance of the run that computed them
+    backend: str = "scalar"
 
 
 def _unconstrained_media_peak(

@@ -13,7 +13,15 @@ in ways that surface far from the submit site:
   ``numpy.random.Generator``): its *state* is copied at pickle time,
   so every worker replays the same stream and the coordinator's copy
   never advances — silently correlated "randomness".  Ship the seed,
-  construct the RNG worker-side.
+  construct the RNG worker-side;
+* ``POOL004`` — a columnar batch-plan object (``CellPlan``,
+  ``LaneCols``, ``ColumnarScheduler``, or a ``plan_cell`` result).
+  The batch kernel (:mod:`repro.batch`) is in-process *by design*: its
+  lane columns are views into one shared stacked matrix, so pickling a
+  plan silently ships every worker a private copy of the whole stack —
+  the memory and serialization cost that the columnar layout exists to
+  avoid.  Ship ``(label, kind, workload, seed)`` and re-plan (or run
+  the scalar path) worker-side instead.
 
 The checker recognises executors assigned from
 ``ProcessPoolExecutor(...)`` (including ``with ... as pool:``),
@@ -52,6 +60,19 @@ _RNG_CTORS = frozenset(
         "numpy.random.RandomState",
     }
 )
+_PLAN_CTORS = frozenset(
+    {
+        "plan_cell",
+        "plan_or_none",
+        "CellPlan",
+        "LaneCols",
+        "ColumnarScheduler",
+        "batch.plan_cell",
+        "repro.batch.plan_cell",
+        "repro.batch.plan.plan_cell",
+        "repro.batch.scheduler.ColumnarScheduler",
+    }
+)
 
 
 def _ctor_kind(node: ast.expr) -> str | None:
@@ -67,6 +88,8 @@ def _ctor_kind(node: ast.expr) -> str | None:
         return "file"
     if name in _RNG_CTORS:
         return "rng"
+    if name in _PLAN_CTORS or name.split(".")[-1] in _PLAN_CTORS:
+        return "plan"
     return None
 
 
@@ -90,6 +113,7 @@ class PoolChecker(FileChecker):
         "POOL001": "lambda submitted across the process-pool boundary",
         "POOL002": "open file handle submitted across the process-pool boundary",
         "POOL003": "live RNG state submitted across the process-pool boundary",
+        "POOL004": "columnar batch plan submitted across the process-pool boundary",
     }
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -168,12 +192,32 @@ class PoolChecker(FileChecker):
                             "clones the stream into every worker — pass the "
                             "seed and construct the RNG worker-side",
                         )
+                    elif kind == "plan":
+                        yield ctx.finding(
+                            "POOL004",
+                            sub,
+                            f"`{sub.id}` is a columnar batch plan whose lane "
+                            "columns are views into the shared stacked "
+                            "matrix; pickling it copies the whole stack into "
+                            "the worker — ship (label, kind, workload, seed) "
+                            "and re-plan worker-side",
+                        )
                 elif isinstance(sub, ast.Call):
-                    if _ctor_kind(sub) == "file":
+                    sub_kind = _ctor_kind(sub)
+                    if sub_kind == "file":
                         yield ctx.finding(
                             "POOL002",
                             sub,
                             "opening a file in the submit call ships the "
                             "handle across the pool boundary; pass the path "
                             "and reopen inside the worker",
+                        )
+                    elif sub_kind == "plan":
+                        yield ctx.finding(
+                            "POOL004",
+                            sub,
+                            "planning inside the submit call ships the "
+                            "stacked lane columns across the pool boundary; "
+                            "ship (label, kind, workload, seed) and re-plan "
+                            "worker-side",
                         )

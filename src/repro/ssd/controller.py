@@ -28,7 +28,7 @@ bit-identical to the fault-free path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..interconnect.host import HostPath
 from ..nvm.bus import BusSpec
@@ -48,7 +48,8 @@ class ReplayResult:
 
     log: TxnLog
     group_completions: list[int]
-    metrics: RunMetrics
+    #: ``None`` only for deferred-metrics (batch backend) replays
+    metrics: Optional[RunMetrics]
     ftl_stats: dict = field(default_factory=dict)
     #: the device-level block trace: one (t_ns, op, lba, nbytes, kind,
     #: client) tuple per command as it reached the device — Section
@@ -94,6 +95,14 @@ class SSDevice:
         self.queue_policy = queue_policy
         #: optional :class:`~repro.faults.device.DeviceFaultModel`
         self.fault_model = None
+        #: optional zero-arg factory overriding the transaction
+        #: scheduler; the columnar batch backend installs its
+        #: array-native subclass here (``None`` = stock scheduler)
+        self.scheduler_factory: Optional[Callable[[], TransactionScheduler]] = None
+        #: skip the in-replay metrics pass (``ReplayResult.metrics`` is
+        #: ``None``); the batch backend computes metrics for many lanes
+        #: in one stacked pass after all replays finish
+        self.defer_metrics = False
 
     def attach_faults(self, model) -> None:
         """Overlay a device fault model onto subsequent replays."""
@@ -123,7 +132,11 @@ class SSDevice:
         """
         if posix_window < 1:
             raise ValueError("posix_window must be >= 1")
-        sched = TransactionScheduler(self.geom, self.bus, self.host)
+        sched = (
+            self.scheduler_factory()
+            if self.scheduler_factory is not None
+            else TransactionScheduler(self.geom, self.bus, self.host)
+        )
         per_req_ns = self.host.per_request_ns + self.command_overhead_ns
         ra = self.readahead_bytes
         ftl = self.ftl
@@ -230,7 +243,11 @@ class SSDevice:
                 activate(st.client)
 
         log = sched.finish()
-        metrics = compute_metrics(log, self.geom, self.bus, self.kind, self.host)
+        metrics = (
+            None
+            if self.defer_metrics
+            else compute_metrics(log, self.geom, self.bus, self.kind, self.host)
+        )
         return ReplayResult(
             log=log,
             group_completions=group_completions,

@@ -74,17 +74,6 @@ class DeviceFTL:
                 f"capacity ({int(usable)} pages) at OP {overprovision}"
             )
         self.gc_low_water = gc_low_water
-
-        U = geometry.plane_units
-        B = geometry.blocks_per_plane
-        self.map = np.full(self.n_logical_pages, -1, dtype=np.int64)
-        self.reverse: dict[int, int] = {}
-        self.valid = np.zeros((U, B), dtype=np.int32)
-        self.frontier = np.zeros((U, B), dtype=np.int32)
-        self.erases = np.zeros((U, B), dtype=np.int64)
-        # free/active block bookkeeping per plane unit
-        self.free_blocks: list[deque[int]] = [deque(range(B)) for _ in range(U)]
-        self.active_block = np.full(U, -1, dtype=np.int32)
         self._alloc_unit = 0  # round-robin pointer over plane units
         self._group_counter = 0
         self.stats = {
@@ -93,6 +82,38 @@ class DeviceFTL:
             "host_writes_pages": 0,
             "rmw_reads": 0,
         }
+
+    #: heavyweight mapping state, built on first touch.  The arrays and
+    #: per-unit block deques cost ~5 ms per device; callers that replace
+    #: the FTL before replaying (the columnar batch backend plans the
+    #: translation statically) never pay for them.
+    _LAZY_STATE = (
+        "map", "reverse", "valid", "frontier", "erases",
+        "free_blocks", "active_block",
+    )
+
+    def _materialize(self) -> None:
+        U = self.geom.plane_units
+        B = self.geom.blocks_per_plane
+        d = self.__dict__
+        d["map"] = np.full(self.n_logical_pages, -1, dtype=np.int64)
+        d["reverse"] = {}
+        d["valid"] = np.zeros((U, B), dtype=np.int32)
+        d["frontier"] = np.zeros((U, B), dtype=np.int32)
+        d["erases"] = np.zeros((U, B), dtype=np.int64)
+        # free/active block bookkeeping per plane unit
+        d["free_blocks"] = [deque(range(B)) for _ in range(U)]
+        d["active_block"] = np.full(U, -1, dtype=np.int32)
+
+    def __getattr__(self, name: str):
+        # only reached when normal lookup fails: first touch of a lazy
+        # field materializes all of them, then lookups are plain
+        if name in DeviceFTL._LAZY_STATE:
+            self._materialize()
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     # ------------------------------------------------------------------
     # pre-image (pre-loaded data set)

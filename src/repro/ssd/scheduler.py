@@ -243,6 +243,45 @@ class TransactionScheduler:
             shared[1:] = (group_a[1:] >= 0) & (group_a[1:] == group_a[:-1])
         cmd_a = np.where(shared, 0, self._cmd_ns)
 
+        return self._schedule_arrays(
+            arrival, req_id, client, kind_label,
+            op_a, flat_a, nbytes_a, group_a, pib_a,
+            u_a, plane_a, chan_a, pkg_a, die_a,
+            cell_a, fb_a, hb_a, cmd_a,
+        )
+
+    def _schedule_arrays(
+        self,
+        arrival: int,
+        req_id: int,
+        client: int,
+        kind_label: str,
+        op_a: np.ndarray,
+        flat_a: np.ndarray,
+        nbytes_a: np.ndarray,
+        group_a: np.ndarray,
+        pib_a: np.ndarray,
+        u_a: np.ndarray,
+        plane_a: np.ndarray,
+        chan_a: np.ndarray,
+        pkg_a: np.ndarray,
+        die_a: np.ndarray,
+        cell_a: np.ndarray,
+        fb_a: np.ndarray,
+        hb_a: np.ndarray,
+        cmd_a: np.ndarray,
+    ) -> int:
+        """Resource-timeline recurrence over fully pre-passed columns.
+
+        ``submit`` computes the pre-pass (decode, ladders, transfer
+        times, command sharing) from transaction tuples and delegates
+        here; the columnar batch backend computes the identical pre-pass
+        for many cells in one stacked numpy sweep at plan time and
+        submits slices directly.  Either way the schedule is the same
+        recurrence over the same int64 values — bit-identical by
+        construction.
+        """
+        n = len(op_a)
         # -- scalar recurrence over plain ints (ndarray item access is
         # slower than list indexing in the dependency loop)
         op_l = op_a.tolist()

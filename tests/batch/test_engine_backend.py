@@ -1,0 +1,172 @@
+"""Engine integration of the columnar backend.
+
+Covers the routing contract: fault-free matrices ride the batch kernel
+without ever forming a pool, chaos runs skip it wholesale (and still
+match the fault-free numbers), planner rejections fall back per-cell
+to the scalar path, and the 1-CPU pool degrade records its decision.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.batch.plan import BatchUnsupported
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import MatrixEngine
+from repro.experiments.runner import Workload
+from repro.faults import FaultSpec
+
+KiB = 1024
+TINY = Workload(panels=2, panel_bytes=64 * KiB)
+CELLS = [
+    ("CNL-EXT4", "SLC"),
+    ("CNL-UFS", "TLC"),
+    ("ION-GPFS", "MLC"),
+    ("CNL-NATIVE-16", "PCM"),
+]
+
+_FIELDS = (
+    "label", "kind", "bandwidth_mb", "aggregate_mb", "remaining_mb",
+    "channel_utilization", "package_utilization", "breakdown", "parallelism",
+)
+
+
+def assert_results_equal(a, b):
+    assert set(a) == set(b)
+    for cell in a:
+        for field in _FIELDS:
+            assert getattr(a[cell], field) == getattr(b[cell], field), (
+                f"{cell} differs on {field}"
+            )
+
+
+class TestBatchRouting:
+    def test_default_backend_is_batch(self):
+        assert MatrixEngine().backend == "batch"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            MatrixEngine(backend="gpu")
+
+    def test_batch_handles_all_cells_without_pool(self):
+        engine = MatrixEngine(workers=4, backend="batch")
+        results = engine.run_cells(CELLS, TINY)
+        assert engine.batch_stats["batch_cells"] == len(CELLS)
+        assert engine.batch_stats["fallback_cells"] == 0
+        assert engine.batch_fallbacks == {}
+        # every cell was served in-process: no pool sizing ever happened
+        assert engine.pool_decision is None
+        assert all(r.backend == "batch" for r in results.values())
+
+    def test_scalar_backend_still_available_and_equal(self):
+        batch = MatrixEngine(backend="batch").run_cells(CELLS, TINY)
+        scalar = MatrixEngine(backend="scalar").run_cells(CELLS, TINY)
+        assert_results_equal(batch, scalar)
+        assert all(r.backend == "scalar" for r in scalar.values())
+
+    def test_batch_results_are_cached(self):
+        cache = ResultCache()
+        engine = MatrixEngine(backend="batch", cache=cache)
+        engine.run_cells(CELLS, TINY)
+        rerun = MatrixEngine(backend="batch", cache=cache)
+        results = rerun.run_cells(CELLS, TINY)
+        assert rerun.batch_stats["batch_cells"] == 0  # all cache hits
+        assert cache.hits >= len(CELLS)
+        assert all(r.backend == "batch" for r in results.values())
+
+    def test_summary_reports_backend_and_batch_stats(self):
+        engine = MatrixEngine(backend="batch")
+        engine.run_cells(CELLS[:2], TINY)
+        s = engine.summary()
+        assert s["backend"] == "batch"
+        assert s["batch"]["batch_cells"] == 2
+        assert s["pool"] is None
+
+
+class TestPlannerFallback:
+    def test_unplannable_cell_falls_back_to_scalar(self, monkeypatch):
+        """A planner rejection degrades one cell, not the matrix."""
+        import repro.batch.backend as backend_mod
+
+        real_plan = backend_mod.plan_cell
+        victim = CELLS[0]
+
+        def picky_plan(label, kind_name, workload, seed):
+            if (label, kind_name) == victim:
+                raise BatchUnsupported("synthetic rejection")
+            return real_plan(label, kind_name, workload, seed)
+
+        monkeypatch.setattr(backend_mod, "plan_cell", picky_plan)
+        engine = MatrixEngine(backend="batch")
+        results = engine.run_cells(CELLS, TINY)
+
+        assert engine.batch_stats["batch_cells"] == len(CELLS) - 1
+        assert engine.batch_stats["fallback_cells"] == 1
+        assert "synthetic rejection" in engine.batch_fallbacks[victim]
+        assert results[victim].backend == "scalar"
+        baseline = MatrixEngine(backend="scalar").run_cells(CELLS, TINY)
+        assert_results_equal(results, baseline)
+
+
+@pytest.mark.chaos
+class TestChaosBypassesBatch:
+    def test_fault_injected_run_skips_batch_and_matches(self):
+        """Fault plans mutate completions mid-replay; the static batch
+        plan cannot express that, so chaos runs must take the scalar
+        path — and still converge to the fault-free numbers."""
+        baseline = MatrixEngine(backend="batch").run_cells(CELLS[:2], TINY)
+        chaos = MatrixEngine(
+            workers=2,
+            backend="batch",
+            faults=FaultSpec(seed=0, worker_crash_rate=1.0),
+            max_retries=2,
+            retry_backoff_s=0.0,
+        )
+        recovered = chaos.run_cells(CELLS[:2], TINY)
+        assert chaos.batch_stats["batch_cells"] == 0
+        assert_results_equal(recovered, baseline)
+        assert chaos.fault_stats["worker_crashes"] > 0
+
+
+class TestPoolDegrade:
+    def test_single_cpu_fault_free_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        engine = MatrixEngine(workers=4, backend="scalar")
+        engine.run_cells(CELLS[:2], TINY)
+        d = engine.pool_decision
+        assert d is not None
+        assert d["degraded"] is True and d["effective_workers"] == 1
+        assert "1-CPU" in d["reason"]
+        assert engine.summary()["pool"]["degraded"] is True
+
+    def test_multi_cpu_keeps_pool(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        engine = MatrixEngine(workers=2, backend="scalar")
+        engine.run_cells(CELLS[:2], TINY)
+        d = engine.pool_decision
+        assert d is not None and d["degraded"] is False
+        assert d["effective_workers"] == 2
+
+    @pytest.mark.chaos
+    def test_fault_injection_keeps_pool_on_one_cpu(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        engine = MatrixEngine(
+            workers=2,
+            backend="scalar",
+            faults=FaultSpec(seed=0, worker_crash_rate=1.0),
+            max_retries=2,
+            retry_backoff_s=0.0,
+        )
+        engine.run_cells(CELLS[:2], TINY)
+        d = engine.pool_decision
+        assert d is not None and d["degraded"] is False
+        assert d["effective_workers"] == 2
+        assert "fault injection" in d["reason"]
+
+    def test_map_degrades_on_one_cpu(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        engine = MatrixEngine(workers=4)
+        assert engine.map(len, ["ab", "cde", ""]) == [2, 3, 0]
+        assert engine.pool_decision["degraded"] is True

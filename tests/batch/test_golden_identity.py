@@ -1,0 +1,76 @@
+"""Golden bit-identity: batch backend vs the frozen scalar reference.
+
+The columnar kernel's entire value rests on one claim — for every cell
+of the Table-2 matrix it produces *the same numbers* as the scalar
+path, to the last bit.  These tests run all 52 (config, kind) cells
+through :func:`repro.batch.run_cells_batch` once and compare every
+:class:`~repro.ssd.metrics.RunMetrics` field and every reported
+:class:`~repro.experiments.runner.ConfigResult` field against a fresh
+``run_config`` of the same cell on the scalar path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.batch import run_cells_batch
+from repro.experiments.configs import TABLE2_CONFIGS
+from repro.experiments.runner import Workload, run_config
+from repro.nvm.kinds import KINDS
+from repro.ssd.metrics import RunMetrics
+
+KiB = 1024
+TINY = Workload(panels=2, panel_bytes=256 * KiB)
+SEED = 1013
+CELLS = [(c.label, k.name) for c in TABLE2_CONFIGS for k in KINDS]
+
+_RESULT_FIELDS = (
+    "label",
+    "kind",
+    "bandwidth_mb",
+    "aggregate_mb",
+    "remaining_mb",
+    "channel_utilization",
+    "package_utilization",
+    "breakdown",
+    "parallelism",
+)
+
+
+@pytest.fixture(scope="module")
+def batch_results():
+    results, report = run_cells_batch(CELLS, TINY, SEED, keep_metrics=True)
+    return results, report
+
+
+def test_every_table2_cell_plans(batch_results):
+    """No cell of the paper's matrix falls back to the scalar path."""
+    results, report = batch_results
+    assert report.fallback == {}
+    assert list(report.planned) == CELLS and len(CELLS) == 52
+    assert set(results) == set(CELLS)
+
+
+def test_backend_provenance_recorded(batch_results):
+    results, _ = batch_results
+    assert all(r.backend == "batch" for r in results.values())
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: f"{c[0]}-{c[1]}")
+def test_cell_bit_identity(cell, batch_results):
+    """Every metric of every cell: batch == scalar, bit for bit."""
+    results, _ = batch_results
+    got = results[cell]
+    ref = run_config(cell[0], cell[1], TINY, seed=SEED, keep_metrics=True)
+
+    for name in _RESULT_FIELDS:
+        assert getattr(ref, name) == getattr(got, name), (
+            f"{cell}: ConfigResult.{name} differs"
+        )
+    assert got.metrics is not None and ref.metrics is not None
+    for f in dataclasses.fields(RunMetrics):
+        a = getattr(ref.metrics, f.name)
+        b = getattr(got.metrics, f.name)
+        assert a == b, f"{cell}: RunMetrics.{f.name} differs: {a!r} != {b!r}"

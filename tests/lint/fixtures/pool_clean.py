@@ -11,3 +11,13 @@ def fan_out(paths, seed):
     with ProcessPoolExecutor() as pool:
         futs = [pool.submit(work, p, seed + i) for i, p in enumerate(paths)]
     return [f.result() for f in futs]
+
+
+def batch_fan_out(cells, workload, seed):
+    """Ships only plan *ingredients*; workers re-plan locally."""
+    with ProcessPoolExecutor() as pool:
+        futs = [
+            pool.submit(work, (label, kind, seed), seed)
+            for label, kind in cells
+        ]
+    return [f.result() for f in futs]

@@ -18,3 +18,14 @@ def fan_out(items):
         futs.append(pool.submit(work, open("data.bin", "rb")))  # POOL002
     log.close()
     return futs
+
+
+def batch_fan_out(cells, workload, seed):
+    from repro.batch.plan import plan_cell
+
+    plans = None  # placeholder binding, overwritten below
+    with ProcessPoolExecutor() as pool:
+        plan = plan_cell(*cells[0], workload, seed)
+        futs = [pool.submit(work, plan)]  # POOL004: stacked plan copy
+        futs.append(pool.submit(work, plan_cell(*cells[1], workload, seed)))  # POOL004
+    return plans, futs

@@ -81,6 +81,7 @@ def test_pool_violations_all_fire():
     assert rules.count("POOL001") == 1
     assert rules.count("POOL002") == 2
     assert rules.count("POOL003") == 1
+    assert rules.count("POOL004") == 2  # bound plan + planning in the call
 
 
 def test_pool_clean_file_is_clean():
