@@ -11,6 +11,9 @@ numbers equal the scalar ones field-for-field, and records the run:
   with *machine-normalized ratios* (batch and pool speedups vs the
   in-run serial baseline, never wall seconds across machines), the
   ratcheted history that ``scripts/perf_gate.py`` gates CI against.
+  Each entry also records ``obs_overhead`` — the fractional cost of
+  running the same batch matrix with a live tracer installed — which
+  the gate bounds so observability can never silently tax the engine.
 
 The workload here is deliberately smaller than the figure benchmarks
 (cells of tens of milliseconds): the point is the *relative* engine
@@ -80,6 +83,19 @@ def test_perf_engine_matrix(output_dir):
     serial_results, serial_cells, serial_wall = _run_engine(1, "scalar")
     batch_results, batch_cells, batch_wall = _run_engine(1, "batch")
 
+    # observability delta: same batch run with a live tracer.  The
+    # *disabled* budget (<= 2%: a global load + `is None` per cell) is
+    # enforced by the batch_speedup ratchet itself — instrumentation
+    # slowing the disabled path would drop the ratio and fail the gate;
+    # here we record what *enabling* tracing costs on top.
+    from repro.obs import Tracer, tracing
+
+    with tracing(Tracer(trace_id="bench")):
+        traced_results, _, traced_wall = _run_engine(1, "batch")
+    for key, a in batch_results.items():
+        assert a.aggregate_mb == traced_results[key].aggregate_mb, key
+    obs_overhead = traced_wall / max(batch_wall, 1e-9) - 1.0
+
     # the golden contract: batch results identical to scalar, every field
     assert set(serial_results) == set(batch_results) and len(serial_results) == 52
     for key, a in serial_results.items():
@@ -114,6 +130,8 @@ def test_perf_engine_matrix(output_dir):
         "grid": [len(ALL_LABELS), len(ALL_KINDS)],
         "serial": {"total_s": round(serial_wall, 4), "cells": serial_cells},
         "batch": {"total_s": round(batch_wall, 4), "cells": batch_cells},
+        "batch_traced": {"total_s": round(traced_wall, 4)},
+        "obs_overhead": round(obs_overhead, 4),
         "batch_speedup": round(batch_speedup, 3),
         "parallel": par,
         "scheduler_microbench": _scheduler_microbench(),
@@ -131,6 +149,8 @@ def test_perf_engine_matrix(output_dir):
         "workload_panel_bytes": BENCH_WORKLOAD.panel_bytes,
         "serial_s": round(serial_wall, 4),
         "batch_s": round(batch_wall, 4),
+        "batch_traced_s": round(traced_wall, 4),
+        "obs_overhead": round(obs_overhead, 4),
         "batch_speedup": round(batch_speedup, 3),
         "parallel_speedup": par["speedup"] if par else None,
     }
@@ -139,7 +159,8 @@ def test_perf_engine_matrix(output_dir):
 
     print(
         f"\nmatrix 13x4: serial {serial_wall:.2f}s, batch {batch_wall:.2f}s "
-        f"({batch_speedup:.2f}x)"
+        f"({batch_speedup:.2f}x), traced {traced_wall:.2f}s "
+        f"({obs_overhead:+.1%} obs overhead)"
         + (f", pool({par['workers']}) {par['total_s']:.2f}s" if par else "")
         + f"\n[saved to {path}; trajectory {TRAJECTORY}]"
     )
@@ -156,6 +177,12 @@ def test_perf_engine_matrix(output_dir):
             f"parallel engine slower than expected on {cpu} cores: "
             f"{par['speedup']:.2f}x"
         )
+    # tracing sits at per-replay/per-cell granularity; a gross blow-up
+    # means someone moved a span into a per-transaction loop
+    assert obs_overhead < 0.5, (
+        f"enabling tracing cost {obs_overhead:+.1%} on the batch matrix "
+        f"(batch {batch_wall:.2f}s, traced {traced_wall:.2f}s)"
+    )
 
 
 def test_cached_rerun_is_instant(output_dir):

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""CI smoke test for the observability stack (repro.obs).
+
+Exercises the whole surface end to end, the way a user would:
+
+1. run a small matrix slice through the CLI with ``--trace`` and
+   ``--stats-dir``,
+2. render the trace with ``python -m repro obs report`` and require
+   >= 95% of simulated time attributed to named layers,
+3. assert the per-layer breakdown is non-empty in both clock domains
+   and the stats CSV has one row per cell,
+4. start the real TCP service, run one job, and scrape the Prometheus
+   ``{"op": "metrics"}`` endpoint for the required series.
+
+Exit code 0 on success; any failure raises and exits non-zero.
+
+Usage:
+    PYTHONPATH=src python scripts/obs_smoke.py [--scale 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import csv
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+#: series the Prometheus endpoint must expose after one job
+REQUIRED_SERIES = (
+    "repro_service_completed",
+    "repro_service_cache_hits",
+    "repro_service_engine_cells",
+    "repro_service_latency_p99_s",
+)
+
+
+def run_cli(args: list[str]) -> subprocess.CompletedProcess:
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC}{os.pathsep}" + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=ROOT,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"obs_smoke: `repro {' '.join(args)}` failed")
+    return proc
+
+
+def smoke_cli_trace(tmp: Path, scale: float) -> None:
+    trace = tmp / "trace.jsonl"
+    stats_dir = tmp / "stats"
+    out = run_cli(
+        ["figure7", "--scale", str(scale),
+         "--trace", str(trace), "--stats-dir", str(stats_dir)]
+    ).stdout
+    assert "[trace:" in out, "CLI must print the trace footer"
+    assert "[stats:" in out, "CLI must print the stats footer"
+
+    report = run_cli(
+        ["obs", "report", str(trace), "--require-coverage", "0.95"]
+    ).stdout
+    assert "simulated time" in report and "wall time" in report
+    # non-empty per-layer breakdown in both domains
+    assert "cell" in report, "sim-domain layer rows missing"
+    assert any(layer in report for layer in ("cli", "engine", "scheduler")), (
+        "wall-domain layer rows missing"
+    )
+    print("obs_smoke: CLI trace + report + coverage gate OK")
+
+    rows = list(csv.DictReader((stats_dir / "stats.csv").open()))
+    cell_rows = [r for r in rows if r["event"] == "cell"]
+    assert cell_rows, "stats.csv must have per-cell rows"
+    assert all(r["label"] and r["kind"] for r in cell_rows)
+    print(f"obs_smoke: stats.csv OK ({len(cell_rows)} cell rows)")
+
+
+async def smoke_service_metrics() -> None:
+    from repro.experiments import Workload
+    from repro.service import (
+        CellJob,
+        ServiceClient,
+        ServiceServer,
+        SimulationService,
+    )
+
+    service = SimulationService(queue_limit=8, max_concurrency=1)
+    server = ServiceServer(service, "127.0.0.1", 0)
+    host, port = await server.start()
+    try:
+        client = await ServiceClient.connect(host, port)
+        try:
+            await client.submit(
+                CellJob(
+                    label="CNL-EXT4", kind="TLC",
+                    workload=Workload(panels=2, panel_bytes=64 * 1024),
+                    trace_id="obs-smoke",
+                ).to_dict()
+            )
+            text = await client.metrics()
+        finally:
+            await client.close()
+    finally:
+        await server.close()
+
+    assert text.strip(), "Prometheus exposition must be non-empty"
+    for series in REQUIRED_SERIES:
+        assert series in text, f"missing Prometheus series {series}"
+    assert "# TYPE repro_service_completed counter" in text
+    print(f"obs_smoke: service Prometheus endpoint OK "
+          f"({len(text.splitlines())} lines)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="workload scale for the CLI slice (default 0.2)")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(SRC))
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
+        smoke_cli_trace(Path(tmp), args.scale)
+    asyncio.run(smoke_service_metrics())
+    print("obs_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,18 @@ entry's ``batch_speedup`` drops more than ``--tolerance`` (default
 of the columnar kernel cannot land silently, while the ratchet only
 ever tightens as faster entries are recorded.
 
+Entries may also carry ``obs_overhead`` — the fractional wall-time
+cost of rerunning the same batch matrix with a live tracer installed
+(``repro.obs``).  When the newest entry has it, the gate additionally
+fails if it exceeds ``--obs-tolerance`` (default 25%): span emission
+must stay at per-replay/per-cell granularity.  The *disabled*-tracer
+budget (<= 2%) needs no separate check — instrumentation guards run on
+the regular batch pass, so any disabled-path tax lowers
+``batch_speedup`` and trips the ratchet itself.
+
 Usage:
     python scripts/perf_gate.py [--trajectory PATH] [--tolerance 0.2]
+                                [--obs-tolerance 0.25]
 
 Exit codes: 0 pass, 1 regression, 2 unusable trajectory.
 """
@@ -51,6 +61,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.2,
         help="allowed fractional drop below the best recorded speedup",
     )
+    parser.add_argument(
+        "--obs-tolerance",
+        type=float,
+        default=0.25,
+        help="max fractional wall-time overhead of tracing-enabled runs",
+    )
     args = parser.parse_args(argv)
 
     if not args.trajectory.exists():
@@ -77,6 +93,23 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+
+    overhead = entries[-1].get("obs_overhead")
+    if overhead is not None:
+        overhead = float(overhead)
+        obs_verdict = "PASS" if overhead <= args.obs_tolerance else "FAIL"
+        print(
+            f"perf_gate: tracing-enabled overhead {overhead:+.1%} "
+            f"(budget {args.obs_tolerance:.0%}) -> {obs_verdict}"
+        )
+        if overhead > args.obs_tolerance:
+            print(
+                "perf_gate: enabling the tracer costs too much; spans must "
+                "stay at per-replay/per-cell granularity, never inside "
+                "per-transaction loops.",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -13,6 +13,8 @@ Usage::
     python -m repro figure7 --faults        # deterministic fault injection
     python -m repro serve --port 8077       # simulation-as-a-service
     python -m repro lint                    # determinism/invariant analyzer
+    python -m repro table2 --trace t.jsonl  # record an obs trace
+    python -m repro obs report t.jsonl      # per-layer time breakdown
 
 Each exhibit prints the same rows/series the paper plots; ``--out``
 additionally writes one text file per exhibit.  The matrix exhibits
@@ -119,6 +121,13 @@ def _serve_main(argv: list[str]) -> int:
         default=None,
         help="persist matrix-cell results on disk (default: in-memory only)",
     )
+    parser.add_argument(
+        "--stats-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write per-job/per-cell stats.csv under DIR",
+    )
     args = parser.parse_args(argv)
 
     from .experiments.parallel import detect_workers
@@ -128,6 +137,11 @@ def _serve_main(argv: list[str]) -> int:
         cache = ResultCache(args.cache_dir)
     except NotADirectoryError as exc:
         parser.error(f"--cache-dir: {exc}")
+    stats = None
+    if args.stats_dir is not None:
+        from .obs import CsvStatsRecorder
+
+        stats = CsvStatsRecorder(args.stats_dir)
 
     async def _run() -> None:
         service = SimulationService(
@@ -135,6 +149,7 @@ def _serve_main(argv: list[str]) -> int:
             cache=cache,
             queue_limit=args.queue_limit,
             max_concurrency=args.max_concurrency,
+            stats=stats,
         )
         server = ServiceServer(service, args.host, args.port)
         host, port = await server.start()
@@ -168,6 +183,10 @@ def main(argv: list[str] | None = None) -> int:
         from .lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from .obs.report import main as obs_main
+
+        return obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures from the simulation.",
@@ -220,6 +239,21 @@ def main(argv: list[str] | None = None) -> int:
         help="fault-injection seed (default: $REPRO_FAULT_SEED or 0); "
         "implies --faults",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record an observability trace (JSON lines) to PATH; "
+        "inspect with 'python -m repro obs report PATH'",
+    )
+    parser.add_argument(
+        "--stats-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write a per-cell stats.csv under DIR",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -234,11 +268,22 @@ def main(argv: list[str] | None = None) -> int:
         if fault_seed is None:
             fault_seed = int(os.environ.get("REPRO_FAULT_SEED", "0"))
         faults = FaultSpec.default_chaos(fault_seed)
+    tracer = None
+    if args.trace is not None:
+        from . import obs
+
+        tracer = obs.install(obs.Tracer())
+    stats = None
+    if args.stats_dir is not None:
+        from .obs import CsvStatsRecorder
+
+        stats = CsvStatsRecorder(args.stats_dir)
     engine = MatrixEngine(
         workers=None if args.workers == 0 else args.workers,
         cache=cache,
         faults=faults,
         backend=args.backend,
+        stats=stats,
     )
     exhibits = _exhibits(args.scale, engine)
     if args.exhibit == "list":
@@ -255,7 +300,11 @@ def main(argv: list[str] | None = None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
     for name in names:
         t0 = time.time()
-        text = exhibits[name]()
+        if tracer is not None:
+            with tracer.wall_span("cli", name):
+                text = exhibits[name]()
+        else:
+            text = exhibits[name]()
         elapsed = time.time() - t0
         print(text)
         print(f"[{name}: {elapsed:.1f}s]\n")
@@ -273,13 +322,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"columnar, {engine.batch_stats['fallback_cells']} scalar "
                 f"fallbacks, {engine.batch_stats['batch_seconds']:.1f}s]"
             )
-        stats = engine.cache_stats()
-        if stats is not None and (stats["hits"] or stats["misses"]):
+        cstats = engine.cache_stats()
+        if cstats is not None and (cstats["hits"] or cstats["misses"]):
             print(
-                f"[result cache: {stats['hits']} hits "
-                f"({stats['memory_hits']} mem / {stats['disk_hits']} disk), "
-                f"{stats['misses']} misses, {stats['puts']} puts, "
-                f"hit ratio {stats['hit_ratio']:.0%}]"
+                f"[result cache: {cstats['hits']} hits "
+                f"({cstats['memory_hits']} mem / {cstats['disk_hits']} disk), "
+                f"{cstats['misses']} misses, {cstats['puts']} puts, "
+                f"hit ratio {cstats['hit_ratio']:.0%}]"
             )
     if faults is not None:
         fs = engine.fault_stats
@@ -290,6 +339,22 @@ def main(argv: list[str] | None = None) -> int:
             f"{fs['worker_crashes']} worker crashes, "
             f"{fs['cell_timeouts']} cell timeouts, "
             f"{fs['cell_retries']} cells retried — all recovered]"
+        )
+    if tracer is not None:
+        from . import obs
+
+        n_spans = obs.write_jsonl(tracer, args.trace)
+        obs.uninstall()
+        print(
+            f"[trace: {n_spans} spans -> {args.trace}; "
+            f"view with 'python -m repro obs report {args.trace}']"
+        )
+    if stats is not None:
+        s = stats.summary()
+        stats.close()
+        print(
+            f"[stats: {s['cells']} cell rows ({s['cells_cached']} cached), "
+            f"{s['jobs']} job rows -> {args.stats_dir}/stats.csv]"
         )
     return 0
 

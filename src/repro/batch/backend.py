@@ -22,8 +22,9 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from ..experiments.runner import ConfigResult, Workload
+from ..experiments.runner import ConfigResult, Workload, emit_replay_spans
 from ..interconnect.host import HostPath
+from ..obs import trace as obs
 from ..nvm.bus import BusSpec
 from ..ssd.controller import SSDevice
 from ..ssd.scheduler import TxnLog
@@ -99,7 +100,9 @@ def run_cells_batch(
     report = BatchReport()
     plans: list[CellPlan] = []
     secs: dict[Cell, float] = {}
+    tr = obs.tracer()
 
+    plan_t0 = time.perf_counter()
     for label, kind_name in cells:
         cell = (label, kind_name)
         t0 = time.perf_counter()
@@ -111,12 +114,22 @@ def run_cells_batch(
         secs[cell] = time.perf_counter() - t0
         plans.append(plan)
         report.planned.append(cell)
+    if tr is not None and cells:
+        tr.wall_event(
+            "ftl", "plan_cells", time.perf_counter() - plan_t0,
+            planned=len(plans), fallback=len(report.fallback),
+        )
     if not plans:
         return results, report
 
     t0 = time.perf_counter()
     report.stacked_rows = stack_plans(plans)
     report.stack_seconds = time.perf_counter() - t0
+    if tr is not None:
+        tr.wall_event(
+            "ftl", "stack_plans", report.stack_seconds,
+            rows=report.stacked_rows,
+        )
 
     peaks: dict[Cell, float] = {}
     lane_items = []
@@ -155,13 +168,22 @@ def run_cells_batch(
             peaks[cell] = peak
         lane_items.append((main_log, device.geom, device.kind))
         replayed.append(plan)
-        secs[cell] += time.perf_counter() - t0
+        cell_seconds = time.perf_counter() - t0
+        secs[cell] += cell_seconds
+        if tr is not None:
+            tr.wall_event("scheduler", f"{plan.label}|{plan.kind_name}",
+                          cell_seconds)
     if not replayed:
         return results, report
 
     t0 = time.perf_counter()
     metrics_list = compute_metrics_batch(lane_items)
     report.metrics_seconds = time.perf_counter() - t0
+    if tr is not None:
+        tr.wall_event(
+            "metrics", "stacked_metrics", report.metrics_seconds,
+            cells=len(replayed),
+        )
     shared = (report.stack_seconds + report.metrics_seconds) / len(replayed)
 
     for plan, m in zip(replayed, metrics_list):
@@ -190,4 +212,6 @@ def run_cells_batch(
         )
         secs[cell] += shared
         report.seconds[cell] = secs[cell]
+        if tr is not None:
+            emit_replay_spans(tr, plan.label, plan.kind_name, m)
     return results, report

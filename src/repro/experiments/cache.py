@@ -44,8 +44,11 @@ __all__ = ["SCHEMA_VERSION", "ResultCache", "cell_key", "peak_key"]
 #: bump when simulated numbers can change; invalidates every entry.
 #: v2: cell entries grew the ``backend`` provenance field (columnar
 #: batch kernel) — the numbers are golden-tested bit-identical, but v1
-#: entries lack the field and must miss rather than half-load
-SCHEMA_VERSION = 2
+#: entries lack the field and must miss rather than half-load.
+#: v3: job specs grew the ``trace_id`` correlation field (repro.obs);
+#: it is excluded from coalescing/cache keys, but the watched JobSpec
+#: schema changed, so the version moves with it
+SCHEMA_VERSION = 3
 
 #: ConfigResult fields persisted in a cell entry (metrics excluded)
 _CELL_FIELDS = (

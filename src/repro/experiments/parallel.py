@@ -52,11 +52,13 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
+from ..obs import trace as obs
 from .cache import ResultCache
 from .runner import DEFAULT_WORKLOAD, ConfigResult, Workload, run_config
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..faults.plan import FaultSpec
+    from ..obs.export import CsvStatsRecorder
 
 __all__ = ["MatrixEngine", "CellTiming", "detect_workers"]
 
@@ -117,12 +119,18 @@ def _compute_cell(
     with_remaining: bool,
     faults: Optional["FaultSpec"] = None,
     attempt: int = 0,
-) -> tuple[str, str, ConfigResult, Optional[float], float]:
+    trace: bool = False,
+) -> tuple[str, str, ConfigResult, Optional[float], float, Optional[list]]:
     """Worker-side cell execution; returns the peak for cache sharing.
 
     When ``faults`` carries worker-chaos rates, the plan may order this
     process to die or stall — deterministically, and only on a cell's
     first attempt — before any work happens, exercising the supervisor.
+
+    ``trace=True`` (the coordinator had a tracer installed) collects
+    this cell's sim-domain spans in a worker-local tracer and ships
+    them back as plain tuples — the only span representation that
+    crosses the pool boundary.
     """
     if faults is not None and faults.injects_worker_faults:
         strike = faults.plan().worker_chaos(label, kind, attempt)
@@ -133,15 +141,23 @@ def _compute_cell(
 
     from .cache import ResultCache as _Cache
 
+    worker_tr = None
+    if trace:
+        worker_tr = obs.install(obs.Tracer(trace_id=f"cell:{label}|{kind}"))
     scratch = _Cache()  # in-memory; captures the peak run_config computes
     t0 = time.perf_counter()
-    result = run_config(
-        label, kind, workload, seed,
-        with_remaining=with_remaining, cache=scratch, faults=faults,
-    )
+    try:
+        result = run_config(
+            label, kind, workload, seed,
+            with_remaining=with_remaining, cache=scratch, faults=faults,
+        )
+    finally:
+        if trace:
+            obs.uninstall()
     seconds = time.perf_counter() - t0
     peak = scratch.get_peak(label, kind, workload, seed, _count=False)
-    return label, kind, result, peak, seconds
+    spans = worker_tr.to_tuples() if worker_tr is not None else None
+    return label, kind, result, peak, seconds, spans
 
 
 def _abandon_pool(pool: ProcessPoolExecutor) -> None:
@@ -186,12 +202,14 @@ class MatrixEngine:
         retry_backoff_s: float = 0.1,
         cell_timeout_s: Optional[float] = None,
         backend: str = "batch",
+        stats: Optional["CsvStatsRecorder"] = None,
     ):
         if backend not in ("batch", "scalar"):
             raise ValueError(f"unknown backend {backend!r}")
         self.workers = detect_workers() if workers is None else max(1, int(workers))
         self.cache = cache
         self.progress = progress
+        self.stats = stats  # optional per-cell CSV recorder (repro.obs)
         self.faults = faults
         self.max_retries = max(0, int(max_retries))
         self.retry_backoff_s = max(0.0, float(retry_backoff_s))
@@ -237,6 +255,7 @@ class MatrixEngine:
         total = len(cells)
         results: dict[Cell, ConfigResult] = {}
         done = 0
+        tr = obs.tracer()
 
         def finish(cell: Cell, result: ConfigResult, seconds: float) -> None:
             nonlocal done
@@ -250,10 +269,17 @@ class MatrixEngine:
                 )
             done += 1
             self.timings.append(CellTiming(*cell, seconds, False))
+            if self.stats is not None:
+                sim_ns = (
+                    result.metrics.makespan_ns
+                    if result.metrics is not None else None
+                )
+                self.stats.on_cell(*cell, seconds, sim_ns=sim_ns, cached=False)
             if self.progress is not None:
                 self.progress(done, total, cell, seconds, False)
 
         todo: list[Cell] = []
+        scan_t0 = time.perf_counter()
         for cell in cells:
             hit = None
             if self.cache is not None:
@@ -264,10 +290,17 @@ class MatrixEngine:
                 results[cell] = hit
                 done += 1
                 self.timings.append(CellTiming(*cell, 0.0, True))
+                if self.stats is not None:
+                    self.stats.on_cell(*cell, 0.0, cached=True)
                 if self.progress is not None:
                     self.progress(done, total, cell, 0.0, True)
             else:
                 todo.append(cell)
+        if tr is not None and total:
+            tr.wall_event(
+                "cache", "scan", time.perf_counter() - scan_t0,
+                cells=total, hits=done,
+            )
 
         # columnar batch kernel: runs in-process, before any pool forms.
         # Fault-injected runs skip it wholesale — fault models mutate
@@ -275,11 +308,17 @@ class MatrixEngine:
         # so chaos cells fall back to the scalar path by construction.
         if todo and self.backend == "batch" and faults is None:
             from ..batch import run_cells_batch
+            from contextlib import nullcontext
 
-            t0 = time.perf_counter()
-            batch_results, batch_report = run_cells_batch(
-                todo, workload, seed, with_remaining, cache=self.cache
+            span = (
+                tr.wall_span("engine", "batch", cells=len(todo))
+                if tr is not None else nullcontext()
             )
+            t0 = time.perf_counter()
+            with span:
+                batch_results, batch_report = run_cells_batch(
+                    todo, workload, seed, with_remaining, cache=self.cache
+                )
             self.batch_stats["batch_cells"] += len(batch_results)
             self.batch_stats["fallback_cells"] += len(batch_report.fallback)
             self.batch_stats["batch_seconds"] += time.perf_counter() - t0
@@ -304,6 +343,8 @@ class MatrixEngine:
                     faults=faults,
                 )
                 seconds = time.perf_counter() - t0
+                if tr is not None:
+                    tr.wall_event("device", "|".join(cell), seconds)
                 if self.cache is not None:
                     self.cache.put_cell(
                         result, workload, seed, with_remaining, faults=faults
@@ -375,6 +416,7 @@ class MatrixEngine:
 
         if n_workers is None:
             n_workers = self.workers
+        tr = obs.tracer()
         attempts: dict[Cell, int] = {cell: 0 for cell in todo}
         round_no = 0
 
@@ -406,6 +448,7 @@ class MatrixEngine:
                     pool.submit(
                         _compute_cell, label, kind, workload, seed,
                         with_remaining, faults, attempts[(label, kind)],
+                        tr is not None,
                     ): (label, kind)
                     for label, kind in todo
                 }
@@ -431,11 +474,19 @@ class MatrixEngine:
                     for fut in finished:
                         cell = futures[fut]
                         try:
-                            label, kind, result, peak, seconds = fut.result()
+                            (label, kind, result, peak, seconds,
+                             spans) = fut.result()
                         except BrokenProcessPool:
                             degraded = True
                             continue  # casualties collected below
                         handled.add(fut)
+                        if tr is not None:
+                            if spans:
+                                tr.ingest(spans)
+                            tr.wall_event(
+                                "pool", f"{label}|{kind}", seconds,
+                                round=round_no,
+                            )
                         if self.cache is not None:
                             self.cache.put_cell(
                                 result, workload, seed, with_remaining,

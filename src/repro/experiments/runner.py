@@ -13,7 +13,8 @@ from functools import lru_cache
 from typing import TYPE_CHECKING, Optional
 
 from ..nvm.kinds import NVMKind, kind_by_name
-from ..ssd.metrics import RunMetrics
+from ..obs import trace as obs
+from ..ssd.metrics import BREAKDOWN_KEYS, RunMetrics
 from ..trace.replay import replay
 from ..trace.synth import ooc_eigensolver_trace
 from .configs import ExpConfig, config_by_label
@@ -98,6 +99,42 @@ class ConfigResult:
     backend: str = "scalar"
 
 
+def emit_replay_spans(tr: "obs.Tracer", label: str, kind: str, m: RunMetrics) -> None:
+    """Emit the sim-domain span tree for one computed cell.
+
+    One root span per replay over ``[0, makespan]`` plus one child per
+    breakdown category, tiling the makespan by its attributed fraction
+    (the last child absorbs rounding), so per-layer attribution covers
+    ~100% of simulated time by construction.  Site ids derive from the
+    cell identity alone (``site_key``), making the sim span tree
+    identical across worker counts and across the scalar/batch
+    backends.  Pure function of the already-computed metrics: no clock
+    reads, no simulator state touched.
+    """
+    makespan = int(m.makespan_ns)
+    if makespan <= 0:
+        return
+    cell = f"{label}|{kind}"
+    root = tr.sim_span(
+        "device", "replay", 0, makespan,
+        site_key=("replay", label, kind), cell=cell,
+    )
+    fracs = [(k, float(m.breakdown.get(k, 0.0))) for k in BREAKDOWN_KEYS]
+    if sum(f for _, f in fracs) <= 0.0:
+        return
+    t = 0
+    for i, (key, frac) in enumerate(fracs):
+        dur = makespan - t if i == len(fracs) - 1 else int(round(frac * makespan))
+        dur = max(0, min(dur, makespan - t))
+        if dur == 0:
+            continue
+        tr.sim_span(
+            key, "attribution", t, t + dur, parent=root,
+            site_key=("attrib", label, kind, key), cell=cell,
+        )
+        t += dur
+
+
 def _unconstrained_media_peak(
     config: ExpConfig,
     kind: NVMKind,
@@ -176,6 +213,9 @@ def run_config(
     traces = workload.traces(clients)
     summary = replay(path, traces, posix_window=workload.posix_window)
     m = summary.metrics
+    tr = obs.tracer()
+    if tr is not None:
+        emit_replay_spans(tr, config.label, kind.name, m)
     remaining = 0.0
     if with_remaining:
         peak = None

@@ -1,0 +1,72 @@
+"""repro.obs — unified cross-layer observability.
+
+One substrate for every layer's telemetry, replacing the previous
+scatter (service-local counters, ad-hoc ``summary()`` dicts, three
+divergent percentile implementations, no tracing at all):
+
+* **spans** (:mod:`repro.obs.trace`) — a lightweight tracer with two
+  clock domains: simulated nanoseconds inside the determinism-gated
+  layers (no wall clock is ever read there; spans are emitted post hoc
+  with explicit DES timestamps) and wall seconds in the experiment /
+  service layers.  Spans serialize as plain tuples across the
+  ``MatrixEngine`` pool boundary and propagate through service jobs
+  via ``JobSpec.trace_id``.
+* **registry** (:mod:`repro.obs.registry`) — counters, gauges and
+  histograms keyed like Prometheus series; absorbs the service
+  counters, ``ResultCache.stats()``, ``MatrixEngine.summary()`` and
+  batch-backend provenance into one export surface.
+* **exporters** (:mod:`repro.obs.export`) — JSON-lines traces
+  (``--trace``), the Prometheus text endpoint served on the service's
+  status port, and a per-cell/per-job CSV stats recorder.
+* **report** (:mod:`repro.obs.report`) — ``python -m repro obs
+  report`` renders a trace into per-layer time-breakdown tables for
+  both clock domains.
+
+Everything is **zero-cost when disabled**: no tracer is installed by
+default, instrumentation sites guard on :func:`tracer` (a global load
+plus an ``is None`` test) and sit at per-replay / per-cell / per-job
+granularity — never inside per-transaction loops — so golden
+bit-identity and the perf ratchet are unaffected.
+"""
+
+from .export import CsvStatsRecorder, prometheus_text, read_jsonl, write_jsonl
+from .hist import DEFAULT_WINDOW, LatencyRecorder, percentile
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .report import render_report, sim_breakdown, wall_breakdown
+from .trace import (
+    SIM,
+    WALL,
+    Span,
+    Tracer,
+    enabled,
+    install,
+    tracer,
+    tracing,
+    uninstall,
+)
+
+__all__ = [
+    "SIM",
+    "WALL",
+    "Span",
+    "Tracer",
+    "install",
+    "uninstall",
+    "tracer",
+    "enabled",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LatencyRecorder",
+    "percentile",
+    "DEFAULT_WINDOW",
+    "CsvStatsRecorder",
+    "prometheus_text",
+    "read_jsonl",
+    "write_jsonl",
+    "render_report",
+    "sim_breakdown",
+    "wall_breakdown",
+]

@@ -1,0 +1,262 @@
+"""Exporters: JSON-lines traces, Prometheus text, per-op CSV stats.
+
+Three ways the same observability data leaves the process:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — the trace format behind
+  ``--trace`` and ``python -m repro obs report``: one header object
+  (trace id, clock-domain legend) then one object per span.  Sim spans
+  are written in canonical order so two runs of the same seed produce
+  byte-identical sim sections regardless of worker count.
+* :func:`prometheus_text` — the text exposition the service's status
+  port serves under ``{"op": "metrics"}``: counters and gauges as
+  plain samples, histograms as summary quantiles.
+* :class:`CsvStatsRecorder` — a line-buffered per-event CSV writer
+  (the per-packet stats-recorder idiom from net-rl's simulator): one
+  row per completed cell or job, cheap enough to leave on for whole
+  sweeps, trivially loadable into pandas/gnuplot.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+from typing import IO, Iterable, Optional, Union
+
+from .registry import Histogram, MetricsRegistry
+from .trace import SIM, Span, Tracer
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "prometheus_text",
+    "CsvStatsRecorder",
+]
+
+#: format marker written into every trace header
+TRACE_FORMAT = "repro-obs-trace/1"
+
+
+# -- JSON-lines traces ---------------------------------------------------
+def write_jsonl(tracer: Tracer, path: Union[str, os.PathLike]) -> int:
+    """Write the tracer's spans as a JSON-lines trace; returns span count.
+
+    Sim spans are emitted first in their canonical deterministic order,
+    then wall spans in start order — so diffing two traces of the same
+    seed isolates wall-time noise to the tail of the file.
+    """
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    spans = tracer.sim_spans() + sorted(
+        tracer.wall_spans(), key=lambda s: (s.start, s.end, s.site)
+    )
+    with open(path, "w") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "format": TRACE_FORMAT,
+                    "trace_id": tracer.trace_id,
+                    "spans": len(spans),
+                    "domains": {SIM: "ns (simulated)", "wall": "s (since epoch)"},
+                }
+            )
+            + "\n"
+        )
+        for span in spans:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    return len(spans)
+
+
+def read_jsonl(path: Union[str, os.PathLike]) -> tuple[dict, list[Span]]:
+    """Load a trace file; returns ``(header, spans)``.
+
+    Tolerates a missing header (treats the first object as a span) and
+    skips malformed lines rather than dying mid-report.
+    """
+    header: dict = {}
+    spans: list[Span] = []
+    for i, line in enumerate(Path(path).read_text().splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(obj, dict):
+            continue
+        if i == 0 and obj.get("format") == TRACE_FORMAT:
+            header = obj
+            continue
+        try:
+            spans.append(
+                Span(
+                    domain=obj["domain"],
+                    layer=obj["layer"],
+                    name=obj["name"],
+                    site=obj.get("site", ""),
+                    parent=obj.get("parent", ""),
+                    start=obj["start"],
+                    end=obj["end"],
+                    attrs=tuple(sorted((obj.get("attrs") or {}).items())),
+                )
+            )
+        except KeyError:
+            continue
+    return header, spans
+
+
+# -- Prometheus text exposition ------------------------------------------
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(pairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus text-format exposition of every registered instrument.
+
+    Histograms render as summaries (windowed quantiles plus cumulative
+    ``_count``/``_sum``), matching what the shared
+    :class:`~repro.obs.hist.LatencyRecorder` can answer exactly.
+    """
+    lines: list[str] = []
+    seen_header: set[str] = set()
+    for inst in registry.instruments():
+        if inst.name not in seen_header:
+            seen_header.add(inst.name)
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {inst.help}")
+            kind = "summary" if isinstance(inst, Histogram) else inst.kind
+            lines.append(f"# TYPE {inst.name} {kind}")
+        if isinstance(inst, Histogram):
+            rec = inst.recorder
+            for q, label in rec.QUANTILES:
+                pairs = inst.labels + (("quantile", label),)
+                lines.append(
+                    f"{inst.name}{_render_labels(pairs)} {rec.percentile(q)}"
+                )
+            lines.append(
+                f"{inst.name}_count{_render_labels(inst.labels)} {rec.count}"
+            )
+            lines.append(
+                f"{inst.name}_sum{_render_labels(inst.labels)} {rec.total}"
+            )
+        else:
+            lines.append(
+                f"{inst.name}{_render_labels(inst.labels)} {inst.value}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# -- CSV stats recorder --------------------------------------------------
+class CsvStatsRecorder:
+    """Per-event CSV log plus running totals (net-rl recorder idiom).
+
+    One recorder owns one ``stats.csv`` under ``log_dir`` (line-
+    buffered, so a crashed run still leaves usable rows).  ``log_dir=
+    None`` keeps only the in-memory totals — callers never need to
+    guard their ``on_*`` calls.
+    """
+
+    FIELDS = (
+        "t_wall_s",  # wall seconds since recorder construction epoch
+        "event",  # "cell" | "job"
+        "label",  # config label or job type
+        "kind",  # NVM kind or job detail
+        "seconds",  # wall duration of the unit
+        "sim_ns",  # simulated makespan (cells; blank for jobs)
+        "cached",  # served from cache without computing
+        "status",  # ok | failed code
+    )
+
+    def __init__(self, log_dir: Optional[Union[str, os.PathLike]]):
+        self.log_dir = str(log_dir) if log_dir is not None else None
+        self._fh: Optional[IO[str]] = None
+        self._writer = None
+        self._epoch: Optional[float] = None
+        if self.log_dir:
+            os.makedirs(self.log_dir, exist_ok=True)
+            self._fh = open(os.path.join(self.log_dir, "stats.csv"), "w", 1)
+            self._writer = csv.writer(self._fh, lineterminator="\n")
+            self._writer.writerow(self.FIELDS)
+        # running totals, maintained with or without a log file
+        self.cells = 0
+        self.cells_cached = 0
+        self.cell_seconds = 0.0
+        self.jobs = 0
+        self.jobs_failed = 0
+        self.job_seconds = 0.0
+
+    def _now(self) -> float:
+        import time
+
+        if self._epoch is None:
+            self._epoch = time.perf_counter()
+            return 0.0
+        return time.perf_counter() - self._epoch
+
+    def _write(self, row: Iterable) -> None:
+        if self._writer is not None:
+            self._writer.writerow(list(row))
+
+    def on_cell(
+        self,
+        label: str,
+        kind: str,
+        seconds: float,
+        sim_ns: Optional[int] = None,
+        cached: bool = False,
+    ) -> None:
+        self.cells += 1
+        self.cells_cached += 1 if cached else 0
+        self.cell_seconds += seconds
+        self._write(
+            [
+                f"{self._now():.6f}", "cell", label, kind, f"{seconds:.6f}",
+                "" if sim_ns is None else int(sim_ns), int(cached), "ok",
+            ]
+        )
+
+    def on_job(
+        self,
+        job_type: str,
+        detail: str,
+        seconds: float,
+        status: str = "ok",
+    ) -> None:
+        self.jobs += 1
+        self.jobs_failed += 1 if status != "ok" else 0
+        self.job_seconds += seconds
+        self._write(
+            [
+                f"{self._now():.6f}", "job", job_type, detail,
+                f"{seconds:.6f}", "", 0, status,
+            ]
+        )
+
+    def summary(self) -> dict:
+        return {
+            "cells": self.cells,
+            "cells_cached": self.cells_cached,
+            "cell_seconds": self.cell_seconds,
+            "jobs": self.jobs,
+            "jobs_failed": self.jobs_failed,
+            "job_seconds": self.job_seconds,
+        }
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            self._writer = None
+
+    def __del__(self):  # snippet-3 idiom: never leak the handle
+        self.close()

@@ -1,0 +1,120 @@
+"""The single percentile / latency-distribution implementation.
+
+Before ``repro.obs`` existed the repo carried three divergent
+percentile paths: ``repro.sim.stats.percentile`` (nearest-rank,
+``q`` in [0, 100], sorts per call), ``repro.service.metrics
+.LatencyRecorder`` (round-rank, ``q`` in [0, 1], re-sorted its whole
+window on *every* percentile query — three sorts per snapshot) and the
+ad-hoc means scattered through engine summaries.  They now all resolve
+here:
+
+* :func:`percentile` — the one nearest-rank definition
+  (``ceil(q/100 * n) - 1``, the convention the sim tests pin down);
+* :class:`LatencyRecorder` — a bounded sliding window that keeps its
+  samples **incrementally sorted** (``bisect.insort`` on record,
+  ``bisect_left`` delete on eviction), so a percentile query is O(1)
+  indexing and a snapshot no longer pays the old O(n log n) re-sort
+  per call.  Recording costs O(log n) search + O(n) memmove over a
+  window of ~1k floats — nanoseconds against a job that takes seconds.
+
+Unit-agnostic: ``unit`` only names the snapshot keys (``p50_s`` for
+seconds, ``p50_ns`` for simulated nanoseconds), so the service's
+wall-clock latencies and a sim-time distribution share one code path.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+from collections import deque
+
+__all__ = ["percentile", "LatencyRecorder", "DEFAULT_WINDOW"]
+
+#: samples kept for percentile estimation (the old LATENCY_WINDOW)
+DEFAULT_WINDOW = 1024
+
+
+def _rank(n: int, q: float) -> int:
+    """Nearest-rank index into a sorted sequence of length ``n``.
+
+    ``q`` in [0, 100].  ``ceil(q/100 * n) - 1`` clamped to [0, n-1]:
+    p0 is the minimum, p100 the maximum, and every result is a member
+    of the sample set (no interpolation).
+    """
+    return max(0, min(n - 1, int(math.ceil(q / 100.0 * n)) - 1))
+
+
+def percentile(samples, q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100])."""
+    xs = sorted(samples)
+    if not xs:
+        raise ValueError("empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError("q outside [0, 100]")
+    return float(xs[_rank(len(xs), q)])
+
+
+class LatencyRecorder:
+    """Sliding window of scalar samples with O(1) percentile queries.
+
+    ``count``/``total`` are monotonic since construction; percentiles
+    and ``max`` reflect only the most recent ``window`` samples so they
+    track current behaviour without unbounded memory.  The window is
+    held twice: a deque in arrival order (for eviction) and a list in
+    value order (for rank queries), kept in lockstep.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW, unit: str = "s"):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.unit = unit
+        self._arrivals: deque[float] = deque()
+        self._sorted: list[float] = []
+        self.count = 0
+        self.total = 0.0
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if len(self._arrivals) >= self.window:
+            oldest = self._arrivals.popleft()
+            del self._sorted[bisect_left(self._sorted, oldest)]
+        self._arrivals.append(value)
+        insort(self._sorted, value)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the window (0 when empty).
+
+        ``q`` in [0, 1] — the recorder predates the unified [0, 100]
+        convention and the service status schema depends on it.
+        """
+        if not self._sorted:
+            return 0.0
+        return self._sorted[_rank(len(self._sorted), q * 100.0)]
+
+    @property
+    def maximum(self) -> float:
+        return self._sorted[-1] if self._sorted else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        u = self.unit
+        return {
+            "count": self.count,
+            f"mean_{u}": self.mean,
+            f"p50_{u}": self.percentile(0.50),
+            f"p90_{u}": self.percentile(0.90),
+            f"p99_{u}": self.percentile(0.99),
+            f"max_{u}": self.maximum,
+        }
+
+    #: (quantile, label) pairs the Prometheus summary export renders
+    QUANTILES = ((0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"))

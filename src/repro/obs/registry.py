@@ -1,0 +1,208 @@
+"""Central metrics registry: counters, gauges, histograms, one export.
+
+Before ``repro.obs``, metric state was scattered: the service kept its
+own counter object, the engine and cache each rolled ad-hoc
+``summary()`` / ``stats()`` dicts, and nothing shared an export
+surface.  :class:`MetricsRegistry` is the unification point — every
+layer either registers real instruments here or has its snapshot dict
+*absorbed* (:meth:`MetricsRegistry.absorb`) into flat gauges — and the
+Prometheus text endpoint and the status JSON both render from it.
+
+Instruments are keyed by ``(name, sorted labels)`` like Prometheus
+series; re-registering returns the existing instrument, so call sites
+don't need to thread instrument handles around.  All mutation is
+lock-guarded: service executor threads and the event loop share one
+registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional, Union
+
+from .hist import DEFAULT_WINDOW, LatencyRecorder
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelValue = Union[str, int, float, bool]
+
+
+class Counter:
+    """Monotonic count; ``inc`` only ever adds a non-negative amount."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: tuple = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+    def set_to(self, value: float) -> None:
+        """Adopt an externally-maintained monotonic total (absorb path)."""
+        if value > self.value:
+            self.value = value
+
+
+class Gauge:
+    """Point-in-time value; freely settable."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: tuple = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Sample distribution: cumulative count/sum + windowed percentiles.
+
+    Backed by the shared :class:`~repro.obs.hist.LatencyRecorder` — the
+    single percentile implementation the service, engine and report all
+    use.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: tuple = (),
+        window: int = DEFAULT_WINDOW,
+        unit: str = "s",
+    ):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.recorder = LatencyRecorder(window=window, unit=unit)
+
+    def observe(self, value: float) -> None:
+        self.recorder.record(value)
+
+    @property
+    def value(self) -> float:  # uniform read surface with Counter/Gauge
+        return self.recorder.total
+
+    def snapshot(self) -> dict:
+        return self.recorder.snapshot()
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+def _label_key(labels: Optional[Mapping[str, LabelValue]]) -> tuple:
+    return tuple(sorted((k, str(v)) for k, v in (labels or {}).items()))
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store with a canonical snapshot."""
+
+    def __init__(self, namespace: str = "repro"):
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, Instrument] = {}
+
+    # -- registration ---------------------------------------------------
+    def _get_or_create(self, cls, name, help, labels, **kwargs) -> Instrument:
+        key = (name, _label_key(labels))
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = cls(name, help=help, labels=key[1], **kwargs)
+                self._instruments[key] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {inst.kind}, "
+                    f"not {cls.kind}"
+                )
+            return inst
+
+    def counter(self, name: str, help: str = "", labels=None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels=None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels=None,
+        window: int = DEFAULT_WINDOW,
+        unit: str = "s",
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels, window=window, unit=unit
+        )
+
+    # -- absorbing legacy snapshot dicts --------------------------------
+    def absorb(
+        self,
+        prefix: str,
+        snapshot: Mapping,
+        labels=None,
+        monotonic: frozenset = frozenset(),
+        help_text: str = "",
+    ) -> None:
+        """Flatten a ``summary()``/``stats()``-style dict into metrics.
+
+        Nested dicts recurse with underscore-joined names; numeric
+        leaves become gauges (or counters when their flattened name is
+        listed in ``monotonic``); booleans become 0/1 gauges;
+        non-numeric leaves are skipped.  This is how the engine's
+        ``fault_stats``, the cache's ``stats()`` and batch provenance
+        reach the Prometheus endpoint without rewriting their owners.
+        """
+        for key, value in snapshot.items():
+            name = f"{prefix}_{key}"
+            if isinstance(value, Mapping):
+                self.absorb(name, value, labels=labels, monotonic=monotonic,
+                            help_text=help_text)
+            elif isinstance(value, bool):
+                self.gauge(name, help_text, labels).set(1.0 if value else 0.0)
+            elif isinstance(value, (int, float)):
+                if key in monotonic or name in monotonic:
+                    self.counter(name, help_text, labels).set_to(float(value))
+                else:
+                    self.gauge(name, help_text, labels).set(float(value))
+            # strings/None/lists: identity, not telemetry — skipped
+
+    # -- views ----------------------------------------------------------
+    def instruments(self) -> list[Instrument]:
+        """All instruments, sorted by (name, labels) for stable export."""
+        with self._lock:
+            return [self._instruments[k] for k in sorted(self._instruments)]
+
+    def get(self, name: str, labels=None) -> Optional[Instrument]:
+        return self._instruments.get((name, _label_key(labels)))
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump: ``name{labels}`` -> value or histogram dict."""
+        out: dict[str, object] = {}
+        for inst in self.instruments():
+            label_str = ",".join(f"{k}={v}" for k, v in inst.labels)
+            key = f"{inst.name}{{{label_str}}}" if label_str else inst.name
+            out[key] = (
+                inst.snapshot() if isinstance(inst, Histogram) else inst.value
+            )
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)

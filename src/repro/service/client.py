@@ -249,6 +249,23 @@ class ServiceClient:
                                code=message.get("error", "internal"))
         return message["status"]
 
+    async def metrics(self, timeout_s: Optional[float] = None) -> str:
+        """Prometheus text exposition from the ``metrics`` endpoint."""
+        deadline = self._deadline(timeout_s)
+        req, queue = await self._send({"op": "metrics"})
+        try:
+            message = await self._next_message(queue, deadline)
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                "no metrics within the request budget", code="timeout"
+            ) from None
+        finally:
+            self._pending.pop(req, None)
+        if not message.get("ok"):
+            raise ServiceError(message.get("detail", "metrics failed"),
+                               code=message.get("error", "internal"))
+        return message["metrics"]
+
     async def ping(self, timeout_s: Optional[float] = None) -> bool:
         deadline = self._deadline(timeout_s)
         req, queue = await self._send({"op": "ping"})

@@ -36,6 +36,7 @@ from ..experiments.figures import figure7, figure8, figure9, figure10
 from ..experiments.headline import compute_headline
 from ..experiments.parallel import MatrixEngine
 from ..faults.errors import is_transient
+from ..obs.export import CsvStatsRecorder
 from .jobs import CellJob, FigureJob, HeadlineJob, JobSpec, MatrixJob, ServiceError
 from .metrics import ServiceMetrics
 
@@ -110,6 +111,7 @@ class EngineExecutor:
         max_retries: int = 1,
         retry_backoff_s: float = 0.05,
         metrics: Optional[ServiceMetrics] = None,
+        stats: Optional[CsvStatsRecorder] = None,
     ):
         self.cache = cache
         self.workers_per_job = max(1, int(workers_per_job))
@@ -117,9 +119,44 @@ class EngineExecutor:
         self.max_retries = max(0, int(max_retries))
         self.retry_backoff_s = max(0.0, float(retry_backoff_s))
         self.metrics = metrics
+        self.stats = stats
         self._threads = ThreadPoolExecutor(
             max_workers=self.max_concurrency, thread_name_prefix="repro-exec"
         )
+        #: cross-job engine roll-up served by the ``status`` endpoint:
+        #: fault/supervision counters and batch provenance sum over every
+        #: engine pass; ``pool`` keeps the most recent sizing decision
+        self._engine_totals: dict = {
+            "passes": 0,
+            "cells": 0,
+            "cached_cells": 0,
+            "cell_seconds": 0.0,
+            "faults": {},
+            "batch": {},
+            "pool": None,
+        }
+
+    def _absorb_engine(self, engine: MatrixEngine) -> None:
+        """Fold one finished engine pass into the cross-job roll-up."""
+        summary = engine.summary()
+        tot = self._engine_totals
+        tot["passes"] += 1
+        tot["cells"] += summary["cells"]
+        tot["cached_cells"] += summary["cached_cells"]
+        tot["cell_seconds"] += summary["cell_seconds"]
+        for section in ("faults", "batch"):
+            for key, value in (summary.get(section) or {}).items():
+                tot[section][key] = tot[section].get(key, 0) + value
+        if summary.get("pool") is not None:
+            tot["pool"] = summary["pool"]
+
+    def engine_summary(self) -> dict:
+        """Accumulated engine telemetry across all executed jobs."""
+        return {
+            **self._engine_totals,
+            "faults": dict(self._engine_totals["faults"]),
+            "batch": dict(self._engine_totals["batch"]),
+        }
 
     def _execute(self, spec: JobSpec, engine: MatrixEngine) -> dict:
         """One blocking engine pass; the seam resilience tests override
@@ -155,7 +192,8 @@ class EngineExecutor:
                 )
 
         engine = MatrixEngine(
-            workers=self.workers_per_job, cache=self.cache, progress=hook
+            workers=self.workers_per_job, cache=self.cache, progress=hook,
+            stats=self.stats,
         )
         attempt = 0
         while True:
@@ -164,8 +202,11 @@ class EngineExecutor:
                     self._threads, partial(self._execute, spec, engine)
                 )
                 if timeout_s is not None:
-                    return await asyncio.wait_for(fut, timeout_s)
-                return await fut
+                    result = await asyncio.wait_for(fut, timeout_s)
+                else:
+                    result = await fut
+                self._absorb_engine(engine)
+                return result
             except asyncio.TimeoutError:
                 if self.metrics is not None:
                     self.metrics.timeouts += 1

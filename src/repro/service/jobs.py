@@ -72,6 +72,10 @@ class JobSpec:
     ``timeout_s``: wall-clock budget for the *execution* itself; a pass
     that outlives it fails with the typed ``timeout`` code (overrides
     the service-wide ``job_timeout_s`` default).
+    ``trace_id``: opaque client correlation id stamped onto the obs
+    spans this job produces.  Deliberately **not** part of the
+    coalescing key: two identical jobs with different trace ids still
+    compute once.
     """
 
     workload: Workload = DEFAULT_WORKLOAD
@@ -80,6 +84,7 @@ class JobSpec:
     priority: int = 0
     deadline_s: Optional[float] = None
     timeout_s: Optional[float] = None
+    trace_id: Optional[str] = None
 
     job_type = "abstract"
 
@@ -99,6 +104,10 @@ class JobSpec:
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise JobValidationError(
                 f"timeout_s must be positive, got {self.timeout_s!r}"
+            )
+        if self.trace_id is not None and not isinstance(self.trace_id, str):
+            raise JobValidationError(
+                f"trace_id must be a string, got {self.trace_id!r}"
             )
 
     # -- identity -------------------------------------------------------
@@ -129,6 +138,8 @@ class JobSpec:
             d["deadline_s"] = self.deadline_s
         if self.timeout_s is not None:
             d["timeout_s"] = self.timeout_s
+        if self.trace_id is not None:
+            d["trace_id"] = self.trace_id
         return d
 
     def describe(self) -> str:
@@ -277,7 +288,8 @@ def job_from_dict(data: Mapping[str, Any]) -> JobSpec:
                     f"unknown workload field(s) {sorted(bad)}; have {sorted(known)}"
                 )
             kwargs["workload"] = Workload(**w)
-        for name in ("seed", "with_remaining", "priority", "deadline_s", "timeout_s"):
+        for name in ("seed", "with_remaining", "priority", "deadline_s",
+                     "timeout_s", "trace_id"):
             if name in data:
                 kwargs[name] = data[name]
         if cls is CellJob:

@@ -4,49 +4,22 @@ Everything the ``status`` endpoint reports lives here.  Counters are
 monotonic since service start; latencies go into a bounded reservoir
 (most recent :data:`LATENCY_WINDOW` completions) so percentiles track
 current behaviour without unbounded memory.
+
+The reservoir itself is :class:`repro.obs.hist.LatencyRecorder` — the
+shared windowed-percentile implementation (incrementally sorted, so a
+``snapshot()`` no longer re-sorts the window three times).  It is
+re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-from collections import Counter, deque
+from collections import Counter
 from typing import Optional
 
+from ..obs.hist import DEFAULT_WINDOW as LATENCY_WINDOW
+from ..obs.hist import LatencyRecorder
+
 __all__ = ["LatencyRecorder", "ServiceMetrics", "LATENCY_WINDOW"]
-
-#: completions kept for percentile estimation
-LATENCY_WINDOW = 1024
-
-
-class LatencyRecorder:
-    """Sliding window of per-job wall-clock latencies (seconds)."""
-
-    def __init__(self, window: int = LATENCY_WINDOW):
-        self._window: deque[float] = deque(maxlen=window)
-        self.count = 0
-        self.total = 0.0
-
-    def record(self, seconds: float) -> None:
-        self._window.append(float(seconds))
-        self.count += 1
-        self.total += seconds
-
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile over the window (0 when empty)."""
-        if not self._window:
-            return 0.0
-        ordered = sorted(self._window)
-        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-        return ordered[rank]
-
-    def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "mean_s": self.total / self.count if self.count else 0.0,
-            "p50_s": self.percentile(0.50),
-            "p90_s": self.percentile(0.90),
-            "p99_s": self.percentile(0.99),
-            "max_s": max(self._window) if self._window else 0.0,
-        }
 
 
 class ServiceMetrics:

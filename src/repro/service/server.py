@@ -31,6 +31,9 @@ import time
 from typing import AsyncIterator, Mapping, Optional, Union
 
 from ..experiments.cache import ResultCache
+from ..obs import trace as obs
+from ..obs.export import CsvStatsRecorder, prometheus_text
+from ..obs.registry import MetricsRegistry
 from .coalescer import Coalescer, InflightEntry
 from .executor import EngineExecutor
 from .jobs import JobSpec, ServiceError, job_from_dict
@@ -122,18 +125,22 @@ class SimulationService:
         job_timeout_s: Optional[float] = None,
         executor_retries: int = 1,
         shed_low_priority: bool = True,
+        stats: Optional[CsvStatsRecorder] = None,
     ):
         self.cache = cache if cache is not None else ResultCache()
         self.queue = AdmissionQueue(queue_limit)
         self.coalescer = Coalescer()
         self.metrics = ServiceMetrics()
+        self.stats = stats
         self.executor = EngineExecutor(
             self.cache,
             workers_per_job,
             max_concurrency,
             max_retries=executor_retries,
             metrics=self.metrics,
+            stats=stats,
         )
+        self._registry = MetricsRegistry()
         #: default per-job execution budget; a job's own ``timeout_s``
         #: overrides it
         self.job_timeout_s = job_timeout_s
@@ -261,6 +268,8 @@ class SimulationService:
             entry.started = True
             self._running.add(entry)
             self.metrics.executed += 1
+            started_at = time.monotonic()
+            self._trace_job(entry, "queue", started_at - entry.enqueued_at)
             try:
                 timeout_s = (
                     entry.spec.timeout_s
@@ -277,6 +286,12 @@ class SimulationService:
                 self.coalescer.resolve(entry, payload)
                 self.metrics.completed += 1
                 self.metrics.latency.record(time.monotonic() - entry.enqueued_at)
+                exec_s = time.monotonic() - started_at
+                self._trace_job(entry, "service", exec_s)
+                if self.stats is not None:
+                    self.stats.on_job(
+                        entry.spec.job_type, entry.spec.describe(), exec_s
+                    )
             except asyncio.CancelledError:
                 self.coalescer.fail(
                     entry, ExecutionFailed("service shut down mid-job")
@@ -287,11 +302,21 @@ class SimulationService:
             except ServiceError as exc:
                 self.metrics.failed += 1
                 self.coalescer.fail(entry, exc)
+                if self.stats is not None:
+                    self.stats.on_job(
+                        entry.spec.job_type, entry.spec.describe(),
+                        time.monotonic() - started_at, status=exc.code,
+                    )
             except Exception as exc:  # engine bug -> structured failure
                 self.metrics.failed += 1
                 self.coalescer.fail(
                     entry, ExecutionFailed(f"{type(exc).__name__}: {exc}")
                 )
+                if self.stats is not None:
+                    self.stats.on_job(
+                        entry.spec.job_type, entry.spec.describe(),
+                        time.monotonic() - started_at, status="execution_failed",
+                    )
             finally:
                 self._finish_events(entry)
                 self._running.discard(entry)
@@ -299,6 +324,20 @@ class SimulationService:
     @staticmethod
     def _finish_events(entry: InflightEntry) -> None:
         entry.publish(_EVENT_END)
+
+    @staticmethod
+    def _trace_job(entry: InflightEntry, layer: str, seconds: float) -> None:
+        """Wall span for one job phase, stamped with the client trace id.
+
+        Concurrent dispatcher tasks interleave, so these are recorded as
+        pre-measured events (no span stack) — each is a root span.
+        """
+        tr = obs.tracer()
+        if tr is not None:
+            attrs = {}
+            if entry.spec.trace_id is not None:
+                attrs["trace_id"] = entry.spec.trace_id
+            tr.wall_event(layer, entry.spec.describe(), seconds, **attrs)
 
     # -- observability --------------------------------------------------
     def status(self) -> dict:
@@ -313,7 +352,36 @@ class SimulationService:
                 in_flight=len(self._running),
                 cache_stats=self.cache.stats(),
             ),
+            #: engine telemetry accumulated across jobs — fault/chaos
+            #: counters, batch-vs-fallback provenance, pool sizing
+            "engine": self.executor.engine_summary(),
         }
+
+    #: flattened status keys that are monotonic counts, not gauges —
+    #: drives counter-vs-gauge choice when the registry absorbs a snapshot
+    _MONOTONIC = frozenset({
+        "submitted", "admitted", "coalesced", "rejected_total", "executed",
+        "completed", "failed", "cancelled", "expired", "retries", "timeouts",
+        "jobs_shed", "hits", "memory_hits", "disk_hits", "misses", "puts",
+        "corrupt_entries", "passes", "cells", "cached_cells",
+        "faults_injected", "device_retries", "worker_crashes",
+        "cell_timeouts", "cell_retries", "batch_cells", "fallback_cells",
+    })
+
+    def registry(self) -> MetricsRegistry:
+        """The unified :class:`MetricsRegistry` view of :meth:`status`.
+
+        Re-absorbs the current status snapshot on every call, so the
+        Prometheus endpoint always reflects live counters; the rejected-
+        by-code breakdown and nested cache/engine sections flatten into
+        ``repro_service_*`` series.
+        """
+        snapshot = self.status()
+        self._registry.absorb(
+            "repro_service", snapshot, monotonic=self._MONOTONIC,
+            help_text="repro service status",
+        )
+        return self._registry
 
 
 class ServiceServer:
@@ -322,10 +390,11 @@ class ServiceServer:
     One request per line; responses carry the request's ``req`` tag so
     a single connection can run many jobs concurrently::
 
-        {"op": "submit", "req": 1, "job": {...}, "stream": true}
-        {"op": "status", "req": 2}
-        {"op": "cancel", "req": 3, "id": 7}
-        {"op": "ping",   "req": 4}
+        {"op": "submit",  "req": 1, "job": {...}, "stream": true}
+        {"op": "status",  "req": 2}
+        {"op": "cancel",  "req": 3, "id": 7}
+        {"op": "ping",    "req": 4}
+        {"op": "metrics", "req": 5}   # Prometheus text exposition
     """
 
     def __init__(self, service: SimulationService,
@@ -404,6 +473,10 @@ class ServiceServer:
             elif op == "status":
                 await send({"req": req, "ok": True,
                             "status": self.service.status()})
+            elif op == "metrics":
+                # Prometheus text exposition on the status port
+                await send({"req": req, "ok": True,
+                            "metrics": prometheus_text(self.service.registry())})
             elif op == "cancel":
                 handle = handles.get(request.get("id"))
                 await send({"req": req, "ok": True,

@@ -3,12 +3,16 @@
 ``TimeWeighted`` tracks a piecewise-constant signal (queue depth, busy
 flag) and integrates it over time; ``Tally`` accumulates scalar samples;
 ``RateMeter`` converts byte counts over a window into bandwidth.
+``percentile`` is re-exported from :mod:`repro.obs.hist` — the single
+nearest-rank implementation every layer now shares.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Optional
+
+from ..obs.hist import percentile
 
 __all__ = ["Tally", "TimeWeighted", "RateMeter", "percentile"]
 
@@ -118,14 +122,3 @@ class RateMeter:
     @property
     def gb_per_sec(self) -> float:
         return self.bytes_per_sec / 1e9
-
-
-def percentile(samples, q: float) -> float:
-    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100])."""
-    xs = sorted(samples)
-    if not xs:
-        raise ValueError("empty sample set")
-    if not 0 <= q <= 100:
-        raise ValueError("q outside [0, 100]")
-    k = max(0, min(len(xs) - 1, int(math.ceil(q / 100.0 * len(xs))) - 1))
-    return float(xs[k])

@@ -1,0 +1,9 @@
+"""Sim-domain twin of obs_violations.py: must lint clean.
+
+Simulation layers may trace, but only through ``sim_span`` with explicit
+DES timestamps — no clock is read, so replay stays deterministic.
+"""
+
+
+def instrumented_replay(tracer, start_ns, end_ns):
+    tracer.sim_span("ssd", "replay", start_ns, end_ns)

@@ -88,6 +88,25 @@ def test_pool_clean_file_is_clean():
     assert rules_in(FIXTURES / "pool_clean.py") == []
 
 
+# -- OBS ----------------------------------------------------------------
+def test_obs_violations_all_fire():
+    rules = rules_in(FIXTURES / "sim" / "obs_violations.py", "OBS")
+    assert rules.count("OBS001") == 3  # import + wall_span + wall_event
+
+
+def test_obs_clean_file_is_clean():
+    assert rules_in(FIXTURES / "sim" / "obs_clean.py") == []
+
+
+def test_obs_only_gated_dirs(tmp_path):
+    """Wall spans are the whole point outside sim/ssd/...: not OBS's business."""
+    src = (FIXTURES / "sim" / "obs_violations.py").read_text()
+    ungated = tmp_path / "experiments" / "runner.py"
+    ungated.parent.mkdir(parents=True)
+    ungated.write_text(src)
+    assert rules_in(ungated, "OBS") == []
+
+
 # -- select filter ------------------------------------------------------
 @pytest.mark.parametrize(
     "select,expected",

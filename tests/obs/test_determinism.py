@@ -1,0 +1,90 @@
+"""The observability acceptance properties on the real engine.
+
+* the sim-domain span tree is a pure function of (cells, workload,
+  seed): identical across worker counts AND across the scalar/batch
+  backends,
+* enabling tracing changes no simulated number (zero observer effect),
+* the engine feeds the CSV stats recorder one row per cell.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import MatrixEngine, Workload
+from repro.faults import FaultSpec
+from repro.obs import CsvStatsRecorder
+from repro.obs import trace as obs
+from repro.obs.report import sim_breakdown
+from repro.obs.trace import Tracer
+
+KiB = 1024
+TINY = Workload(panels=2, panel_bytes=256 * KiB)
+CELLS = [("CNL-EXT4", "TLC"), ("CNL-UFS", "SLC"), ("ION-GPFS", "PCM")]
+
+
+def traced_run(workers: int, backend: str = "batch", faults=None):
+    """Run CELLS under a scoped tracer; returns (results, sim spans)."""
+    with obs.tracing(Tracer(trace_id="det-test")) as tr:
+        engine = MatrixEngine(workers=workers, backend=backend, faults=faults)
+        results = engine.run_cells(CELLS, TINY, with_remaining=False)
+    return results, tr.sim_spans()
+
+
+class TestSimSpanDeterminism:
+    def test_same_seed_same_workers_identical_tree(self):
+        _, a = traced_run(workers=1)
+        _, b = traced_run(workers=1)
+        assert a and a == b
+
+    def test_worker_count_does_not_change_the_tree(self):
+        # fault injection keeps the process pool even on 1-CPU hosts
+        # (fault-free multi-worker runs degrade to serial there), so
+        # this exercises the real pool ingest path
+        faults = FaultSpec(seed=3, read_fault_rate=0.01)
+        _, serial = traced_run(workers=1, faults=faults)
+        _, pooled = traced_run(workers=2, faults=faults)
+        assert serial and serial == pooled
+
+    def test_scalar_and_batch_backends_emit_identical_trees(self):
+        _, batch = traced_run(workers=1, backend="batch")
+        _, scalar = traced_run(workers=1, backend="scalar")
+        assert batch and batch == scalar
+
+    def test_replay_coverage_is_total(self):
+        _, spans = traced_run(workers=1)
+        out = sim_breakdown(spans)
+        assert out["replays"] == len(CELLS)
+        assert out["coverage"] == 1.0
+
+
+class TestZeroObserverEffect:
+    def test_tracing_changes_no_simulated_number(self):
+        engine = MatrixEngine(workers=1)
+        bare = engine.run_cells(CELLS, TINY, with_remaining=False)
+        traced, _ = traced_run(workers=1)
+        assert set(bare) == set(traced)
+        for key in bare:
+            assert bare[key].bandwidth_mb == traced[key].bandwidth_mb
+            assert bare[key].breakdown == traced[key].breakdown
+
+    def test_disabled_engine_records_no_spans(self):
+        assert obs.tracer() is None
+        MatrixEngine(workers=1).run_cells(CELLS[:1], TINY, with_remaining=False)
+        assert obs.tracer() is None
+
+
+class TestEngineStatsFeed:
+    def test_one_csv_row_per_cell_and_cache_hits_marked(self, tmp_path):
+        from repro.experiments import ResultCache
+
+        stats = CsvStatsRecorder(tmp_path)
+        engine = MatrixEngine(workers=1, stats=stats, cache=ResultCache())
+        engine.run_cells(CELLS, TINY, with_remaining=False)
+        engine.run_cells(CELLS, TINY, with_remaining=False)  # all cached
+        stats.close()
+        s = stats.summary()
+        assert s["cells"] == 2 * len(CELLS)
+        assert s["cells_cached"] == len(CELLS)
+        lines = (tmp_path / "stats.csv").read_text().splitlines()
+        assert len(lines) == 1 + 2 * len(CELLS)  # header + one row per cell
+        assert any("CNL-EXT4" in ln for ln in lines)
+        assert any("ION-GPFS" in ln for ln in lines)

@@ -1,0 +1,126 @@
+"""Exporters: JSONL round-trip, Prometheus text, the CSV recorder."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.obs.export import (
+    TRACE_FORMAT,
+    CsvStatsRecorder,
+    prometheus_text,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def make_tracer() -> Tracer:
+    tr = Tracer(trace_id="t-export")
+    root = tr.sim_span("device", "replay", 0, 1000, site_key=("r",), cell="L|K")
+    tr.sim_span("cell", "attribution", 0, 600, parent=root, site_key=("c",))
+    tr.wall_event("pool", "L|K", 0.5)
+    return tr
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tr = make_tracer()
+        path = tmp_path / "trace.jsonl"
+        n = write_jsonl(tr, path)
+        assert n == 3
+        header, spans = read_jsonl(path)
+        assert header["format"] == TRACE_FORMAT
+        assert header["trace_id"] == "t-export"
+        assert header["spans"] == 3
+        assert sorted(s.domain for s in spans) == ["sim", "sim", "wall"]
+        by_name = {s.name: s for s in spans}
+        assert by_name["attribution"].parent == by_name["replay"].site
+        assert by_name["replay"].attr("cell") == "L|K"
+
+    def test_sim_section_is_byte_stable(self, tmp_path):
+        """Same sim spans, any arrival order -> identical sim lines."""
+
+        def sim_lines(order):
+            tr = Tracer(trace_id="fixed")
+            for layer, name, a, b in order:
+                tr.sim_span(layer, name, a, b, site_key=(layer, name))
+            p = tmp_path / f"{len(order)}-{order[0][1]}.jsonl"
+            write_jsonl(tr, p)
+            return [
+                ln for ln in p.read_text().splitlines()[1:]
+                if '"domain": "sim"' in ln or '"sim"' in ln
+            ]
+
+        spans = [("a", "x", 0, 5), ("b", "y", 5, 9), ("c", "z", 9, 12)]
+        assert sim_lines(spans) == sim_lines(list(reversed(spans)))
+
+    def test_read_tolerates_garbage_lines(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        good = make_tracer().spans[0].to_dict()
+        p.write_text("not json\n" + json.dumps(good) + "\n[1,2]\n\n")
+        header, spans = read_jsonl(p)
+        assert header == {} and len(spans) == 1
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "t.jsonl"
+        write_jsonl(make_tracer(), path)
+        assert path.exists()
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs", help="jobs run", labels={"type": "cell"}).inc(4)
+        reg.gauge("repro_depth").set(2)
+        h = reg.histogram("repro_latency", unit="s")
+        h.observe(0.1)
+        h.observe(0.3)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_jobs counter" in text
+        assert 'repro_jobs{type="cell"} 4' in text
+        assert "# HELP repro_jobs jobs run" in text
+        assert "repro_depth 2.0" in text
+        assert "# TYPE repro_latency summary" in text
+        assert 'repro_latency{quantile="0.5"} 0.1' in text
+        assert "repro_latency_count 2" in text
+        assert "repro_latency_sum 0.4" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", labels={"d": 'quo"te\nnl'}).set(1)
+        text = prometheus_text(reg)
+        assert '\\"' in text and "\\n" in text
+
+
+class TestCsvStatsRecorder:
+    def test_rows_and_summary(self, tmp_path):
+        rec = CsvStatsRecorder(tmp_path)
+        rec.on_cell("CNL-EXT4", "TLC", 1.5, sim_ns=123456, cached=False)
+        rec.on_cell("CNL-EXT4", "MLC", 0.0, cached=True)
+        rec.on_job("cell", "cell(CNL-EXT4, TLC)", 2.0)
+        rec.on_job("matrix", "matrix", 0.1, status="timeout")
+        rec.close()
+
+        rows = list(csv.DictReader((tmp_path / "stats.csv").open()))
+        assert [r["event"] for r in rows] == ["cell", "cell", "job", "job"]
+        assert rows[0]["sim_ns"] == "123456" and rows[0]["cached"] == "0"
+        assert rows[1]["cached"] == "1"
+        assert rows[3]["status"] == "timeout"
+        assert rec.summary() == {
+            "cells": 2, "cells_cached": 1, "cell_seconds": 1.5,
+            "jobs": 2, "jobs_failed": 1, "job_seconds": 2.1,
+        }
+
+    def test_none_log_dir_keeps_totals_only(self, tmp_path):
+        rec = CsvStatsRecorder(None)
+        rec.on_cell("L", "K", 0.5)
+        assert rec.summary()["cells"] == 1
+        rec.close()  # no file handle to close; must not raise
+
+    def test_close_is_idempotent(self, tmp_path):
+        rec = CsvStatsRecorder(tmp_path)
+        rec.close()
+        rec.close()

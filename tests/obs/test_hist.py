@@ -1,0 +1,101 @@
+"""The unified percentile path: one definition, three former callers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.hist import DEFAULT_WINDOW, LatencyRecorder, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank_convention(self):
+        """ceil(q/100 * n) - 1: p0 = min, p100 = max, members only."""
+        xs = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(xs, 0) == 10.0
+        assert percentile(xs, 50) == 20.0
+        assert percentile(xs, 75) == 30.0
+        assert percentile(xs, 100) == 40.0
+        assert percentile(xs, 99) == 40.0
+
+    def test_result_is_a_member(self):
+        xs = [random.Random(7).random() for _ in range(31)]
+        for q in (0, 13, 50, 90, 99, 100):
+            assert percentile(xs, q) in xs
+
+    def test_order_independent(self):
+        xs = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(xs, 50) == percentile(sorted(xs), 50) == 3.0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_sim_stats_reexport_is_the_same_function(self):
+        """repro.sim.stats delegates here — no second implementation."""
+        from repro.sim import stats
+
+        assert stats.percentile is percentile
+
+
+class TestLatencyRecorder:
+    def test_service_metrics_reexport_is_the_same_class(self):
+        from repro.service import metrics
+
+        assert metrics.LatencyRecorder is LatencyRecorder
+        assert metrics.LATENCY_WINDOW == DEFAULT_WINDOW
+
+    def test_matches_batch_percentile_on_window(self):
+        rng = random.Random(11)
+        rec = LatencyRecorder(window=64)
+        samples = [rng.random() for _ in range(64)]
+        for s in samples:
+            rec.record(s)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert rec.percentile(q) == percentile(samples, q * 100.0)
+
+    def test_window_eviction_keeps_sorted_in_lockstep(self):
+        rec = LatencyRecorder(window=8)
+        rng = random.Random(3)
+        history: list[float] = []
+        for _ in range(100):
+            v = rng.random()
+            history.append(v)
+            rec.record(v)
+            live = history[-8:]
+            assert len(rec) == len(live)
+            assert rec.percentile(0.5) == percentile(live, 50)
+            assert rec.maximum == max(live)
+        assert rec.count == 100  # monotonic despite eviction
+
+    def test_duplicate_values_evict_one_copy(self):
+        rec = LatencyRecorder(window=2)
+        rec.record(1.0)
+        rec.record(1.0)
+        rec.record(2.0)  # evicts exactly one of the 1.0s
+        assert len(rec) == 2
+        assert rec.percentile(0.0) == 1.0
+        assert rec.maximum == 2.0
+
+    def test_snapshot_schema_is_the_service_status_schema(self):
+        rec = LatencyRecorder(unit="s")
+        rec.record(0.5)
+        snap = rec.snapshot()
+        assert set(snap) == {"count", "mean_s", "p50_s", "p90_s", "p99_s", "max_s"}
+        assert snap["count"] == 1 and snap["p50_s"] == 0.5
+
+    def test_unit_names_the_keys(self):
+        rec = LatencyRecorder(unit="ns")
+        assert "p99_ns" in rec.snapshot()
+
+    def test_empty_recorder(self):
+        rec = LatencyRecorder()
+        assert rec.percentile(0.99) == 0.0
+        assert rec.mean == 0.0 and rec.maximum == 0.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(window=0)

@@ -1,0 +1,98 @@
+"""MetricsRegistry: instruments, get-or-create identity, absorb."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_is_monotonic(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_set_to_never_regresses(self):
+        c = Counter("n")
+        c.set_to(10)
+        c.set_to(4)  # a stale snapshot must not rewind the series
+        assert c.value == 10
+
+    def test_gauge_moves_freely(self):
+        g = Gauge("n")
+        g.set(5)
+        g.dec(2)
+        assert g.value == 3
+
+    def test_histogram_wraps_shared_recorder(self):
+        h = Histogram("n", unit="s")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3 and snap["p50_s"] == 0.2
+        assert h.value == pytest.approx(0.6)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("jobs") is reg.counter("jobs")
+        assert len(reg) == 1
+
+    def test_labels_split_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs", labels={"type": "cell"})
+        b = reg.counter("jobs", labels={"type": "matrix"})
+        assert a is not b and len(reg) == 2
+        assert reg.get("jobs", {"type": "cell"}) is a
+
+    def test_kind_conflict_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("n")
+        with pytest.raises(TypeError):
+            reg.gauge("n")
+
+    def test_snapshot_keys_render_labels(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(3)
+        reg.counter("jobs", labels={"type": "cell"}).inc()
+        snap = reg.snapshot()
+        assert snap["depth"] == 3
+        assert snap["jobs{type=cell}"] == 1
+
+
+class TestAbsorb:
+    def test_flattens_nested_dicts(self):
+        reg = MetricsRegistry()
+        reg.absorb("svc", {"cache": {"hits": 3, "hit_ratio": 0.75}})
+        assert reg.get("svc_cache_hits").value == 3
+        assert reg.get("svc_cache_hit_ratio").value == 0.75
+
+    def test_monotonic_names_become_counters(self):
+        reg = MetricsRegistry()
+        reg.absorb("svc", {"completed": 5, "queue_depth": 2},
+                   monotonic=frozenset({"completed"}))
+        assert reg.get("svc_completed").kind == "counter"
+        assert reg.get("svc_queue_depth").kind == "gauge"
+        # a later, smaller snapshot cannot rewind the counter
+        reg.absorb("svc", {"completed": 3}, monotonic=frozenset({"completed"}))
+        assert reg.get("svc_completed").value == 5
+
+    def test_bools_are_01_gauges_strings_skipped(self):
+        reg = MetricsRegistry()
+        reg.absorb("svc", {"persistent": True, "state": "serving", "none": None})
+        assert reg.get("svc_persistent").value == 1.0
+        assert reg.get("svc_state") is None and reg.get("svc_none") is None
+
+    def test_absorbs_real_cache_stats_shape(self):
+        from repro.experiments import ResultCache
+
+        cache = ResultCache()
+        reg = MetricsRegistry()
+        reg.absorb("repro_service_cache", cache.stats())
+        assert reg.get("repro_service_cache_hits") is not None
+        assert reg.get("repro_service_cache_corrupt_entries") is not None

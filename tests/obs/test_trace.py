@@ -1,0 +1,136 @@
+"""Tracer mechanics: domains, sites, nesting, the pool boundary."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.obs import trace as obs
+from repro.obs.trace import SIM, WALL, Span, Tracer
+
+
+class TestSimSpans:
+    def test_explicit_timestamps_no_clock(self):
+        tr = Tracer(trace_id="t")
+        site = tr.sim_span("device", "replay", 0, 1000)
+        (span,) = tr.spans
+        assert span.domain == SIM
+        assert (span.start, span.end, span.duration) == (0, 1000, 1000)
+        assert span.site == site and span.parent == ""
+
+    def test_site_key_is_tracer_independent(self):
+        """Same site_key -> same id from any tracer: the cross-worker
+        and cross-backend identity the determinism tests rely on."""
+        a = Tracer(trace_id="coordinator")
+        b = Tracer(trace_id="worker", ctx={"cell": "CNL-EXT4|TLC"})
+        sa = a.sim_span("device", "replay", 0, 10, site_key=("replay", "X", "Y"))
+        sb = b.sim_span("device", "replay", 0, 10, site_key=("replay", "X", "Y"))
+        assert sa == sb
+
+    def test_counter_sites_differ_across_ctx(self):
+        a = Tracer(ctx={"cell": "a"})
+        b = Tracer(ctx={"cell": "b"})
+        assert a.sim_span("l", "n", 0, 1) != b.sim_span("l", "n", 0, 1)
+
+    def test_repeated_span_gets_distinct_site(self):
+        tr = Tracer()
+        assert tr.sim_span("l", "n", 0, 1) != tr.sim_span("l", "n", 1, 2)
+
+    def test_parenting(self):
+        tr = Tracer()
+        root = tr.sim_span("device", "replay", 0, 100)
+        tr.sim_span("cell", "attribution", 0, 40, parent=root)
+        (child,) = [s for s in tr.sim_spans() if s.name == "attribution"]
+        assert child.parent == root
+
+    def test_canonical_order_ignores_arrival_order(self):
+        def build(order):
+            tr = Tracer(trace_id="x")
+            for args in order:
+                tr.sim_span(*args[:2], args[2], args[3], site_key=args[:2])
+            return tr.sim_spans()
+
+        spans = [("a", "one", 0, 5), ("b", "two", 5, 9), ("c", "three", 9, 12)]
+        assert build(spans) == build(list(reversed(spans)))
+
+
+class TestWallSpans:
+    def test_nesting_and_timing(self):
+        tr = Tracer()
+        with tr.wall_span("cli", "outer") as outer:
+            with tr.wall_span("engine", "inner") as inner:
+                pass
+        by_site = {s.site: s for s in tr.wall_spans()}
+        assert by_site[inner].parent == outer
+        assert by_site[outer].parent == ""
+        assert by_site[outer].duration >= by_site[inner].duration >= 0.0
+
+    def test_wall_event_backdates_premeasured_duration(self):
+        tr = Tracer()
+        tr.wall_event("pool", "cell", 0.25, round=1)
+        (span,) = tr.wall_spans()
+        assert span.domain == WALL
+        assert abs(span.duration - 0.25) < 1e-9
+        assert span.attr("round") == 1
+
+    def test_ctx_attrs_stamped_on_every_span(self):
+        tr = Tracer(ctx={"cell": "L|K"})
+        tr.sim_span("device", "replay", 0, 1)
+        tr.wall_event("device", "replay", 0.0)
+        assert all(s.attr("cell") == "L|K" for s in tr.spans)
+
+
+class TestPoolBoundary:
+    def test_tuples_round_trip_and_pickle(self):
+        worker = Tracer(trace_id="cell:CNL-EXT4|TLC", ctx={"cell": "CNL-EXT4|TLC"})
+        root = worker.sim_span("device", "replay", 0, 500, site_key=("r",))
+        worker.sim_span("cell", "attribution", 0, 500, parent=root, site_key=("a",))
+        wire = pickle.loads(pickle.dumps(worker.to_tuples()))
+        assert all(type(t) is tuple for t in wire)
+
+        coord = Tracer(trace_id="run")
+        coord.ingest(wire)
+        assert coord.sim_spans() == worker.sim_spans()
+
+    def test_ingest_preserves_parent_links(self):
+        worker = Tracer()
+        root = worker.sim_span("device", "replay", 0, 9, site_key=("root",))
+        worker.sim_span("cell", "attribution", 0, 9, parent=root, site_key=("kid",))
+        coord = Tracer()
+        coord.ingest(worker.to_tuples())
+        kid = [s for s in coord.sim_spans() if s.name == "attribution"][0]
+        assert kid.parent == root
+
+
+class TestGlobalSwitch:
+    def test_disabled_by_default(self):
+        assert obs.tracer() is None
+        assert not obs.enabled()
+
+    def test_install_uninstall(self):
+        t = obs.install(Tracer())
+        try:
+            assert obs.tracer() is t and obs.enabled()
+        finally:
+            obs.uninstall()
+        assert obs.tracer() is None
+
+    def test_tracing_scope_restores_previous(self):
+        outer = obs.install(Tracer())
+        try:
+            with obs.tracing() as inner:
+                assert obs.tracer() is inner
+            assert obs.tracer() is outer
+        finally:
+            obs.uninstall()
+
+
+class TestSpanType:
+    def test_attr_lookup_with_default(self):
+        s = Span(SIM, "l", "n", "s", "", 0, 1, (("k", "v"),))
+        assert s.attr("k") == "v"
+        assert s.attr("missing", 42) == 42
+
+    def test_to_dict_is_json_shape(self):
+        s = Span(WALL, "l", "n", "s", "p", 0.0, 1.5, (("a", 1),))
+        d = s.to_dict()
+        assert d["attrs"] == {"a": 1} and d["parent"] == "p"

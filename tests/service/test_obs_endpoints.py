@@ -1,0 +1,158 @@
+"""Golden schema of the service's observability surface.
+
+These tests pin the *shape* dashboards scrape — the status JSON keys
+and the Prometheus series names — so a refactor that silently drops a
+field fails here, not in someone's Grafana panel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.experiments import Workload
+from repro.obs import CsvStatsRecorder
+from repro.obs import trace as obs
+from repro.obs.export import prometheus_text
+from repro.obs.trace import Tracer, WALL
+from repro.service import CellJob, SimulationService
+
+KiB = 1024
+TINY = Workload(panels=2, panel_bytes=64 * KiB)
+
+#: the status endpoint's contract: every key a dashboard may scrape
+STATUS_SCHEMA = {
+    "state", "queue_limit", "max_concurrency", "workers_per_job",
+    "submitted", "admitted", "coalesced", "rejected", "rejected_total",
+    "executed", "completed", "failed", "cancelled", "expired",
+    "retries", "timeouts", "jobs_shed", "queue_depth", "in_flight",
+    "latency", "cache", "engine",
+}
+
+LATENCY_SCHEMA = {"count", "mean_s", "p50_s", "p90_s", "p99_s", "max_s"}
+
+CACHE_SCHEMA = {
+    "hits", "memory_hits", "disk_hits", "misses", "puts",
+    "corrupt_entries", "hit_ratio", "memory_entries", "disk_entries",
+    "persistent",
+}
+
+ENGINE_SCHEMA = {
+    "passes", "cells", "cached_cells", "cell_seconds", "faults",
+    "batch", "pool",
+}
+
+#: Prometheus series the metrics endpoint must always expose
+REQUIRED_SERIES = (
+    "repro_service_completed",
+    "repro_service_queue_depth",
+    "repro_service_latency_count",
+    "repro_service_cache_hits",
+    "repro_service_cache_hit_ratio",
+    "repro_service_cache_corrupt_entries",
+    "repro_service_engine_cells",
+    "repro_service_engine_batch_batch_cells",
+    "repro_service_engine_faults_faults_injected",
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def one_job_service(stats=None, trace_id=None):
+    service = SimulationService(queue_limit=8, max_concurrency=1, stats=stats)
+    await service.start()
+    handle = service.submit(
+        CellJob(label="CNL-EXT4", kind="TLC", workload=TINY, trace_id=trace_id)
+    )
+    await handle.result()
+    await service.drain()
+    return service
+
+
+class TestStatusSchema:
+    def test_status_keys_are_the_golden_set(self):
+        async def scenario():
+            service = await one_job_service()
+            status = service.status()
+            assert set(status) == STATUS_SCHEMA
+            assert set(status["latency"]) == LATENCY_SCHEMA
+            assert set(status["cache"]) == CACHE_SCHEMA
+            assert set(status["engine"]) == ENGINE_SCHEMA
+            return status
+
+        status = run(scenario())
+        # the engine telemetry satellite: fault/batch/pool provenance
+        # must reach the endpoint, not stay buried in the executor
+        assert status["engine"]["cells"] >= 1
+        assert "faults_injected" in status["engine"]["faults"]
+        assert "batch_cells" in status["engine"]["batch"]
+        assert status["cache"]["hit_ratio"] >= 0.0
+        assert status["completed"] == 1
+
+    def test_status_is_json_serializable(self):
+        import json
+
+        async def scenario():
+            return (await one_job_service()).status()
+
+        json.dumps(run(scenario()))
+
+
+class TestPrometheusEndpoint:
+    def test_required_series_present(self):
+        async def scenario():
+            return prometheus_text((await one_job_service()).registry())
+
+        text = run(scenario())
+        for series in REQUIRED_SERIES:
+            assert series in text, f"missing series {series}"
+        assert "# TYPE repro_service_completed counter" in text
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        # the absorbed latency snapshot flattens to per-quantile series
+        assert "repro_service_latency_p99_s" in text
+
+    def test_counters_never_regress_across_scrapes(self):
+        async def scenario():
+            service = await one_job_service()
+            reg1 = service.registry()
+            first = reg1.get("repro_service_completed").value
+            reg2 = service.registry()  # second scrape, same totals
+            return first, reg2.get("repro_service_completed").value
+
+        first, second = run(scenario())
+        assert second >= first >= 1
+
+
+class TestJobTracing:
+    def test_trace_id_propagates_to_spans(self):
+        async def scenario():
+            with obs.tracing(Tracer(trace_id="svc")) as tr:
+                await one_job_service(trace_id="client-abc")
+            return tr
+
+        tr = run(scenario())
+        wall = tr.wall_spans()
+        layers = {s.layer for s in wall}
+        assert {"queue", "service"} <= layers
+        tagged = [s for s in wall if s.attr("trace_id") == "client-abc"]
+        assert tagged, "client trace_id must be stamped on job spans"
+        assert all(s.domain == WALL for s in wall)
+
+    def test_job_rows_reach_the_stats_recorder(self, tmp_path):
+        stats = CsvStatsRecorder(tmp_path)
+        run(one_job_service(stats=stats))
+        stats.close()
+        assert stats.summary()["jobs"] == 1
+        assert "cell(CNL-EXT4, TLC)" in (tmp_path / "stats.csv").read_text()
+
+    def test_trace_id_round_trips_the_wire_format(self):
+        from repro.service.jobs import job_from_dict
+
+        spec = CellJob(label="CNL-EXT4", kind="TLC", trace_id="abc")
+        clone = job_from_dict(spec.to_dict())
+        assert clone.trace_id == "abc"
+        # deliberately NOT part of the coalescing key
+        assert clone.key() == CellJob(label="CNL-EXT4", kind="TLC").key()
