@@ -15,6 +15,8 @@ Usage::
     python -m repro lint                    # determinism/invariant analyzer
     python -m repro table2 --trace t.jsonl  # record an obs trace
     python -m repro obs report t.jsonl      # per-layer time breakdown
+    python -m repro lifetime                # aged-device capacity sweep
+    python -m repro lifetime --ages 0,0.9 --policy static --prom m.txt
 
 Each exhibit prints the same rows/series the paper plots; ``--out``
 additionally writes one text file per exhibit.  The matrix exhibits
@@ -174,11 +176,178 @@ def _serve_main(argv: list[str]) -> int:
     return 0
 
 
+def _lifetime_main(argv: list[str]) -> int:
+    """``python -m repro lifetime``: the aged-device capacity sweep."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lifetime",
+        description="Sweep config x NVM kind x device age: bandwidth, "
+        "p99 latency, write amplification and wear spread on devices "
+        "fast-forwarded to a fraction of rated lifetime.",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (default 1.0 = 96 MiB/client)",
+    )
+    parser.add_argument(
+        "--labels",
+        default=None,
+        help="comma-separated config labels (default: device sweep + ION-GPFS)",
+    )
+    parser.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated NVM kinds (default: SLC,MLC,TLC,PCM)",
+    )
+    parser.add_argument(
+        "--ages",
+        default=None,
+        help="comma-separated lifetime fractions in [0,1) (default: 0,0.5,0.9)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("none", "dynamic", "static"),
+        default="dynamic",
+        help="wear-leveling policy (default dynamic)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="sweep-cell worker processes (0 = auto-detect, default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persist sweep-cell results on disk (default: in-memory only)",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="overlay the default chaos regime under the age-coupled rates",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="fault-injection seed (default: $REPRO_FAULT_SEED or 0); "
+        "implies --faults",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record an observability trace (JSON lines) to PATH",
+    )
+    parser.add_argument(
+        "--prom",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the sweep's metrics in Prometheus text format to PATH",
+    )
+    parser.add_argument(
+        "-o",
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write the exhibit text file into",
+    )
+    args = parser.parse_args(argv)
+
+    from .experiments.lifetime import (
+        LIFETIME_KINDS,
+        LIFETIME_LABELS,
+        lifetime_exhibit,
+    )
+    from .lifetime import DEFAULT_AGES, WearPolicy
+
+    labels = (
+        tuple(s.strip() for s in args.labels.split(",") if s.strip())
+        if args.labels
+        else LIFETIME_LABELS
+    )
+    kinds = (
+        tuple(s.strip() for s in args.kinds.split(",") if s.strip())
+        if args.kinds
+        else LIFETIME_KINDS
+    )
+    ages = (
+        tuple(float(s) for s in args.ages.split(",") if s.strip())
+        if args.ages
+        else DEFAULT_AGES
+    )
+    try:
+        cache = ResultCache(args.cache_dir)
+    except NotADirectoryError as exc:
+        parser.error(f"--cache-dir: {exc}")
+    base_faults = None
+    if args.faults or args.fault_seed is not None:
+        from .faults import FaultSpec
+
+        fault_seed = args.fault_seed
+        if fault_seed is None:
+            fault_seed = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+        base_faults = FaultSpec.default_chaos(fault_seed)
+    tracer = None
+    if args.trace is not None:
+        from . import obs
+
+        tracer = obs.install(obs.Tracer())
+    engine = MatrixEngine(
+        workers=None if args.workers == 0 else args.workers, cache=cache
+    )
+    workload = _workload(args.scale)
+    t0 = time.time()
+    try:
+        report = lifetime_exhibit(
+            workload,
+            engine=engine,
+            labels=labels,
+            kinds=kinds,
+            ages=ages,
+            policy=WearPolicy(kind=args.policy),
+            base_faults=base_faults,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"lifetime sweep: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.time() - t0
+    print(report.text)
+    print(f"[lifetime: {len(report.results)} cells, {elapsed:.1f}s]")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "lifetime.txt").write_text(report.text + "\n")
+    if args.prom is not None:
+        from .obs.export import prometheus_text
+        from .obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        report.publish(registry)
+        args.prom.write_text(prometheus_text(registry))
+        print(f"[metrics -> {args.prom}]")
+    if tracer is not None:
+        from . import obs
+
+        n_spans = obs.write_jsonl(tracer, args.trace)
+        obs.uninstall()
+        print(
+            f"[trace: {n_spans} spans -> {args.trace}; "
+            f"view with 'python -m repro obs report {args.trace}']"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "lifetime":
+        return _lifetime_main(argv[1:])
     if argv and argv[0] == "lint":
         from .lint.cli import main as lint_main
 
@@ -288,6 +457,7 @@ def main(argv: list[str] | None = None) -> int:
     exhibits = _exhibits(args.scale, engine)
     if args.exhibit == "list":
         print("\n".join(exhibits))
+        print("lifetime  (subcommand: python -m repro lifetime --help)")
         return 0
     names = list(exhibits) if args.exhibit == "all" else [args.exhibit]
     unknown = [n for n in names if n not in exhibits]

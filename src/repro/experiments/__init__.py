@@ -23,6 +23,7 @@ from .cache import SCHEMA_VERSION, ResultCache
 from .cost import ComponentCosts, DesignPoint, capacity_study
 from .future import FutureSweepResult, future_device_sweep
 from .headline import HeadlineResults, compute_headline
+from .lifetime import LIFETIME_LABELS, lifetime_exhibit
 from .parallel import CellTiming, MatrixEngine, detect_workers
 from .runner import DEFAULT_WORKLOAD, ConfigResult, Workload, run_config, run_matrix
 from .sensitivity import SensitivityReport, sensitivity_analysis
@@ -41,6 +42,8 @@ __all__ = [
     "capacity_study",
     "FutureSweepResult",
     "future_device_sweep",
+    "LIFETIME_LABELS",
+    "lifetime_exhibit",
     "SensitivityReport",
     "sensitivity_analysis",
     "ExpConfig",

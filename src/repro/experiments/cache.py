@@ -35,11 +35,20 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.plan import FaultSpec
+    from ..lifetime.aging import AgingSpec
+    from ..lifetime.sweep import LifetimeCellResult
+    from ..lifetime.wear import WearPolicy
     from .runner import ConfigResult, Workload
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["SCHEMA_VERSION", "ResultCache", "cell_key", "peak_key"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultCache",
+    "cell_key",
+    "peak_key",
+    "lifetime_key",
+]
 
 #: bump when simulated numbers can change; invalidates every entry.
 #: v2: cell entries grew the ``backend`` provenance field (columnar
@@ -48,7 +57,10 @@ __all__ = ["SCHEMA_VERSION", "ResultCache", "cell_key", "peak_key"]
 #: v3: job specs grew the ``trace_id`` correlation field (repro.obs);
 #: it is excluded from coalescing/cache keys, but the watched JobSpec
 #: schema changed, so the version moves with it
-SCHEMA_VERSION = 3
+#: v4: repro.lifetime — a new ``lifetime`` entry type, and job specs
+#: grew the age/wear-policy fields (LifetimeJob); age-0 numbers are
+#: golden-tested bit-identical, but the watched schema changed
+SCHEMA_VERSION = 4
 
 #: ConfigResult fields persisted in a cell entry (metrics excluded)
 _CELL_FIELDS = (
@@ -93,6 +105,65 @@ def cell_key(
         "workload": dataclasses.asdict(workload),
         "seed": seed,
         "with_remaining": bool(with_remaining),
+    }
+    if faults is not None:
+        parts["faults"] = faults.signature()
+    return _digest(parts)
+
+
+#: LifetimeCellResult fields persisted in a lifetime entry
+_LIFETIME_FIELDS = (
+    "label",
+    "kind",
+    "age_fraction",
+    "wear_policy",
+    "bandwidth_mb",
+    "aggregate_mb",
+    "p50_latency_ms",
+    "p99_latency_ms",
+    "max_latency_ms",
+    "waf",
+    "wear_spread",
+    "wear_gini",
+    "mean_wear",
+    "total_erases",
+    "retired_blocks",
+    "gc_runs",
+    "gc_moved_pages",
+    "wl_moved_pages",
+    "host_writes_pages",
+    "read_fault_p",
+    "faults_injected",
+    "fault_penalty_ns",
+    "backend",
+)
+
+
+def lifetime_key(
+    label: str,
+    kind: str,
+    workload: "Workload",
+    seed: int,
+    aging: "AgingSpec",
+    policy: "WearPolicy",
+    faults: Optional["FaultSpec"] = None,
+) -> str:
+    """Cache key of one aged-device sweep cell.
+
+    The aging spec and wear policy are part of the identity (their
+    ``signature()`` dicts), so cells at different ages or under
+    different leveling regimes never collide; ``faults`` participates
+    only when present, like :func:`cell_key`.
+    """
+    parts = {
+        "schema": SCHEMA_VERSION,
+        "entry": "lifetime",
+        "label": label,
+        "kind": kind,
+        "workload": dataclasses.asdict(workload),
+        "seed": seed,
+        "aging": aging.signature(),
+        "policy": policy.signature(),
     }
     if faults is not None:
         parts["faults"] = faults.signature()
@@ -263,6 +334,49 @@ class ResultCache:
         self._store(
             cell_key(
                 result.label, result.kind, workload, seed, with_remaining, faults
+            ),
+            payload,
+        )
+
+    # -- lifetime cells -------------------------------------------------
+    def get_lifetime(
+        self,
+        label: str,
+        kind: str,
+        workload: "Workload",
+        seed: int,
+        aging: "AgingSpec",
+        policy: "WearPolicy",
+        faults: Optional["FaultSpec"] = None,
+    ) -> Optional["LifetimeCellResult"]:
+        """Return a cached aged-sweep cell, or ``None`` on miss."""
+        from ..lifetime.sweep import LifetimeCellResult
+
+        payload = self._load(
+            lifetime_key(label, kind, workload, seed, aging, policy, faults),
+            required=_LIFETIME_FIELDS,
+        )
+        if payload is None:
+            self.misses += 1
+            return None
+        self._count_hit()
+        return LifetimeCellResult(
+            **{name: payload[name] for name in _LIFETIME_FIELDS}
+        )
+
+    def put_lifetime(
+        self,
+        result: "LifetimeCellResult",
+        workload: "Workload",
+        seed: int,
+        aging: "AgingSpec",
+        policy: "WearPolicy",
+        faults: Optional["FaultSpec"] = None,
+    ) -> None:
+        payload = {name: getattr(result, name) for name in _LIFETIME_FIELDS}
+        self._store(
+            lifetime_key(
+                result.label, result.kind, workload, seed, aging, policy, faults
             ),
             payload,
         )

@@ -43,7 +43,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "ENDURANCE_REFERENCE",
+    "AGE_READ_RETRY_COEFF",
+    "AGE_DIE_FAILURE_COEFF",
     "media_wear_factor",
+    "age_fault_rates",
     "FaultSpec",
     "FaultPlan",
     "FaultEvent",
@@ -51,6 +54,14 @@ __all__ = [
 
 #: SLC's Table-1 endurance; the anchor all device rates are expressed at
 ENDURANCE_REFERENCE = 100_000
+
+#: age-coupled rate coefficients, at SLC reference endurance.  Raw
+#: bit-error rate of charge-trap media grows superlinearly in consumed
+#: program/erase cycles, so the read-retry increment is quadratic in
+#: age fraction and whole-die loss (the rarer, catastrophic mode) cubic
+#: — both zero at age 0, both strictly monotone in age.
+AGE_READ_RETRY_COEFF = 0.01
+AGE_DIE_FAILURE_COEFF = 0.001
 
 
 def media_wear_factor(kind: NVMKind) -> float:
@@ -61,6 +72,26 @@ def media_wear_factor(kind: NVMKind) -> float:
     "10^3 to 10^5 times better endurance").
     """
     return ENDURANCE_REFERENCE / kind.endurance_cycles
+
+
+def age_fault_rates(age_fraction: float) -> tuple[float, float]:
+    """(read-retry, die-failure) rate increments for a device age.
+
+    ``age_fraction`` is the consumed fraction of rated lifetime in
+    ``[0, 1)``.  Both increments are expressed at the SLC reference
+    endurance — :class:`~repro.faults.device.DeviceFaultModel` scales
+    them by :func:`media_wear_factor`, so an aged TLC device degrades
+    ~33x faster than aged SLC while aged PCM barely moves, matching the
+    endurance ordering of Section 2.3.
+    """
+    if not 0.0 <= age_fraction < 1.0:
+        raise ValueError(
+            f"age_fraction must be in [0, 1), got {age_fraction!r}"
+        )
+    return (
+        AGE_READ_RETRY_COEFF * age_fraction**2,
+        AGE_DIE_FAILURE_COEFF * age_fraction**3,
+    )
 
 
 @dataclass(frozen=True)
@@ -148,6 +179,25 @@ class FaultSpec:
 
     def plan(self) -> "FaultPlan":
         return FaultPlan(self)
+
+    def aged(self, age_fraction: float) -> "FaultSpec":
+        """This regime on a device at ``age_fraction`` of rated life.
+
+        Adds the :func:`age_fault_rates` increments to the device-layer
+        base rates; cluster- and engine-layer rates are untouched (age
+        is a property of the medium, not the fabric).  Age 0 returns
+        ``self`` unchanged, so un-aged runs keep bit-identity with
+        today's fault paths — including the all-zero spec, which still
+        injects nothing.
+        """
+        d_read, d_die = age_fault_rates(age_fraction)
+        if d_read == 0.0 and d_die == 0.0:
+            return self
+        return dataclasses.replace(
+            self,
+            read_fault_rate=min(1.0, self.read_fault_rate + d_read),
+            die_failure_rate=min(1.0, self.die_failure_rate + d_die),
+        )
 
     @classmethod
     def default_chaos(cls, seed: int = 0) -> "FaultSpec":

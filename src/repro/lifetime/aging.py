@@ -1,0 +1,121 @@
+"""Deterministic device aging: fast-forward to a lifetime fraction.
+
+:func:`estimate_lifetime` (Section 2.3 / Table 1) projects how long a
+device survives a write rate; this module asks the converse capacity
+question — *what does the device look like after consuming a fraction
+of that budget?* — and installs the answer into a fresh FTL before a
+replay:
+
+* every block receives a seeded pseudo-random prior erase count around
+  ``age_fraction * endurance_cycles`` (real fleets never wear
+  uniformly; ``wear_sigma`` sets the dispersion),
+* blocks whose count reaches the Table-1 endurance budget are
+  **retired** — removed from the free pools, shrinking effective
+  over-provisioning and raising GC pressure, which is exactly how worn
+  devices amplify writes,
+* the fault regime is aged alongside via :meth:`FaultSpec.aged
+  <repro.faults.plan.FaultSpec.aged>`: ECC read-retry and die-failure
+  rates rise with age, scaled per medium by
+  :func:`~repro.faults.plan.media_wear_factor`.
+
+Everything is a pure function of ``(spec, geometry, kind)``: the wear
+array comes from one ``numpy`` PCG64 generator seeded from the spec, so
+two runs — or two pool workers — age a device identically.  Age 0 is
+the untouched device: no wear installed, no rates changed, bit-identity
+with today's Table-2 goldens preserved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..faults.plan import FaultSpec
+from ..ssd.ftl import DeviceFTL
+from ..ssd.geometry import Geometry
+
+__all__ = ["AgingSpec", "block_wear", "install_age", "aged_faults"]
+
+
+@dataclass(frozen=True)
+class AgingSpec:
+    """Frozen description of one device age.
+
+    ``age_fraction`` is the consumed fraction of rated lifetime in
+    ``[0, 1)`` — 1.0 would be a fully dead device, which no sweep can
+    replay.  ``wear_sigma`` is the half-width of the uniform per-block
+    dispersion around the mean wear (0 = perfectly uniform fleet).
+    Participates in result-cache keys via :meth:`signature`.
+    """
+
+    age_fraction: float = 0.0
+    seed: int = 1013
+    wear_sigma: float = 0.12
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.age_fraction < 1.0:
+            raise ValueError(
+                f"age_fraction must be in [0, 1), got {self.age_fraction!r}"
+            )
+        if not 0.0 <= self.wear_sigma < 1.0:
+            raise ValueError("wear_sigma must be in [0, 1)")
+
+    def signature(self) -> dict:
+        """JSON-safe identity for cache keys and wire payloads."""
+        return dataclasses.asdict(self)
+
+    def rng_seed(self) -> int:
+        """Stable 64-bit PCG64 seed derived from the spec fields."""
+        blob = f"repro.lifetime:{self.seed}:{self.age_fraction}:{self.wear_sigma}"
+        h = hashlib.blake2b(blob.encode(), digest_size=8).digest()
+        return int.from_bytes(h, "big")
+
+
+def block_wear(geom: Geometry, spec: AgingSpec) -> np.ndarray:
+    """Per-block prior erase counts for a device at ``spec``'s age.
+
+    Shape ``(plane_units, blocks_per_plane)``, mean ``age_fraction *
+    endurance_cycles``, uniform dispersion of ``±wear_sigma`` around the
+    mean.  Deterministic in ``(geom, spec)``.
+    """
+    U = geom.plane_units
+    B = geom.blocks_per_plane
+    if spec.age_fraction == 0.0:
+        return np.zeros((U, B), dtype=np.int64)
+    mean = spec.age_fraction * geom.kind.endurance_cycles
+    rng = np.random.default_rng(spec.rng_seed())
+    jitter = rng.uniform(1.0 - spec.wear_sigma, 1.0 + spec.wear_sigma, (U, B))
+    return np.rint(mean * jitter).astype(np.int64)
+
+
+def install_age(ftl: DeviceFTL, spec: AgingSpec) -> None:
+    """Fast-forward a fresh FTL's ledger to ``spec``'s age.
+
+    A no-op at age 0 — the device object is untouched, preserving
+    bit-identity with un-aged runs.  Otherwise installs the seeded wear
+    array and retires over-budget blocks via the FTL's sanctioned
+    :meth:`~repro.ssd.ftl.DeviceFTL.install_preexisting_wear` API.
+    """
+    if spec.age_fraction == 0.0:
+        return
+    ftl.install_preexisting_wear(block_wear(ftl.geom, spec))
+
+
+def aged_faults(base: FaultSpec | None, spec: AgingSpec) -> FaultSpec | None:
+    """The fault regime for a device at ``spec``'s age.
+
+    ``base`` is the healthy-device regime (``None`` = no injection at
+    all).  At age 0 it is returned untouched — including ``None`` — so
+    un-aged runs keep bit-identity.  Aged devices always get a regime,
+    seeded from the aging spec when no base was given; the rates are at
+    SLC reference endurance and the medium's fragility scaling happens
+    downstream in :class:`~repro.faults.device.DeviceFaultModel`.
+    """
+    if spec.age_fraction == 0.0:
+        return base
+    if base is None:
+        base = FaultSpec(seed=spec.seed)
+    return base.aged(spec.age_fraction)

@@ -16,7 +16,9 @@ __all__ = ["LintConfig", "FileContext", "DET_GATED_DIRS"]
 
 #: directories (anywhere on a file's path) where nondeterminism is a bug:
 #: everything here feeds simulated numbers, cache keys or fault decisions
-DET_GATED_DIRS = frozenset({"sim", "ssd", "nvm", "fs", "cluster", "faults"})
+DET_GATED_DIRS = frozenset(
+    {"sim", "ssd", "nvm", "fs", "cluster", "faults", "lifetime"}
+)
 
 
 @dataclass(frozen=True)

@@ -62,9 +62,18 @@ DEFAULT_WATCH: tuple[WatchedFile, ...] = (
     WatchedFile("experiments/runner.py", classes=("Workload",)),
     WatchedFile(
         "service/jobs.py",
-        classes=("JobSpec", "CellJob", "MatrixJob", "FigureJob", "HeadlineJob"),
+        classes=(
+            "JobSpec",
+            "CellJob",
+            "MatrixJob",
+            "FigureJob",
+            "HeadlineJob",
+            "LifetimeJob",
+        ),
     ),
     WatchedFile("faults/plan.py", classes=("FaultSpec",)),
+    WatchedFile("lifetime/wear.py", classes=("WearPolicy",)),
+    WatchedFile("lifetime/aging.py", classes=("AgingSpec",)),
 )
 
 

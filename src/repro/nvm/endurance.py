@@ -96,13 +96,25 @@ def gst_tracking_bytes(kind: NVMKind, capacity_bytes: int, counter_bytes: int = 
 
 @dataclass(frozen=True)
 class WearReport:
-    """Observed wear across an FTL's erase counters."""
+    """Observed wear across an FTL's erase counters.
+
+    The write-amplification fields (host vs. media page writes, WAF,
+    wear-leveling relocations, retired blocks) default to the fresh
+    device so pre-existing callers constructing reports positionally
+    keep working.
+    """
 
     total_erases: int
     max_wear: int
     mean_wear: float
     spread: int
     gini: float
+    host_writes_pages: int = 0
+    media_writes_pages: int = 0
+    gc_moved_pages: int = 0
+    wl_moved_pages: int = 0
+    waf: float = 1.0
+    retired_blocks: int = 0
 
     @property
     def well_leveled(self) -> bool:
@@ -110,20 +122,56 @@ class WearReport:
         return self.spread <= max(4.0, 0.5 * self.mean_wear + 4.0)
 
 
-def wear_report(ftl: DeviceFTL) -> WearReport:
-    """Summarize an FTL's per-block erase distribution."""
+def _wear_core(ftl: DeviceFTL) -> tuple[int, int, float, int, float]:
+    """(total, max, mean, spread, gini) of the erase ledger, memoized.
+
+    The full-ledger scan is O(blocks log blocks); per-exhibit wear
+    snapshots query it once per replayed command batch, so the result
+    is cached on the FTL keyed by ``erase_gen`` — the ledger generation
+    counter every erase bumps.  Unchanged ledger => O(1) amortized.
+    """
+    cached = getattr(ftl, "_wear_core_cache", None)
+    if cached is not None and cached[0] == ftl.erase_gen:
+        return cached[1]
     erases = ftl.erases.ravel().astype(np.float64)
     total = float(erases.sum())
     if total == 0:
-        return WearReport(0, 0, 0.0, 0, 0.0)
-    sorted_e = np.sort(erases)
-    n = len(sorted_e)
-    cum = np.cumsum(sorted_e)
-    gini = float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+        core = (0, 0, 0.0, 0, 0.0)
+    else:
+        sorted_e = np.sort(erases)
+        n = len(sorted_e)
+        cum = np.cumsum(sorted_e)
+        gini = float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+        core = (
+            int(total),
+            int(erases.max()),
+            float(erases.mean()),
+            int(erases.max() - erases.min()),
+            gini,
+        )
+    ftl._wear_core_cache = (ftl.erase_gen, core)
+    return core
+
+
+def wear_report(ftl: DeviceFTL) -> WearReport:
+    """Summarize an FTL's erase distribution and write amplification.
+
+    The distribution scan is memoized on the FTL's ``erase_gen`` ledger
+    counter (see :func:`_wear_core`); the amplification counters are
+    O(1) reads of the FTL's stats dict and always live.
+    """
+    total, max_wear, mean_wear, spread, gini = _wear_core(ftl)
+    stats = ftl.stats
     return WearReport(
-        total_erases=int(total),
-        max_wear=int(erases.max()),
-        mean_wear=float(erases.mean()),
-        spread=int(erases.max() - erases.min()),
+        total_erases=total,
+        max_wear=max_wear,
+        mean_wear=mean_wear,
+        spread=spread,
         gini=gini,
+        host_writes_pages=stats["host_writes_pages"],
+        media_writes_pages=ftl.media_writes_pages,
+        gc_moved_pages=stats["gc_moved_pages"],
+        wl_moved_pages=stats["wl_moved_pages"],
+        waf=ftl.waf,
+        retired_blocks=ftl.retired_blocks,
     )

@@ -37,7 +37,15 @@ from ..experiments.headline import compute_headline
 from ..experiments.parallel import MatrixEngine
 from ..faults.errors import is_transient
 from ..obs.export import CsvStatsRecorder
-from .jobs import CellJob, FigureJob, HeadlineJob, JobSpec, MatrixJob, ServiceError
+from .jobs import (
+    CellJob,
+    FigureJob,
+    HeadlineJob,
+    JobSpec,
+    LifetimeJob,
+    MatrixJob,
+    ServiceError,
+)
 from .metrics import ServiceMetrics
 
 __all__ = ["EngineExecutor", "JobTimeout", "execute_job", "result_to_payload"]
@@ -91,6 +99,29 @@ def execute_job(spec: JobSpec, engine: MatrixEngine) -> dict:
     if isinstance(spec, HeadlineJob):
         text = compute_headline(spec.workload, engine=engine).render()
         return {"kind": "headline", "text": text}
+    if isinstance(spec, LifetimeJob):
+        from ..experiments.lifetime import lifetime_exhibit
+        from ..lifetime.wear import WearPolicy
+
+        report = lifetime_exhibit(
+            spec.workload,
+            engine=engine,
+            labels=spec.labels,
+            kinds=spec.kinds,
+            ages=spec.ages,
+            policy=WearPolicy(kind=spec.wear_policy),
+            seed=spec.seed,
+        )
+        from ..lifetime.sweep import result_to_dict
+
+        return {
+            "kind": "lifetime",
+            "results": {
+                f"{label}|{kind}|{age:g}": result_to_dict(res)
+                for (label, kind, age), res in report.results.items()
+            },
+            "text": report.text,
+        }
     raise TypeError(f"unknown job spec {type(spec).__name__}")
 
 

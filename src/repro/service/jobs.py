@@ -31,6 +31,7 @@ __all__ = [
     "MatrixJob",
     "FigureJob",
     "HeadlineJob",
+    "LifetimeJob",
     "job_from_dict",
     "FIGURE_NAMES",
 ]
@@ -257,11 +258,81 @@ class HeadlineJob(JobSpec):
         return "headline"
 
 
+@dataclass(frozen=True)
+class LifetimeJob(JobSpec):
+    """An aged-device capacity sweep: labels x kinds x age fractions.
+
+    ``ages`` are fractions of rated lifetime in ``[0, 1)``;
+    ``wear_policy`` is one of :data:`repro.lifetime.WEAR_POLICIES`.
+    """
+
+    labels: tuple[str, ...] = ()
+    kinds: tuple[str, ...] = ()
+    ages: tuple[float, ...] = (0.0, 0.5, 0.9)
+    wear_policy: str = "dynamic"
+
+    job_type = "lifetime"
+
+    def validate(self) -> None:
+        super().validate()
+        from ..lifetime.wear import WEAR_POLICIES
+
+        if not self.labels or not self.kinds or not self.ages:
+            raise JobValidationError(
+                "lifetime job needs at least one label, kind and age"
+            )
+        for label in self.labels:
+            if label not in VALID_LABELS:
+                raise JobValidationError(
+                    f"unknown config label {label!r}; have {sorted(VALID_LABELS)}"
+                )
+        for kind in self.kinds:
+            if kind not in VALID_KINDS:
+                raise JobValidationError(
+                    f"unknown NVM kind {kind!r}; have {sorted(VALID_KINDS)}"
+                )
+        for age in self.ages:
+            if not isinstance(age, (int, float)) or not 0.0 <= age < 1.0:
+                raise JobValidationError(
+                    f"ages must be fractions in [0, 1), got {age!r}"
+                )
+        if self.wear_policy not in WEAR_POLICIES:
+            raise JobValidationError(
+                f"unknown wear policy {self.wear_policy!r}; "
+                f"have {list(WEAR_POLICIES)}"
+            )
+
+    def _key_parts(self) -> dict:
+        return {
+            **super()._key_parts(),
+            "labels": list(self.labels),
+            "kinds": list(self.kinds),
+            "ages": [float(a) for a in self.ages],
+            "wear_policy": self.wear_policy,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            **super().to_dict(),
+            "labels": list(self.labels),
+            "kinds": list(self.kinds),
+            "ages": [float(a) for a in self.ages],
+            "wear_policy": self.wear_policy,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"lifetime({len(self.labels)}x{len(self.kinds)}"
+            f"x{len(self.ages)}, {self.wear_policy})"
+        )
+
+
 _JOB_TYPES: dict[str, type[JobSpec]] = {
     "cell": CellJob,
     "matrix": MatrixJob,
     "figure": FigureJob,
     "headline": HeadlineJob,
+    "lifetime": LifetimeJob,
 }
 
 
@@ -300,6 +371,11 @@ def job_from_dict(data: Mapping[str, Any]) -> JobSpec:
             kwargs["kinds"] = tuple(data.get("kinds", ()))
         elif cls is FigureJob:
             kwargs["figure"] = data.get("figure", "")
+        elif cls is LifetimeJob:
+            kwargs["labels"] = tuple(data.get("labels", ()))
+            kwargs["kinds"] = tuple(data.get("kinds", ()))
+            kwargs["ages"] = tuple(data.get("ages", (0.0, 0.5, 0.9)))
+            kwargs["wear_policy"] = data.get("wear_policy", "dynamic")
         spec = cls(**kwargs)
     except JobValidationError:
         raise

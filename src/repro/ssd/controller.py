@@ -95,6 +95,13 @@ class SSDevice:
         self.queue_policy = queue_policy
         #: optional :class:`~repro.faults.device.DeviceFaultModel`
         self.fault_model = None
+        #: optional :class:`~repro.obs.hist.LatencyRecorder` (unit "ns")
+        #: fed each media command's simulated completion latency —
+        #: arrival to (fault-penalized) completion.  Pure observation:
+        #: ``None`` (the default) changes nothing, and recording reads
+        #: only already-computed DES timestamps.  The lifetime sweep
+        #: uses it for per-cell p99 latency.
+        self.latency_recorder = None
         #: optional zero-arg factory overriding the transaction
         #: scheduler; the columnar batch backend installs its
         #: array-native subclass here (``None`` = stock scheduler)
@@ -224,6 +231,8 @@ class SSDevice:
                     done = faults.on_command(
                         req_id, cmd.op, txns, done, sched._decode
                     )
+                if self.latency_recorder is not None:
+                    self.latency_recorder.record(done - cmd_arrival)
             else:  # trim / no-op
                 done = cmd_arrival
             req_id += 1

@@ -24,6 +24,7 @@ single multi-plane command (one cell activation).
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import NamedTuple
 
@@ -57,6 +58,12 @@ class DeviceFTL:
     free-block count per plane unit below which GC runs.
     """
 
+    #: run :meth:`check_invariants` after every GC cycle.  Off by
+    #: default (the scan is O(logical pages)); the test suite turns it
+    #: on globally so wear-leveling relocations cannot silently corrupt
+    #: the L2P map.
+    debug_invariants: bool = os.environ.get("REPRO_FTL_DEBUG", "") not in ("", "0")
+
     def __init__(
         self,
         geometry: Geometry,
@@ -73,12 +80,20 @@ class DeviceFTL:
                 f"logical space ({self.n_logical_pages} pages) exceeds usable "
                 f"capacity ({int(usable)} pages) at OP {overprovision}"
             )
+        self.overprovision = overprovision
         self.gc_low_water = gc_low_water
         self._alloc_unit = 0  # round-robin pointer over plane units
         self._group_counter = 0
+        #: erase-ledger generation: bumped on every mutation of the
+        #: per-block erase counters (GC erases, wear-leveling swaps,
+        #: pre-aging installs).  Consumers that derive views from the
+        #: ledger — :func:`repro.nvm.endurance.wear_report` — memoize on
+        #: it, so unchanged ledgers cost O(1) per snapshot.
+        self.erase_gen = 0
         self.stats = {
             "gc_runs": 0,
             "gc_moved_pages": 0,
+            "wl_moved_pages": 0,
             "host_writes_pages": 0,
             "rmw_reads": 0,
         }
@@ -89,7 +104,7 @@ class DeviceFTL:
     #: translation statically) never pay for them.
     _LAZY_STATE = (
         "map", "reverse", "valid", "frontier", "erases",
-        "free_blocks", "active_block",
+        "free_blocks", "active_block", "retired",
     )
 
     def _materialize(self) -> None:
@@ -104,6 +119,9 @@ class DeviceFTL:
         # free/active block bookkeeping per plane unit
         d["free_blocks"] = [deque(range(B)) for _ in range(U)]
         d["active_block"] = np.full(U, -1, dtype=np.int32)
+        # blocks past their endurance budget, excluded from allocation
+        # and GC (all-False unless install_preexisting_wear retires some)
+        d["retired"] = np.zeros((U, B), dtype=bool)
 
     def __getattr__(self, name: str):
         # only reached when normal lookup fails: first touch of a lazy
@@ -141,6 +159,12 @@ class DeviceFTL:
         for u in range(U):
             slots = full_slots + (1 if u < rem else 0)
             fb, pp = divmod(slots, ppb)
+            last = fb if pp else fb - 1
+            if last >= 0 and self.retired[u, : last + 1].any():
+                raise FTLError(
+                    "preload extends into retired blocks: the device is "
+                    "too worn to hold the data set"
+                )
             for b in range(fb):
                 self.frontier[u, b] = ppb
                 self.valid[u, b] = ppb
@@ -235,14 +259,14 @@ class DeviceFTL:
         Returns the flat index actually bound (a fresh allocation when
         the identity slot is already occupied, keeping maps injective).
         """
-        if flat in self.reverse:
+        u = flat % self.geom.plane_units
+        s = flat // self.geom.plane_units
+        b, p = divmod(s, self.geom.pages_per_block)
+        if flat in self.reverse or self.retired[u, b]:
             flat = self._allocate()
             self.map[lpage] = flat
             self.reverse[flat] = lpage
             return flat
-        u = flat % self.geom.plane_units
-        s = flat // self.geom.plane_units
-        b, p = divmod(s, self.geom.pages_per_block)
         self.map[lpage] = flat
         self.reverse[flat] = lpage
         if self.frontier[u, b] <= p:
@@ -255,6 +279,16 @@ class DeviceFTL:
     # ------------------------------------------------------------------
     # allocation and garbage collection
     # ------------------------------------------------------------------
+    def _take_free_block(self, u: int) -> int:
+        """Pick the next free block of unit ``u`` (non-empty pool).
+
+        The base policy is FIFO round-robin: blocks re-enter the pool at
+        the tail as GC erases them, so selection cycles the whole pool.
+        :class:`repro.lifetime.WearFTL` overrides this hook with
+        wear-aware (cold-block-first) selection.
+        """
+        return self.free_blocks[u].popleft()
+
     def _allocate(self) -> int:
         """Allocate the next physical page, striping across plane units."""
         geom = self.geom
@@ -270,12 +304,43 @@ class DeviceFTL:
                 self.valid[u, b] += 1
                 return (b * ppb + p) * U + u
             if self.free_blocks[u]:
-                b = self.free_blocks[u].popleft()  # FIFO: round-robin wear
+                b = self._take_free_block(u)
                 self.active_block[u] = b
                 self.frontier[u, b] = 1
                 self.valid[u, b] += 1
                 return (b * ppb + 0) * U + u
         raise FTLError("device out of free space (GC cannot keep up)")
+
+    def _allocate_in_unit(self, u: int) -> int:
+        """Next physical page of unit ``u`` only (relocation target).
+
+        GC and wear-leveling relocations must be self-contained per
+        unit: routing them through the striped :meth:`_allocate` lets
+        one unit's collection drain *other* units' free pools without
+        ever triggering their GC, deadlocking the whole device once
+        spare area shrinks (retired blocks on aged devices).  In-unit
+        relocation consumes at most one free block and the victim's
+        erase immediately returns one.
+        """
+        geom = self.geom
+        ppb = geom.pages_per_block
+        U = geom.plane_units
+        b = int(self.active_block[u])
+        if b >= 0 and self.frontier[u, b] < ppb:
+            p = int(self.frontier[u, b])
+            self.frontier[u, b] = p + 1
+            self.valid[u, b] += 1
+            return (b * ppb + p) * U + u
+        if self.free_blocks[u]:
+            b = self._take_free_block(u)
+            self.active_block[u] = b
+            self.frontier[u, b] = 1
+            self.valid[u, b] += 1
+            return (b * ppb + 0) * U + u
+        raise FTLError(
+            f"unit {u} out of free space during relocation "
+            "(device past sustainable wear)"
+        )
 
     def _invalidate(self, flat: int) -> None:
         u = flat % self.geom.plane_units
@@ -305,7 +370,9 @@ class DeviceFTL:
         candidates = [
             b
             for b in range(geom.blocks_per_plane)
-            if self.frontier[u, b] == ppb and b != self.active_block[u]
+            if self.frontier[u, b] == ppb
+            and b != self.active_block[u]
+            and not self.retired[u, b]
         ]
         if not candidates:
             return []
@@ -318,10 +385,10 @@ class DeviceFTL:
             lpage = self.reverse.get(flat)
             if lpage is None:
                 continue
-            # relocate: read out, invalidate, rewrite elsewhere
+            # relocate: read out, invalidate, rewrite within the unit
             txns.append(Txn(OpCode.READ, flat, self.page_bytes, -1, p))
             self._invalidate(flat)
-            new_flat = self._allocate()
+            new_flat = self._allocate_in_unit(u)
             self.map[lpage] = new_flat
             self.reverse[new_flat] = lpage
             self.stats["gc_moved_pages"] += 1
@@ -332,8 +399,11 @@ class DeviceFTL:
         self.frontier[u, victim] = 0
         self.valid[u, victim] = 0
         self.erases[u, victim] += 1
+        self.erase_gen += 1
         self.free_blocks[u].append(victim)
         txns.append(Txn(OpCode.ERASE, (victim * ppb) * U + u, 0, -1, 0))
+        if self.debug_invariants:
+            self.check_invariants()
         return txns
 
     # ------------------------------------------------------------------
@@ -392,6 +462,10 @@ class DeviceFTL:
         # valid counts never exceed frontiers
         assert np.all(self.valid <= self.frontier), "valid beyond frontier"
         assert np.all(self.valid >= 0), "negative valid count"
+        # retired blocks hold no data and are out of every pool
+        assert np.all(self.frontier[self.retired] == 0), "retired block written"
+        for u, free in enumerate(self.free_blocks):
+            assert not any(self.retired[u, b] for b in free), "retired block in pool"
 
     @property
     def max_wear(self) -> int:
@@ -400,3 +474,73 @@ class DeviceFTL:
     @property
     def wear_spread(self) -> int:
         return int(self.erases.max() - self.erases.min())
+
+    @property
+    def media_writes_pages(self) -> int:
+        """Pages physically programmed: host writes plus relocations."""
+        s = self.stats
+        return (
+            s["host_writes_pages"] + s["gc_moved_pages"] + s["wl_moved_pages"]
+        )
+
+    @property
+    def waf(self) -> float:
+        """Write-amplification factor: media pages per host page.
+
+        1.0 before any host write (nothing has been amplified yet).
+        """
+        host = self.stats["host_writes_pages"]
+        return self.media_writes_pages / host if host else 1.0
+
+    @property
+    def retired_blocks(self) -> int:
+        return int(self.retired.sum())
+
+    # ------------------------------------------------------------------
+    # pre-existing wear (repro.lifetime aging)
+    # ------------------------------------------------------------------
+    def install_preexisting_wear(
+        self, wear: np.ndarray, retire_at: int | None = None
+    ) -> None:
+        """Install a per-block erase history on a *fresh* device.
+
+        The sanctioned entry point for :mod:`repro.lifetime`'s aging
+        model (the WEAR001 lint rule bans ad-hoc ledger mutation
+        elsewhere).  ``wear`` is a ``(plane_units, blocks_per_plane)``
+        array of prior erase counts; blocks at or past ``retire_at``
+        (default: the medium's Table-1 endurance budget) are retired —
+        removed from the free pools and excluded from GC — shrinking
+        effective over-provisioning exactly the way worn devices lose
+        spare area.  Retirement takes the highest-numbered blocks of
+        each unit so the identity-striped preload region stays intact.
+
+        Must run before :meth:`preload` and before any translation.
+        """
+        wear = np.asarray(wear, dtype=np.int64)
+        if wear.shape != self.erases.shape:
+            raise FTLError(
+                f"wear shape {wear.shape} != block grid {self.erases.shape}"
+            )
+        if np.any(wear < 0):
+            raise FTLError("negative erase counts in wear array")
+        if self.reverse or self.frontier.any() or self.erases.any():
+            raise FTLError(
+                "pre-existing wear must be installed on a fresh device "
+                "(before preload and any translation)"
+            )
+        if retire_at is None:
+            retire_at = self.geom.kind.endurance_cycles
+        # sort each unit's counts ascending so the most-worn blocks land
+        # on the highest block ids — the ones retirement removes — and
+        # retired <=> wear >= retire_at holds block-by-block.  The wear
+        # *distribution* (mean/spread/gini) is permutation-invariant.
+        self.erases[:, :] = np.sort(wear, axis=1)
+        B = self.geom.blocks_per_plane
+        for u in range(self.geom.plane_units):
+            n_retire = int(np.count_nonzero(wear[u] >= retire_at))
+            if not n_retire:
+                continue
+            for b in range(B - n_retire, B):
+                self.retired[u, b] = True
+                self.free_blocks[u].remove(b)
+        self.erase_gen += 1

@@ -52,3 +52,20 @@ def mlc_device() -> SSDevice:
         logical_bytes=256 * MiB,
         readahead_bytes=None,
     )
+
+
+@pytest.fixture(autouse=True)
+def _ftl_debug_invariants():
+    """Run the FTL's invariant scan after every GC cycle, suite-wide.
+
+    Production leaves ``debug_invariants`` off (the scan is O(logical
+    pages)); under test every GC cycle and wear-leveling swap must keep
+    the L2P map consistent, so relocations can never silently corrupt
+    it and pass on timing alone.
+    """
+    from repro.ssd.ftl import DeviceFTL
+
+    prev = DeviceFTL.debug_invariants
+    DeviceFTL.debug_invariants = True
+    yield
+    DeviceFTL.debug_invariants = prev

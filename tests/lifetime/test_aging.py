@@ -1,0 +1,175 @@
+"""Aging model: determinism, age-0 neutrality, fault coupling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import (
+    AGE_DIE_FAILURE_COEFF,
+    AGE_READ_RETRY_COEFF,
+    FaultSpec,
+    age_fault_rates,
+)
+from repro.lifetime.aging import AgingSpec, aged_faults, block_wear, install_age
+from repro.lifetime.wear import WearFTL, WearPolicy
+from repro.nvm import SLC, TLC
+from repro.ssd import Geometry
+
+
+def geom(kind=TLC):
+    return Geometry(
+        kind=kind,
+        channels=1,
+        packages_per_channel=2,
+        dies_per_package=1,
+        planes_per_die=2,
+        blocks_per_plane=16,
+    )
+
+
+class TestAgingSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgingSpec(age_fraction=1.0)  # a dead device cannot replay
+        with pytest.raises(ValueError):
+            AgingSpec(age_fraction=-0.1)
+        with pytest.raises(ValueError):
+            AgingSpec(wear_sigma=1.0)
+
+    def test_rng_seed_distinguishes_fields(self):
+        base = AgingSpec(age_fraction=0.5)
+        assert base.rng_seed() == AgingSpec(age_fraction=0.5).rng_seed()
+        assert base.rng_seed() != AgingSpec(age_fraction=0.9).rng_seed()
+        assert base.rng_seed() != AgingSpec(age_fraction=0.5, seed=7).rng_seed()
+        assert (
+            base.rng_seed()
+            != AgingSpec(age_fraction=0.5, wear_sigma=0.2).rng_seed()
+        )
+
+    def test_signature_is_json_safe(self):
+        assert AgingSpec(age_fraction=0.5).signature() == {
+            "age_fraction": 0.5,
+            "seed": 1013,
+            "wear_sigma": 0.12,
+        }
+
+
+class TestBlockWear:
+    def test_zero_at_age_zero(self):
+        wear = block_wear(geom(), AgingSpec(age_fraction=0.0))
+        assert wear.shape == (4, 16)
+        assert not wear.any()
+
+    def test_deterministic(self):
+        g = geom()
+        spec = AgingSpec(age_fraction=0.5)
+        assert np.array_equal(block_wear(g, spec), block_wear(g, spec))
+
+    def test_mean_tracks_age_and_budget(self):
+        g = geom()  # TLC: 3000-cycle budget
+        wear = block_wear(g, AgingSpec(age_fraction=0.5))
+        assert wear.mean() == pytest.approx(1500, rel=0.05)
+        assert (wear > 0).all()
+        # dispersion: not uniform, bounded by sigma
+        assert wear.min() >= 1500 * (1 - 0.12) - 1
+        assert wear.max() <= 1500 * (1 + 0.12) + 1
+        assert wear.min() < wear.max()
+
+
+class TestInstallAge:
+    def test_age_zero_is_a_noop(self):
+        g = geom()
+        ftl = WearFTL(g, g.capacity_bytes // 4, policy=WearPolicy())
+        gen0 = ftl.erase_gen
+        install_age(ftl, AgingSpec(age_fraction=0.0))
+        assert ftl.erase_gen == gen0
+        assert not ftl.erases.any()
+        assert ftl.retired_blocks == 0
+
+    def test_aged_device_wears_and_retires(self):
+        g = geom()
+        ftl = WearFTL(g, g.capacity_bytes // 4, policy=WearPolicy())
+        install_age(ftl, AgingSpec(age_fraction=0.95))
+        # mean wear ~ 0.95 * 3000 = 2850; the +12% tail crosses 3000
+        assert ftl.erases.mean() == pytest.approx(2850, rel=0.05)
+        assert ftl.retired_blocks > 0
+        ftl.check_invariants()
+
+    def test_retirement_monotone_in_age(self):
+        g = geom()
+        retired = []
+        for age in (0.0, 0.5, 0.95):
+            ftl = WearFTL(g, g.capacity_bytes // 4, policy=WearPolicy())
+            install_age(ftl, AgingSpec(age_fraction=age))
+            retired.append(ftl.retired_blocks)
+        assert retired[0] == 0
+        assert retired[0] <= retired[1] <= retired[2]
+        assert retired[2] > 0
+
+
+class TestAgeFaultRates:
+    def test_zero_at_age_zero(self):
+        assert age_fault_rates(0.0) == (0.0, 0.0)
+
+    def test_polynomial_shape(self):
+        read, die = age_fault_rates(0.5)
+        assert read == pytest.approx(AGE_READ_RETRY_COEFF * 0.25)
+        assert die == pytest.approx(AGE_DIE_FAILURE_COEFF * 0.125)
+
+    def test_monotone_in_age(self):
+        rates = [age_fault_rates(a) for a in (0.0, 0.3, 0.6, 0.9)]
+        for (r0, d0), (r1, d1) in zip(rates, rates[1:]):
+            assert r1 > r0 or (r0 == r1 == 0.0)
+            assert d1 > d0 or (d0 == d1 == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            age_fault_rates(1.0)
+        with pytest.raises(ValueError):
+            age_fault_rates(-0.1)
+
+
+class TestAgedFaults:
+    def test_age_zero_returns_base_untouched(self):
+        spec = AgingSpec(age_fraction=0.0)
+        assert aged_faults(None, spec) is None
+        base = FaultSpec.default_chaos(3)
+        assert aged_faults(base, spec) is base
+
+    def test_aged_device_always_gets_a_regime(self):
+        spec = AgingSpec(age_fraction=0.5, seed=42)
+        faults = aged_faults(None, spec)
+        assert faults is not None
+        assert faults.seed == 42
+        assert faults.read_fault_rate > 0
+        assert faults.die_failure_rate > 0
+
+    def test_rates_add_to_base(self):
+        base = FaultSpec.default_chaos(3)
+        aged = aged_faults(base, AgingSpec(age_fraction=0.5))
+        assert aged.read_fault_rate > base.read_fault_rate
+        assert aged.die_failure_rate > base.die_failure_rate
+
+    def test_rates_capped_at_one(self):
+        base = FaultSpec(seed=1, read_fault_rate=0.999, die_failure_rate=0.999)
+        aged = aged_faults(base, AgingSpec(age_fraction=0.9))
+        assert aged.read_fault_rate <= 1.0
+        assert aged.die_failure_rate <= 1.0
+
+
+class TestEndToEndAgedDevice:
+    def test_slc_resists_retirement_longer_than_tlc(self):
+        """Same age fraction, same sigma: the wear *distribution* scales
+        with the endurance budget, so retirement (wear >= budget) hits
+        at the same fraction — but the absolute wear differs 33x."""
+        slc = WearFTL(
+            geom(SLC), geom(SLC).capacity_bytes // 4, policy=WearPolicy()
+        )
+        tlc = WearFTL(
+            geom(TLC), geom(TLC).capacity_bytes // 4, policy=WearPolicy()
+        )
+        spec = AgingSpec(age_fraction=0.5)
+        install_age(slc, spec)
+        install_age(tlc, spec)
+        assert slc.erases.mean() > 10 * tlc.erases.mean()

@@ -1,0 +1,180 @@
+"""Sweep plumbing: result cache, metrics export, report, service job."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cache import ResultCache, lifetime_key
+from repro.experiments.runner import Workload
+from repro.lifetime import (
+    AgingSpec,
+    LifetimeCellResult,
+    WearPolicy,
+    lifetime_sweep,
+    run_lifetime_cell,
+)
+from repro.lifetime.sweep import result_to_dict
+from repro.obs.export import prometheus_text
+from repro.obs.registry import MetricsRegistry
+from repro.service.jobs import LifetimeJob, ServiceError, job_from_dict
+
+KiB = 1024
+TINY = Workload(panels=2, panel_bytes=256 * KiB)
+SEED = 1013
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        aging = AgingSpec(age_fraction=0.5, seed=SEED)
+        policy = WearPolicy(kind="dynamic")
+        result = run_lifetime_cell(
+            "CNL-UFS", "TLC", 0.5, policy=policy, workload=TINY, seed=SEED
+        )
+        cache.put_lifetime(result, TINY, SEED, aging, policy)
+        hit = cache.get_lifetime(
+            "CNL-UFS", "TLC", TINY, SEED, aging, policy
+        )
+        assert hit == result
+        assert isinstance(hit, LifetimeCellResult)
+        # a different age, policy or seed is a different entry
+        assert (
+            cache.get_lifetime(
+                "CNL-UFS", "TLC", TINY, SEED,
+                AgingSpec(age_fraction=0.9, seed=SEED), policy,
+            )
+            is None
+        )
+        assert (
+            cache.get_lifetime(
+                "CNL-UFS", "TLC", TINY, SEED, aging, WearPolicy(kind="static")
+            )
+            is None
+        )
+
+    def test_disk_entries_survive_reopen(self, tmp_path):
+        aging = AgingSpec(age_fraction=0.5, seed=SEED)
+        policy = WearPolicy(kind="dynamic")
+        result = run_lifetime_cell(
+            "CNL-UFS", "TLC", 0.5, policy=policy, workload=TINY, seed=SEED
+        )
+        ResultCache(tmp_path).put_lifetime(result, TINY, SEED, aging, policy)
+        reopened = ResultCache(tmp_path)
+        assert (
+            reopened.get_lifetime("CNL-UFS", "TLC", TINY, SEED, aging, policy)
+            == result
+        )
+
+    def test_key_distinguishes_all_axes(self):
+        aging = AgingSpec(age_fraction=0.5)
+        policy = WearPolicy(kind="dynamic")
+        base = lifetime_key("CNL-UFS", "TLC", TINY, SEED, aging, policy)
+        assert base == lifetime_key("CNL-UFS", "TLC", TINY, SEED, aging, policy)
+        variants = [
+            lifetime_key("ION-GPFS", "TLC", TINY, SEED, aging, policy),
+            lifetime_key("CNL-UFS", "MLC", TINY, SEED, aging, policy),
+            lifetime_key("CNL-UFS", "TLC", TINY, 7, aging, policy),
+            lifetime_key(
+                "CNL-UFS", "TLC", TINY, SEED, AgingSpec(age_fraction=0.9),
+                policy,
+            ),
+            lifetime_key(
+                "CNL-UFS", "TLC", TINY, SEED, aging, WearPolicy(kind="static")
+            ),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_sweep_uses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        kwargs = dict(
+            kinds=("TLC",), ages=(0.0, 0.5), policy=WearPolicy(kind="dynamic"),
+            workload=TINY, seed=SEED, cache=cache,
+        )
+        first = lifetime_sweep(("CNL-UFS",), **kwargs)
+        second = lifetime_sweep(("CNL-UFS",), **kwargs)
+        assert first.results == second.results
+
+
+class TestReportAndMetrics:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return lifetime_sweep(
+            ("CNL-UFS",), kinds=("TLC",), ages=(0.0, 0.9),
+            policy=WearPolicy(kind="dynamic"), workload=TINY, seed=SEED,
+        )
+
+    def test_text_has_all_cells(self, report):
+        text = report.text
+        assert "Device lifetime sweep" in text
+        assert "CNL-UFS" in text
+        assert " 0%" in text and "90%" in text
+
+    def test_publish_exports_gauge_families(self, report):
+        registry = MetricsRegistry()
+        report.publish(registry)
+        text = prometheus_text(registry)
+        for family in (
+            "repro_lifetime_bandwidth_mb",
+            "repro_lifetime_p99_latency_ms",
+            "repro_lifetime_waf",
+            "repro_lifetime_wear_spread",
+            "repro_lifetime_retired_blocks",
+            "repro_lifetime_read_fault_p",
+            "repro_lifetime_faults_injected",
+        ):
+            assert family in text
+        assert 'age="0.90"' in text and 'policy="dynamic"' in text
+
+    def test_result_to_dict_is_json_safe(self, report):
+        import json
+
+        for res in report.results.values():
+            payload = result_to_dict(res)
+            assert json.loads(json.dumps(payload)) == payload
+
+
+class TestLifetimeJob:
+    def good(self, **kw):
+        args = dict(
+            labels=("CNL-UFS",), kinds=("TLC",), ages=(0.0, 0.5),
+            wear_policy="dynamic", workload=TINY, seed=SEED,
+        )
+        args.update(kw)
+        return LifetimeJob(**args)
+
+    def test_validate_accepts_good_spec(self):
+        self.good().validate()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"labels": ()},
+            {"kinds": ()},
+            {"ages": ()},
+            {"labels": ("NOPE",)},
+            {"kinds": ("QLC",)},
+            {"ages": (1.0,)},
+            {"ages": (-0.5,)},
+            {"wear_policy": "aggressive"},
+        ],
+    )
+    def test_validate_rejects(self, kw):
+        with pytest.raises(ServiceError):
+            self.good(**kw).validate()
+
+    def test_dict_round_trip(self):
+        spec = self.good()
+        parsed = job_from_dict(spec.to_dict())
+        assert isinstance(parsed, LifetimeJob)
+        assert parsed.labels == spec.labels
+        assert parsed.kinds == spec.kinds
+        assert parsed.ages == spec.ages
+        assert parsed.wear_policy == spec.wear_policy
+        assert parsed.key() == spec.key()
+
+    def test_key_depends_on_axes(self):
+        assert self.good().key() != self.good(wear_policy="static").key()
+        assert self.good().key() != self.good(ages=(0.0, 0.9)).key()
+
+    def test_describe(self):
+        assert "lifetime" in self.good().describe()

@@ -1,0 +1,276 @@
+"""WearFTL unit tests: policies, GC write amplification, retirement.
+
+These use a deliberately small, write-heavy configuration — a few
+blocks per plane, seeded random overwrites of a small logical extent —
+so garbage collection actually cycles and the WAF / wear-leveling
+effects the exhibit-scale sweeps cannot show (the eigensolver workload
+is read-dominated) are exercised for real.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lifetime.wear import WEAR_POLICIES, WearFTL, WearPolicy
+from repro.nvm import SLC
+from repro.ssd import DeviceFTL, Geometry
+from repro.ssd.ftl import FTLError
+from repro.ssd.request import DeviceCommand
+
+KiB = 1024
+
+
+def tiny_geom(blocks: int = 8) -> Geometry:
+    """2 plane units, ``blocks`` blocks each: GC cycles within a test."""
+    return Geometry(
+        kind=SLC,
+        channels=1,
+        packages_per_channel=1,
+        dies_per_package=1,
+        planes_per_die=2,
+        blocks_per_plane=blocks,
+    )
+
+
+def churn(ftl: DeviceFTL, pages: int, writes: int, seed: int = 11) -> None:
+    """Seeded random single-page overwrites of the first ``pages``.
+
+    Random (not cyclic) order keeps collected blocks partially valid,
+    so GC actually relocates pages instead of reclaiming for free.
+    """
+    pb = ftl.page_bytes
+    rng = np.random.default_rng(seed)
+    for p in rng.integers(0, pages, size=writes):
+        ftl.translate(DeviceCommand("write", int(p) * pb, pb))
+
+
+def build(policy: WearPolicy, blocks: int = 8) -> WearFTL:
+    geom = tiny_geom(blocks)
+    return WearFTL(geom, logical_bytes=geom.capacity_bytes // 4, policy=policy)
+
+
+class TestWearPolicy:
+    def test_kinds(self):
+        assert WEAR_POLICIES == ("none", "dynamic", "static")
+        for kind in WEAR_POLICIES:
+            assert WearPolicy(kind=kind).kind == kind
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WearPolicy(kind="aggressive")
+        with pytest.raises(ValueError):
+            WearPolicy(static_threshold=0)
+        with pytest.raises(ValueError):
+            WearPolicy(static_interval=0)
+
+    def test_signature_is_json_safe_identity(self):
+        sig = WearPolicy(kind="static", static_threshold=3).signature()
+        assert sig == {
+            "kind": "static",
+            "static_threshold": 3,
+            "static_interval": 4,
+        }
+
+
+class TestPolicyNoneIdentity:
+    def test_bit_identical_to_base_ftl(self):
+        """policy='none' must replay exactly like the stock FTL."""
+        geom = tiny_geom()
+        base = DeviceFTL(geom, logical_bytes=geom.capacity_bytes // 4)
+        wear = build(WearPolicy(kind="none"))
+        churn(base, pages=256, writes=4000)
+        churn(wear, pages=256, writes=4000)
+        assert base.stats == wear.stats
+        assert np.array_equal(base.erases, wear.erases)
+        assert np.array_equal(base.map, wear.map)
+        assert base.waf == wear.waf
+        assert wear.stats["wl_moved_pages"] == 0
+
+
+class TestGCAndWAF:
+    def test_churn_forces_gc_and_amplification(self):
+        ftl = build(WearPolicy(kind="none"))
+        churn(ftl, pages=256, writes=4000)
+        assert ftl.stats["gc_runs"] > 0
+        assert ftl.stats["gc_moved_pages"] > 0
+        assert ftl.waf > 1.0
+        assert ftl.media_writes_pages == (
+            ftl.stats["host_writes_pages"]
+            + ftl.stats["gc_moved_pages"]
+            + ftl.stats["wl_moved_pages"]
+        )
+
+    def test_waf_grows_with_churn(self):
+        """More overwrite traffic => strictly more amplification."""
+        light = build(WearPolicy(kind="none"))
+        heavy = build(WearPolicy(kind="none"))
+        churn(light, pages=256, writes=1500)
+        churn(heavy, pages=256, writes=6000)
+        assert heavy.waf > light.waf > 1.0
+
+    def test_retirement_raises_waf(self):
+        """Retired blocks shrink spare area => more GC per host write."""
+        fresh = build(WearPolicy(kind="none"))
+        aged = build(WearPolicy(kind="none"))
+        wear = np.zeros(aged.erases.shape, dtype=np.int64)
+        wear[:, -2:] = 50  # two blocks per unit past the budget
+        aged.install_preexisting_wear(wear, retire_at=50)
+        assert aged.retired_blocks == 2 * aged.geom.plane_units
+        churn(fresh, pages=256, writes=4000)
+        churn(aged, pages=256, writes=4000)
+        assert aged.waf > fresh.waf
+        aged.check_invariants()
+
+
+class TestDynamicPolicy:
+    def level(self, kind: str) -> WearFTL:
+        """Cold data pins fresh blocks while churn wears the rest; the
+        trim then releases the near-zero-wear blocks into a worn pool —
+        the situation dynamic leveling exists for."""
+        ftl = build(WearPolicy(kind=kind))
+        pb = ftl.page_bytes
+        cold = ftl.geom.pages_per_block * ftl.geom.plane_units
+        for p in range(cold):
+            ftl.translate(DeviceCommand("write", p * pb, pb))
+        rng = np.random.default_rng(13)
+        for p in rng.integers(cold, 256, size=5000):
+            ftl.translate(DeviceCommand("write", int(p) * pb, pb))
+        ftl.translate(DeviceCommand("trim", 0, cold * pb))
+        for p in rng.integers(cold, 256, size=5000):
+            ftl.translate(DeviceCommand("write", int(p) * pb, pb))
+        return ftl
+
+    def test_cold_first_allocation_narrows_spread(self):
+        none = self.level("none")
+        dyn = self.level("dynamic")
+        assert dyn.wear_spread < none.wear_spread
+        assert dyn.max_wear <= none.max_wear
+
+    def test_no_wl_traffic(self):
+        """Dynamic leveling only steers allocation: zero relocations,
+        so it never charges the write-amplification factor."""
+        ftl = self.level("dynamic")
+        assert ftl.stats["wl_moved_pages"] == 0
+
+
+class TestStaticPolicy:
+    def build_skewed(self, kind: str) -> WearFTL:
+        """One block per unit of never-rewritten cold data, then heavy
+        churn over a small hot extent."""
+        ftl = build(
+            WearPolicy(kind=kind, static_threshold=2, static_interval=1)
+        )
+        pb = ftl.page_bytes
+        cold = ftl.geom.pages_per_block * ftl.geom.plane_units
+        for p in range(cold):
+            ftl.translate(DeviceCommand("write", p * pb, pb))
+        rng = np.random.default_rng(13)
+        for p in rng.integers(cold, cold + 64, size=4000):
+            ftl.translate(DeviceCommand("write", int(p) * pb, pb))
+        return ftl
+
+    def test_swap_releases_cold_blocks_and_charges_waf(self):
+        static = self.build_skewed("static")
+        none = self.build_skewed("none")
+        # without leveling, the cold blocks (first allocated: block 0
+        # of each unit) stay pinned at zero wear forever
+        assert np.all(none.erases[:, 0] == 0)
+        # static swaps move the cold data and recycle its blocks
+        assert np.all(static.erases[:, 0] > 0)
+        assert static.stats["wl_moved_pages"] > 0
+        # the relocations are real media traffic, charged to WAF
+        assert static.media_writes_pages > none.media_writes_pages
+        assert static.waf > none.waf
+        static.check_invariants()
+
+    def test_swap_respects_threshold(self):
+        """A huge threshold never fires a swap: behaves like none."""
+        ftl = build(WearPolicy(kind="static", static_threshold=10**6))
+        churn(ftl, pages=256, writes=4000)
+        assert ftl.stats["wl_moved_pages"] == 0
+
+
+class TestInstallPreexistingWear:
+    def test_validation(self):
+        ftl = build(WearPolicy())
+        with pytest.raises(FTLError):
+            ftl.install_preexisting_wear(np.zeros((1, 1), dtype=np.int64))
+        with pytest.raises(FTLError):
+            ftl.install_preexisting_wear(
+                np.full(ftl.erases.shape, -1, dtype=np.int64)
+            )
+        churn(ftl, pages=4, writes=4)
+        with pytest.raises(FTLError):  # no longer a fresh device
+            ftl.install_preexisting_wear(
+                np.zeros(ftl.erases.shape, dtype=np.int64)
+            )
+
+    def test_distribution_preserved_and_gen_bumped(self):
+        ftl = build(WearPolicy())
+        rng = np.random.default_rng(3)
+        wear = rng.integers(0, 30, size=ftl.erases.shape)
+        gen0 = ftl.erase_gen
+        ftl.install_preexisting_wear(np.array(wear), retire_at=10**9)
+        assert ftl.erase_gen == gen0 + 1
+        # per-unit distribution is permutation-invariant
+        assert np.array_equal(
+            np.sort(wear, axis=1), np.sort(ftl.erases, axis=1)
+        )
+
+    def test_retired_blocks_out_of_pools(self):
+        ftl = build(WearPolicy())
+        wear = np.zeros(ftl.erases.shape, dtype=np.int64)
+        wear[:, :3] = 100  # three over-budget blocks per unit
+        ftl.install_preexisting_wear(wear, retire_at=100)
+        B = ftl.geom.blocks_per_plane
+        for u in range(ftl.geom.plane_units):
+            assert not any(ftl.retired[u, b] for b in ftl.free_blocks[u])
+            # highest block ids retired, preload region intact
+            assert list(np.flatnonzero(ftl.retired[u])) == [B - 3, B - 2, B - 1]
+        ftl.check_invariants()
+
+    def test_preload_guard(self):
+        """Preloading into the retired region must fail loudly."""
+        ftl = build(WearPolicy())
+        wear = np.zeros(ftl.erases.shape, dtype=np.int64)
+        wear[:, 1:] = 100  # retire all but one block per unit
+        ftl.install_preexisting_wear(wear, retire_at=100)
+        with pytest.raises(FTLError):
+            ftl.preload(ftl.n_logical_pages * ftl.page_bytes)
+
+    def test_worn_out_device_fails_loudly(self):
+        """Past sustainable wear the FTL raises instead of looping."""
+        geom = tiny_geom()
+        ftl = WearFTL(
+            geom, logical_bytes=geom.capacity_bytes // 2, policy=WearPolicy()
+        )
+        wear = np.zeros(ftl.erases.shape, dtype=np.int64)
+        wear[:, -3:] = 50  # too little spare left for the logical space
+        ftl.install_preexisting_wear(wear, retire_at=50)
+        with pytest.raises(FTLError):
+            churn(ftl, pages=512, writes=20_000)
+
+
+class TestAdopt:
+    def test_adopt_preserves_parameters(self):
+        geom = tiny_geom()
+        base = DeviceFTL(
+            geom,
+            logical_bytes=geom.capacity_bytes // 4,
+            overprovision=0.25,
+            gc_low_water=3,
+        )
+        ftl = WearFTL.adopt(base, WearPolicy(kind="dynamic"))
+        assert ftl.geom is geom
+        assert ftl.n_logical_pages == base.n_logical_pages
+        assert ftl.overprovision == base.overprovision
+        assert ftl.gc_low_water == base.gc_low_water
+        assert ftl.policy.kind == "dynamic"
+
+    def test_adopt_refuses_used_ftl(self):
+        geom = tiny_geom()
+        base = DeviceFTL(geom, logical_bytes=geom.capacity_bytes // 4)
+        churn(base, pages=2, writes=2)
+        with pytest.raises(FTLError):
+            WearFTL.adopt(base, WearPolicy())

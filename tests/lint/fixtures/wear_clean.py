@@ -1,0 +1,19 @@
+"""Read-only twin of wear_violations.py: must lint clean."""
+
+
+def observe(ftl, u, b):
+    total = int(ftl.erases.sum())  # reads are fine
+    gen = ftl.erase_gen  # reads are fine
+    spread = int(ftl.erases[u, b])  # subscript read is fine
+    return total, gen, spread
+
+
+def locals_are_fine():
+    erases = 3  # bare local, not a ledger attribute
+    erase_gen: int = 0  # annotated local
+    erases += 1
+    return erases, erase_gen
+
+
+def age(ftl, wear):
+    ftl.install_preexisting_wear(wear)  # the sanctioned mutation path

@@ -1,0 +1,17 @@
+"""Seeded WEAR violations: erase-ledger mutation outside ssd/lifetime."""
+
+
+def tamper(ftl, u, b):
+    ftl.erases[u, b] += 1  # WEAR001: subscript aug-assign
+    ftl.erases = None  # WEAR001: attribute rebind
+    ftl.erase_gen = 0  # WEAR001: generation counter reset
+    ftl.erase_gen += 1  # WEAR001: generation counter bump
+    ftl.state.erases[u] = 3  # WEAR001: nested attribute chain
+
+
+def unpack(ftl, other):
+    ftl.erases, other = other, None  # WEAR001: tuple-unpack store
+
+
+def annotated(ftl):
+    ftl.erase_gen: int = 7  # WEAR001: annotated store

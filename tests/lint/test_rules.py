@@ -115,3 +115,27 @@ def test_obs_only_gated_dirs(tmp_path):
 def test_select_filters_by_code_and_family(select, expected):
     rules = set(rules_in(FIXTURES / "unit_violations.py", select))
     assert rules == expected
+
+
+# -- WEAR ---------------------------------------------------------------
+def test_wear_violations_all_fire():
+    rules = rules_in(FIXTURES / "wear_violations.py", "WEAR")
+    assert rules.count("WEAR001") == 7
+
+
+def test_wear_clean_file_is_clean():
+    assert rules_in(FIXTURES / "wear_clean.py", "WEAR") == []
+
+
+def test_wear_exempts_device_layers(tmp_path):
+    """The same mutations under ssd/ or lifetime/ are the erase paths."""
+    src = (FIXTURES / "wear_violations.py").read_text()
+    for exempt in ("ssd", "lifetime"):
+        gated = tmp_path / exempt / "ftl.py"
+        gated.parent.mkdir(parents=True)
+        gated.write_text(src)
+        assert rules_in(gated, "WEAR") == []
+    elsewhere = tmp_path / "experiments" / "hack.py"
+    elsewhere.parent.mkdir(parents=True)
+    elsewhere.write_text(src)
+    assert "WEAR001" in rules_in(elsewhere, "WEAR")

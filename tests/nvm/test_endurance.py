@@ -94,3 +94,28 @@ class TestWearReport:
         # FIFO free-block recycling keeps the distribution tight
         assert 0.0 <= rep.gini < 0.5
         assert rep.well_leveled
+
+
+class TestLifetimeGoldens:
+    """Frozen projections at 100 GiB/day: catch any silent drift in the
+    Table-1 endurance budgets, density-derived capacities, or the
+    budget formula itself (repro.lifetime ages devices against these
+    numbers, so a drift here skews every aged sweep)."""
+
+    RATE = 100 * GiB
+    GOLDEN = {
+        # kind: (capacity_bytes, endurance_cycles, lifetime_years, dwpd)
+        "SLC": (8589934592, 100_000, 13.141683778234086, 12.5),
+        "MLC": (34359738368, 10_000, 5.256673511293634, 3.125),
+        "TLC": (103079215104, 3_000, 4.731006160164271, 1.0416666666666667),
+        "PCM": (34359738368, 10_000_000, 5256.673511293635, 3.125),
+    }
+
+    @pytest.mark.parametrize("kind", (SLC, MLC, TLC, PCM), ids=lambda k: k.name)
+    def test_golden_projection(self, kind):
+        capacity, cycles, years, dwpd = self.GOLDEN[kind.name]
+        est = estimate_lifetime(Geometry(kind=kind), self.RATE)
+        assert est.capacity_bytes == capacity
+        assert est.endurance_cycles == cycles
+        assert est.lifetime_years == years  # bit-exact, not approx
+        assert est.drive_writes_per_day == dwpd

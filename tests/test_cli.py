@@ -48,3 +48,26 @@ class TestCli:
         with pytest.raises(SystemExit) as exc:
             main(["serve", "--cache-dir", str(not_a_dir)])
         assert exc.value.code == 2
+
+    def test_lifetime_subcommand(self, tmp_path, capsys):
+        assert main([
+            "lifetime", "--scale", "0.2", "--labels", "CNL-UFS",
+            "--kinds", "TLC", "--ages", "0,0.9",
+            "--prom", str(tmp_path / "metrics.txt"),
+            "-o", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Device lifetime sweep" in out
+        assert "[lifetime: 2 cells" in out
+        assert (tmp_path / "lifetime.txt").exists()
+        prom = (tmp_path / "metrics.txt").read_text()
+        assert "repro_lifetime_bandwidth_mb" in prom
+
+    def test_lifetime_rejects_bad_age(self, capsys):
+        assert main(["lifetime", "--scale", "0.2", "--labels", "CNL-UFS",
+                     "--kinds", "TLC", "--ages", "1.5"]) == 2
+        assert "lifetime sweep" in capsys.readouterr().err
+
+    def test_lifetime_in_list_output(self, capsys):
+        assert main(["list"]) == 0
+        assert "lifetime" in capsys.readouterr().out
