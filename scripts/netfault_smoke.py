@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""CI smoke test for the lossy-fabric subsystem (repro.netfault).
+
+Exercises the degraded-fabric path end to end, the way a user would:
+
+1. run a two-rate loss sweep through the CLI with ``--trace``,
+   ``--prom``, ``--stats-dir`` and ``-o``,
+2. render the trace with ``python -m repro obs report`` and require
+   >= 95% of simulated time attributed to named layers,
+3. assert the Prometheus export carries the netfault gauge families and
+   the absorbed per-link counters with loss-rate labels,
+4. replay the shipped sample job trace at speed 0,
+5. assert degradation is monotone in loss rate — delivered factor 1.0
+   at loss 0, strictly below 1.0 under loss, and that a saturating rate
+   surfaces as a typed ``unreachable`` calibration, never a hang.
+
+Exit code 0 on success; any failure raises and exits non-zero.
+
+Usage:
+    PYTHONPATH=src python scripts/netfault_smoke.py [--scale 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+#: families the sweep's Prometheus export must expose
+REQUIRED_FAMILIES = (
+    "repro_netfault_delivered_factor",
+    "repro_netfault_unreachable",
+    "repro_netfault_bandwidth_mb",
+    "repro_netfault_link_packets_sent",
+    "repro_netfault_link_packets_lost",
+    "repro_netfault_link_retransmits",
+)
+
+
+def run_cli(args: list[str]) -> subprocess.CompletedProcess:
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC}{os.pathsep}" + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=ROOT,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"netfault_smoke: `repro {' '.join(args)}` failed")
+    return proc
+
+
+def smoke_sweep(tmp: Path, scale: float) -> None:
+    trace = tmp / "trace.jsonl"
+    prom = tmp / "netfault.prom"
+    stats = tmp / "stats"
+    out = run_cli(
+        ["netfault", "--scale", str(scale), "--loss-rates", "0,0.05",
+         "--labels", "CNL-UFS,ION-GPFS", "--kinds", "SLC",
+         "--trace", str(trace), "--prom", str(prom),
+         "--stats-dir", str(stats), "-o", str(tmp)]
+    ).stdout
+    assert "CNL vs ION under fabric degradation" in out, \
+        "CLI must print the sweep table"
+    assert "[netfault: 4 cells" in out, "expected the 4-cell footer"
+    assert "[trace:" in out, "CLI must print the trace footer"
+    assert (tmp / "netfault.txt").exists(), "-o must write netfault.txt"
+    csv = stats / "net_stats.csv"
+    assert csv.exists(), "--stats-dir must write net_stats.csv"
+    assert csv.read_text().startswith("t_ns,link,"), "CSV header missing"
+    print("netfault_smoke: CLI sweep OK")
+
+    report = run_cli(
+        ["obs", "report", str(trace), "--require-coverage", "0.95"]
+    ).stdout
+    assert "simulated time" in report and "wall time" in report
+    assert "net" in report, "net-layer rows missing from the report"
+    print("netfault_smoke: obs report + coverage gate OK")
+
+    text = prom.read_text()
+    for family in REQUIRED_FAMILIES:
+        assert family in text, f"missing Prometheus family {family}"
+    assert 'loss_rate="0.05"' in text, "lossy row missing from export"
+    assert 'repro_netfault_delivered_factor{loss_rate="0"} 1.0' in text, \
+        "loss-0 row must deliver the full healthy bandwidth"
+    print(f"netfault_smoke: Prometheus export OK "
+          f"({len(text.splitlines())} lines)")
+
+
+def smoke_replay(tmp: Path) -> None:
+    out = run_cli(
+        ["netfault", "--replay", str(ROOT / "examples/trace_replay.jsonl"),
+         "--speed", "0", "--cache-dir", str(tmp / "cache")]
+    ).stdout
+    assert "trace replay: 5 jobs" in out, "sample trace must replay 5 jobs"
+    assert "0 failed" in out, "no job in the sample trace may fail"
+    print("netfault_smoke: trace replay OK")
+
+
+def smoke_degradation() -> None:
+    from repro.cluster.ion import IonServiceConfig
+    from repro.netfault import calibrate_fabric
+
+    MiB = 1 << 20
+    cfg = IonServiceConfig(bytes_per_client=8 * MiB)
+    factors = [
+        calibrate_fabric(rate, cfg=cfg).delivered_factor
+        for rate in (0.0, 0.05, 0.2)
+    ]
+    assert factors[0] == 1.0, "loss 0 must be bit-identical to healthy"
+    assert factors == sorted(factors, reverse=True), (
+        f"delivered factor must be monotone in loss rate: {factors}"
+    )
+    assert factors[1] < 1.0, "5% loss must cost delivered bandwidth"
+
+    saturated = calibrate_fabric(0.98, cfg=cfg)
+    assert saturated.unreachable, (
+        "a saturating loss rate must surface as typed unreachability"
+    )
+    assert saturated.delivered_factor == 0.0
+    print(f"netfault_smoke: degradation OK (factors={factors}, "
+          f"saturated -> unreachable)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="workload scale for the sweep (default 0.2)")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(SRC))
+    with tempfile.TemporaryDirectory(prefix="netfault-smoke-") as tmp:
+        smoke_sweep(Path(tmp), args.scale)
+        smoke_replay(Path(tmp))
+    smoke_degradation()
+    print("netfault_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,9 @@ Usage::
     python -m repro obs report t.jsonl      # per-layer time breakdown
     python -m repro lifetime                # aged-device capacity sweep
     python -m repro lifetime --ages 0,0.9 --policy static --prom m.txt
+    python -m repro netfault                # lossy-fabric degradation sweep
+    python -m repro netfault --loss-rates 0,0.05 --stats-dir stats/
+    python -m repro netfault --replay examples/trace_replay.jsonl
 
 Each exhibit prints the same rows/series the paper plots; ``--out``
 additionally writes one text file per exhibit.  The matrix exhibits
@@ -67,8 +70,15 @@ from .experiments import (
 MiB = 1024 * 1024
 
 
-def _workload(scale: float) -> Workload:
-    return Workload(panels=max(2, int(round(12 * scale))), panel_bytes=8 * MiB)
+def _workload(scale: float, stream: str = "eigensolver") -> Workload:
+    return Workload(
+        panels=max(2, int(round(12 * scale))),
+        panel_bytes=8 * MiB,
+        # the checkpoint stream needs several double-buffered rewrites
+        # per region before GC churn separates the leveling policies
+        iterations=4 if stream == "checkpoint" else 1,
+        stream=stream,
+    )
 
 
 def _exhibits(scale: float, engine: MatrixEngine):
@@ -212,6 +222,14 @@ def _lifetime_main(argv: list[str]) -> int:
         help="wear-leveling policy (default dynamic)",
     )
     parser.add_argument(
+        "--workload",
+        choices=("eigensolver", "checkpoint"),
+        default="eigensolver",
+        help="request stream: the read-dominated eigensolver sweep "
+        "(default) or the write-heavy double-buffered checkpoint stream "
+        "that separates wear-leveling policies at exhibit scale",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -300,7 +318,7 @@ def _lifetime_main(argv: list[str]) -> int:
     engine = MatrixEngine(
         workers=None if args.workers == 0 else args.workers, cache=cache
     )
-    workload = _workload(args.scale)
+    workload = _workload(args.scale, stream=args.workload)
     t0 = time.time()
     try:
         report = lifetime_exhibit(
@@ -341,6 +359,215 @@ def _lifetime_main(argv: list[str]) -> int:
     return 0
 
 
+def _netfault_main(argv: list[str]) -> int:
+    """``python -m repro netfault``: the lossy-fabric exhibit + replay."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro netfault",
+        description="Sweep packet-loss rate x config x NVM kind over the "
+        "packetized go-back-N fabric and re-plot the CNL-vs-ION gap; or "
+        "replay a recorded job trace against the simulation service.",
+    )
+    parser.add_argument(
+        "--loss-rates",
+        default="0,0.01,0.05,0.2",
+        help="comma-separated per-packet loss rates in [0,1] "
+        "(default 0,0.01,0.05,0.2)",
+    )
+    parser.add_argument(
+        "--labels",
+        default=None,
+        help="comma-separated config labels (default: all Table-2 rows)",
+    )
+    parser.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated NVM kinds (default: SLC,MLC,TLC,PCM)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (default 1.0 = 96 MiB/client)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="matrix-cell worker processes (0 = auto-detect, default 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("batch", "scalar"),
+        default="batch",
+        help="healthy-matrix backend (bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persist healthy matrix cells on disk",
+    )
+    parser.add_argument(
+        "--net-seed",
+        type=int,
+        default=0,
+        help="per-packet loss-oracle seed (default 0)",
+    )
+    parser.add_argument(
+        "--mtu",
+        type=int,
+        default=4096,
+        help="frame payload size in bytes (default 4096)",
+    )
+    parser.add_argument(
+        "--stats-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write the per-packet net_stats.csv under DIR",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record an observability trace (JSON lines) to PATH",
+    )
+    parser.add_argument(
+        "--prom",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the sweep's metrics in Prometheus text format to PATH",
+    )
+    parser.add_argument(
+        "-o",
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write the exhibit text file into",
+    )
+    parser.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        metavar="TRACE",
+        help="replay a recorded JSONL job trace (jobs with "
+        "arrival_offset_s) against an in-process service instead of "
+        "sweeping loss rates",
+    )
+    parser.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        help="replay clock multiplier (2 = twice as fast, 0 = all at "
+        "once; default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        from .netfault.replay import run_replay
+        from .service.jobs import JobValidationError
+
+        try:
+            report = run_replay(
+                args.replay,
+                workers=max(1, args.workers),
+                speed=args.speed,
+                cache_dir=args.cache_dir,
+            )
+        except (OSError, JobValidationError) as exc:
+            print(f"netfault replay: {exc}", file=sys.stderr)
+            return 2
+        print(report.text())
+        return 0 if report.failed == 0 else 1
+
+    from .netfault.exhibit import netfault_exhibit
+    from .netfault.stats import NetStatsRecorder
+
+    try:
+        loss_rates = tuple(
+            float(s) for s in args.loss_rates.split(",") if s.strip()
+        )
+    except ValueError:
+        parser.error(f"--loss-rates: not numbers: {args.loss_rates!r}")
+    labels = (
+        tuple(s.strip() for s in args.labels.split(",") if s.strip())
+        if args.labels
+        else None
+    )
+    kinds = (
+        tuple(s.strip() for s in args.kinds.split(",") if s.strip())
+        if args.kinds
+        else None
+    )
+    try:
+        cache = ResultCache(args.cache_dir)
+    except NotADirectoryError as exc:
+        parser.error(f"--cache-dir: {exc}")
+    tracer = None
+    if args.trace is not None:
+        from . import obs
+
+        tracer = obs.install(obs.Tracer())
+    stats = NetStatsRecorder(args.stats_dir)
+    engine = MatrixEngine(
+        workers=None if args.workers == 0 else args.workers,
+        cache=cache,
+        backend=args.backend,
+    )
+    t0 = time.time()
+    try:
+        report = netfault_exhibit(
+            _workload(args.scale),
+            engine=engine,
+            loss_rates=loss_rates,
+            labels=labels,
+            kinds=kinds,
+            net_seed=args.net_seed,
+            mtu_bytes=args.mtu,
+            stats=stats,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"netfault sweep: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.time() - t0
+    print(report.text)
+    print(
+        f"[netfault: {len(report.results)} cells over "
+        f"{len(report.loss_rates)} loss rates, {elapsed:.1f}s]"
+    )
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "netfault.txt").write_text(report.text + "\n")
+    if args.stats_dir is not None:
+        s = stats.summary()
+        print(
+            f"[net stats: {s['packets_sent']} packets "
+            f"({s['packets_lost']} lost, {s['retransmits']} retransmits) "
+            f"-> {args.stats_dir}/net_stats.csv]"
+        )
+    stats.close()
+    if args.prom is not None:
+        from .obs.export import prometheus_text
+        from .obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        report.publish(registry)
+        args.prom.write_text(prometheus_text(registry))
+        print(f"[metrics -> {args.prom}]")
+    if tracer is not None:
+        from . import obs
+
+        n_spans = obs.write_jsonl(tracer, args.trace)
+        obs.uninstall()
+        print(
+            f"[trace: {n_spans} spans -> {args.trace}; "
+            f"view with 'python -m repro obs report {args.trace}']"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -348,6 +575,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "lifetime":
         return _lifetime_main(argv[1:])
+    if argv and argv[0] == "netfault":
+        return _netfault_main(argv[1:])
     if argv and argv[0] == "lint":
         from .lint.cli import main as lint_main
 
@@ -458,6 +687,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.exhibit == "list":
         print("\n".join(exhibits))
         print("lifetime  (subcommand: python -m repro lifetime --help)")
+        print("netfault  (subcommand: python -m repro netfault --help)")
         return 0
     names = list(exhibits) if args.exhibit == "all" else [args.exhibit]
     unknown = [n for n in names if n not in exhibits]

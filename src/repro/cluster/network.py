@@ -10,12 +10,23 @@ Fault injection attaches a
 flapped transfers stall for the retrain time, degraded fabrics stretch
 wire time — letting ION-vs-CNL comparisons run under lossy fabrics.
 Without a model the timing is bit-identical to the healthy link.
+
+A link that cannot deliver — administratively :meth:`~SharedLink.close`\\ d,
+or built from a spec with zero payload capacity — raises a typed
+:class:`~repro.faults.errors.LinkUnreachable` instead of scheduling a
+timeout that never fires: a DES process parked on an undeliverable
+transfer would hang the whole simulation with no diagnostic.
+
+:mod:`repro.netfault` subclasses this into a packetized ARQ link;
+:meth:`snapshot` is the common counter surface both feed into
+``MetricsRegistry.absorb()``.
 """
 
 from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..faults.errors import LinkUnreachable
 from ..interconnect.links import LinkSpec
 from ..sim import Resource, Simulator
 
@@ -37,6 +48,8 @@ class SharedLink:
         self.name = name or spec.name
         self._wire = Resource(sim, capacity=1, name=self.name)
         self.bytes_moved = 0
+        self.transfers = 0
+        self._closed = False
         #: optional :class:`~repro.faults.cluster.LinkFaultModel`
         self.fault_model = fault_model
 
@@ -44,13 +57,37 @@ class SharedLink:
         """Overlay a link fault model onto subsequent transfers."""
         self.fault_model = model
 
-    def transfer(self, nbytes: int) -> Generator:
-        """(process fragment) Move ``nbytes``; yields until delivered."""
+    def close(self) -> None:
+        """Administratively down the link; transfers then raise
+        :class:`~repro.faults.errors.LinkUnreachable`."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_deliverable(self, nbytes: int) -> None:
         if nbytes < 0:
             raise ValueError("negative transfer")
+        if self._closed:
+            raise LinkUnreachable(
+                f"link {self.name} is closed", site=("link", self.name)
+            )
+        if nbytes > 0 and self.spec.effective_bytes_per_sec <= 0.0:
+            raise LinkUnreachable(
+                f"link {self.name} has zero payload capacity "
+                f"({self.spec.name}); a transfer would never complete",
+                site=("link", self.name),
+            )
+
+    def transfer(self, nbytes: int) -> Generator:
+        """(process fragment) Move ``nbytes``; yields until delivered."""
+        self._check_deliverable(nbytes)
         yield self._wire.acquire()
         try:
+            self._check_deliverable(nbytes)  # may have closed while queued
             self.bytes_moved += nbytes
+            self.transfers += 1
             ns = self.spec.request_ns(nbytes)
             if self.fault_model is not None:
                 ns += self.fault_model.transfer_overlay(nbytes, ns)
@@ -64,6 +101,21 @@ class SharedLink:
         return (
             self.fault_model.snapshot() if self.fault_model is not None else None
         )
+
+    def snapshot(self) -> dict:
+        """JSON-safe counter roll-up for ``MetricsRegistry.absorb()``."""
+        snap = {
+            "link": self.name,
+            "transfers": self.transfers,
+            "bytes_moved": self.bytes_moved,
+            "busy_ns": self.busy_ns,
+            "closed": self._closed,
+        }
+        if self.fault_model is not None:
+            faults = self.fault_model.snapshot()
+            faults.pop("events", None)  # counters only: absorb() wants scalars
+            snap["faults"] = faults
+        return snap
 
     @property
     def busy_ns(self) -> int:

@@ -60,7 +60,11 @@ __all__ = [
 #: v4: repro.lifetime — a new ``lifetime`` entry type, and job specs
 #: grew the age/wear-policy fields (LifetimeJob); age-0 numbers are
 #: golden-tested bit-identical, but the watched schema changed
-SCHEMA_VERSION = 4
+#: v5: repro.netfault — Workload grew the ``stream`` selector, job
+#: specs the ``arrival_offset_s`` replay field (excluded from keys,
+#: like ``trace_id``) and the NetfaultJob type; eigensolver numbers are
+#: golden-tested bit-identical, but the watched schemas changed
+SCHEMA_VERSION = 5
 
 #: ConfigResult fields persisted in a cell entry (metrics excluded)
 _CELL_FIELDS = (

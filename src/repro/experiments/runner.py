@@ -16,16 +16,29 @@ from ..nvm.kinds import NVMKind, kind_by_name
 from ..obs import trace as obs
 from ..ssd.metrics import BREAKDOWN_KEYS, RunMetrics
 from ..trace.replay import replay
-from ..trace.synth import ooc_eigensolver_trace
+from ..trace.synth import checkpoint_stream_trace, ooc_eigensolver_trace
 from .configs import ExpConfig, config_by_label
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..faults.plan import FaultSpec
     from .cache import ResultCache
 
-__all__ = ["Workload", "ConfigResult", "run_config", "run_matrix", "DEFAULT_WORKLOAD"]
+__all__ = [
+    "Workload",
+    "WORKLOAD_STREAMS",
+    "ConfigResult",
+    "run_config",
+    "run_matrix",
+    "DEFAULT_WORKLOAD",
+]
 
 MiB = 1024 * 1024
+
+
+#: request streams a Workload can generate: the paper's read-dominated
+#: eigensolver panel sweep, or the write-heavy double-buffered
+#: checkpoint stream that separates wear-leveling policies
+WORKLOAD_STREAMS = ("eigensolver", "checkpoint")
 
 
 @dataclass(frozen=True)
@@ -34,13 +47,24 @@ class Workload:
 
     ``panels * panel_bytes * iterations`` bytes are streamed per
     client.  The default (96 MiB/client) keeps a full 13x4 matrix under
-    a minute; scale up for higher-fidelity runs.
+    a minute; scale up for higher-fidelity runs.  ``stream`` selects
+    the request pattern (:data:`WORKLOAD_STREAMS`): the default
+    eigensolver panel sweep, or the write-heavy checkpoint stream
+    (``python -m repro lifetime --workload checkpoint``).
     """
 
     panels: int = 12
     panel_bytes: int = 8 * MiB
     iterations: int = 1
     posix_window: int = 2
+    stream: str = "eigensolver"
+
+    def __post_init__(self):
+        if self.stream not in WORKLOAD_STREAMS:
+            raise ValueError(
+                f"unknown workload stream {self.stream!r}; "
+                f"have {list(WORKLOAD_STREAMS)}"
+            )
 
     @property
     def bytes_per_client(self) -> int:
@@ -60,6 +84,20 @@ class Workload:
 @lru_cache(maxsize=64)
 def _workload_traces(workload: Workload, clients: int) -> tuple:
     """Generate (once) the per-client traces of a frozen workload."""
+    if workload.stream == "checkpoint":
+        # each client owns a private double-buffered checkpoint region
+        # (2x panels*panel_bytes), so partitions never overlap
+        region = 2 * workload.panels * workload.panel_bytes
+        return tuple(
+            checkpoint_stream_trace(
+                panels=workload.panels,
+                panel_bytes=workload.panel_bytes,
+                iterations=workload.iterations,
+                client=c,
+                offset=c * region,
+            )
+            for c in range(clients)
+        )
     return tuple(
         ooc_eigensolver_trace(
             panels=workload.panels,

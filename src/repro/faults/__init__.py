@@ -31,6 +31,7 @@ from .errors import (
     FaultError,
     LinkFault,
     LinkFlap,
+    LinkUnreachable,
     RetriesExhausted,
     TransientMediaFault,
     WorkerCrash,
@@ -53,6 +54,7 @@ __all__ = [
     "DieFailure",
     "LinkFault",
     "LinkFlap",
+    "LinkUnreachable",
     "WorkerCrash",
     "CellTimeout",
     "RetriesExhausted",

@@ -28,6 +28,7 @@ __all__ = [
     "DieFailure",
     "LinkFault",
     "LinkFlap",
+    "LinkUnreachable",
     "WorkerCrash",
     "CellTimeout",
     "RetriesExhausted",
@@ -89,6 +90,16 @@ class LinkFlap(LinkFault):
 
     code = "link_flap"
     transient = True
+
+
+class LinkUnreachable(LinkFault):
+    """The link cannot deliver: closed, zero payload capacity, or a
+    packet exhausted its ARQ retransmission budget (see
+    :mod:`repro.netfault`).  Permanent by design — the retry machinery
+    must surface it instead of hammering a dead fabric, and the DES
+    must fail typed rather than hang on a wire that never drains."""
+
+    code = "link_unreachable"
 
 
 # -- engine layer -------------------------------------------------------

@@ -69,6 +69,7 @@ DEFAULT_WATCH: tuple[WatchedFile, ...] = (
             "FigureJob",
             "HeadlineJob",
             "LifetimeJob",
+            "NetfaultJob",
         ),
     ),
     WatchedFile("faults/plan.py", classes=("FaultSpec",)),

@@ -1,0 +1,46 @@
+"""repro.netfault — lossy-fabric resilience.
+
+Packet-level links with go-back-N ARQ/retransmission, adaptive rate
+fallback (QDR → DDR → SDR), a seeded per-packet loss oracle in the
+:mod:`repro.faults.plan` idiom, per-packet observability (sim spans +
+CSV stats), a recorded-trace replay driver for the service, and the
+``python -m repro netfault`` exhibit re-plotting the paper's CNL-vs-ION
+gap under fabric degradation.
+
+Determinism contract (golden-tested): ``loss_rate == 0`` is
+bit-identical to the healthy :class:`~repro.cluster.network.SharedLink`
+on both experiment backends at any worker count; with loss > 0,
+retransmission schedules, results and the per-packet CSV are byte-
+stable across worker counts under a fixed seed.
+"""
+
+from .arq import PacketEvent, TransferSchedule, compute_schedule
+from .calibrate import FabricCalibration, calibrate_fabric, simulate_packet_ion
+from .exhibit import DEFAULT_LOSS_RATES, NetfaultReport, netfault_exhibit
+from .link import PacketLink
+from .rate import AdaptiveRateController
+from .replay import ReplayReport, load_job_trace, replay_jobs, run_replay
+from .spec import RATE_LEVELS, NetFaultSpec, PacketOracle
+from .stats import NetStatsRecorder
+
+__all__ = [
+    "NetFaultSpec",
+    "PacketOracle",
+    "RATE_LEVELS",
+    "AdaptiveRateController",
+    "PacketEvent",
+    "TransferSchedule",
+    "compute_schedule",
+    "PacketLink",
+    "NetStatsRecorder",
+    "FabricCalibration",
+    "simulate_packet_ion",
+    "calibrate_fabric",
+    "NetfaultReport",
+    "netfault_exhibit",
+    "DEFAULT_LOSS_RATES",
+    "ReplayReport",
+    "load_job_trace",
+    "replay_jobs",
+    "run_replay",
+]

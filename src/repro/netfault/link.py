@@ -1,0 +1,197 @@
+"""The packetized DES link: go-back-N ARQ over a shared wire.
+
+:class:`PacketLink` subclasses :class:`~repro.cluster.network.SharedLink`
+and keeps its exact DES shape — acquire the wire, sleep one timeout,
+release — but the timeout now comes from the resolved go-back-N
+schedule (:func:`~repro.netfault.arq.compute_schedule`) instead of the
+bulk ``request_ns``.  Consequences:
+
+* **loss 0 is bit-identical to the healthy link**: the packet durations
+  telescope to exactly ``transfer_ns(nbytes)``, the rate controller is
+  a no-op at factor 1.0, and the event ordering (acquire → timeout →
+  release, FIFO contention) is unchanged — so any simulation built on
+  :class:`SharedLink` can swap in a ``loss_rate=0`` packet link without
+  moving a single nanosecond (golden-tested);
+* **composition**: an attached
+  :class:`~repro.faults.cluster.LinkFaultModel` (flap / degradation
+  overlay) still applies on top of the packetized duration, so both
+  impairment layers can ride one link;
+* **observability**: each transfer emits one sim root span tiled by
+  ``request`` / ``payload`` / ``retransmit`` / ``backoff`` (/
+  ``overlay``) children — 100% attribution coverage by construction —
+  plus bounded per-loss detail spans, and per-packet rows stream to an
+  optional :class:`~repro.netfault.stats.NetStatsRecorder`.  All span
+  identities use stable ``site_key`` tuples (link name, per-link
+  transfer sequence), never process-dependent values.
+
+Clock-domain rule: every timestamp here is the DES clock; the link
+never reads wall time, so schedules, spans and CSV rows are
+deterministic across worker counts under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..cluster.network import SharedLink
+from ..faults.errors import LinkUnreachable
+from ..interconnect.links import LinkSpec
+from ..obs import trace as obs
+from ..sim import Simulator
+from .arq import TransferSchedule, compute_schedule
+from .rate import AdaptiveRateController
+from .spec import NetFaultSpec
+from .stats import NetStatsRecorder
+
+__all__ = ["PacketLink", "LOSS_SPAN_CAP"]
+
+#: per-link cap on emitted per-loss detail spans (counters stay exact)
+LOSS_SPAN_CAP = 256
+
+
+class PacketLink(SharedLink):
+    """A go-back-N ARQ link over MTU frames with rate fallback."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: LinkSpec,
+        netfault: NetFaultSpec,
+        name: str = "",
+        fault_model=None,
+        stats: Optional[NetStatsRecorder] = None,
+    ):
+        super().__init__(sim, spec, name, fault_model)
+        self.netfault = netfault
+        self.oracle = netfault.oracle()
+        self.rate = AdaptiveRateController(netfault)
+        self.stats = stats
+        self.packets_sent = 0
+        self.packets_lost = 0
+        self.retransmits = 0
+        self.backoff_ns = 0
+        self.wasted_ns = 0
+        self.unreachable = 0
+        self._loss_spans = 0
+
+    # ------------------------------------------------------------------
+    def _fold(self, sched: TransferSchedule) -> None:
+        self.packets_sent += sched.packets_sent
+        self.packets_lost += sched.packets_lost
+        self.retransmits += sched.retransmits
+        self.backoff_ns += sched.backoff_ns
+        self.wasted_ns += sched.wasted_ns + sched.lost_frame_ns
+
+    def _publish(self, sched: TransferSchedule, seq: int, start_ns: int,
+                 total_ns: int, overlay_ns: int) -> None:
+        """Emit the span tree + CSV rows for one resolved transfer."""
+        tr = obs.tracer()
+        wire_start = start_ns + self.spec.per_request_ns
+        if self.stats is not None:
+            for ev in sched.events:
+                self.stats.on_packet(
+                    wire_start + ev.t_ns, self.name, seq, ev.pkt_seq,
+                    ev.attempt, ev.event, ev.size_bytes, ev.rate_level,
+                )
+        if tr is None:
+            return
+        end_ns = start_ns + total_ns
+        root = tr.sim_span(
+            "net", "transfer", start_ns, end_ns,
+            site_key=("netfault", self.name, seq),
+            link=self.name, nbytes=sched.nbytes, packets=sched.n_packets,
+        )
+        t = start_ns
+        waste_site = ""
+        parts = (
+            ("request", self.spec.per_request_ns),
+            ("payload", max(0, sched.payload_ns)),
+            ("retransmit", sched.wasted_ns + sched.lost_frame_ns),
+            ("backoff", sched.backoff_ns),
+            ("overlay", overlay_ns),
+        )
+        for i, (part, dur) in enumerate(parts):
+            if i == len(parts) - 1:
+                dur = end_ns - t  # absorb rounding into the last child
+            dur = max(0, min(dur, end_ns - t))
+            if dur == 0:
+                continue
+            site = tr.sim_span(
+                "net", part, t, t + dur, parent=root,
+                site_key=("netfault", self.name, seq, part),
+            )
+            if part == "retransmit":
+                waste_site = site
+            t += dur
+        if waste_site:
+            for ev in sched.events:
+                if ev.event != "lost" or self._loss_spans >= LOSS_SPAN_CAP:
+                    continue
+                self._loss_spans += 1
+                t0 = wire_start + ev.t_ns
+                tr.sim_span(
+                    "net", "loss", t0, t0 + max(1, ev.dur_ns),
+                    parent=waste_site,
+                    site_key=(
+                        "netfault", self.name, seq, "loss", ev.pkt_seq,
+                        ev.attempt,
+                    ),
+                    pkt=ev.pkt_seq, attempt=ev.attempt,
+                    rate_level=ev.rate_level,
+                )
+
+    # ------------------------------------------------------------------
+    def transfer(self, nbytes: int) -> Generator:
+        """(process fragment) Move ``nbytes`` through the ARQ machinery.
+
+        Raises :class:`~repro.faults.errors.LinkUnreachable` (typed,
+        never a hang) when a packet exhausts its retransmission budget
+        or the link is closed / zero-capacity.
+        """
+        self._check_deliverable(nbytes)
+        yield self._wire.acquire()
+        try:
+            self._check_deliverable(nbytes)
+            seq = self.transfers
+            record = self.stats is not None or obs.tracer() is not None
+            try:
+                sched = compute_schedule(
+                    self.spec, self.netfault, self.oracle, self.rate,
+                    self.name, seq, nbytes, record_events=record,
+                )
+            except LinkUnreachable as err:
+                self.unreachable += 1
+                partial = getattr(err, "schedule", None)
+                if partial is not None:
+                    self._fold(partial)
+                raise
+            self.transfers += 1
+            self.bytes_moved += nbytes
+            self._fold(sched)
+            ns = self.spec.per_request_ns + sched.wire_ns
+            overlay_ns = 0
+            if self.fault_model is not None:
+                overlay_ns = self.fault_model.transfer_overlay(nbytes, ns)
+                ns += overlay_ns
+            if record:
+                self._publish(sched, seq, self.sim.now, ns, overlay_ns)
+            yield self.sim.timeout(ns)
+        finally:
+            self._wire.release()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Counter roll-up for ``MetricsRegistry.absorb()``."""
+        snap = super().snapshot()
+        snap.update(
+            {
+                "packets_sent": self.packets_sent,
+                "packets_lost": self.packets_lost,
+                "retransmits": self.retransmits,
+                "backoff_ns": self.backoff_ns,
+                "wasted_ns": self.wasted_ns,
+                "unreachable": self.unreachable,
+                "rate": self.rate.snapshot(),
+            }
+        )
+        return snap

@@ -1,0 +1,89 @@
+"""Adaptive rate-fallback controller (QDR → DDR → SDR).
+
+Real InfiniBand fabrics respond to sustained symbol errors by
+retraining at a lower signalling rate rather than retransmitting
+forever at full speed; links later probe back up when the error rate
+subsides.  :class:`AdaptiveRateController` models that policy over the
+:data:`~repro.netfault.spec.RATE_LEVELS` ladder:
+
+* **fallback** — when at least ``fallback_losses`` of the last
+  ``fallback_window`` packet outcomes were losses, step down one
+  level and restart the observation window;
+* **recovery probe** — after ``recovery_quiet_packets`` consecutive
+  clean deliveries, step up one level (the quiet period is the probe).
+
+State advances once per packet outcome, in DES order, so the rate
+trajectory is a pure function of the loss sequence — deterministic
+across worker counts.  At factor 1.0 the controller is an exact no-op
+on wire durations (loss-0 bit-identity depends on it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .spec import RATE_LEVELS, NetFaultSpec
+
+__all__ = ["AdaptiveRateController"]
+
+
+class AdaptiveRateController:
+    """Per-link rate ladder driven by packet outcomes."""
+
+    def __init__(self, spec: NetFaultSpec):
+        self.spec = spec
+        self.level = 0  # index into RATE_LEVELS; 0 = full rate
+        self.fallbacks = 0
+        self.recoveries = 0
+        self._window: deque[bool] = deque(maxlen=spec.fallback_window)
+        self._quiet = 0
+
+    @property
+    def level_name(self) -> str:
+        return RATE_LEVELS[self.level][0]
+
+    @property
+    def factor(self) -> float:
+        """Current payload-bandwidth factor (1.0 = full rate)."""
+        return RATE_LEVELS[self.level][1]
+
+    def stretch(self, wire_ns: int) -> int:
+        """Wire duration at the current rate; exact no-op at factor 1."""
+        f = self.factor
+        if f == 1.0:
+            return wire_ns
+        return int(round(wire_ns / f))
+
+    def on_outcome(self, lost: bool) -> str | None:
+        """Fold one packet outcome in; returns "fallback", "recovery"
+        or ``None`` when the level did not move."""
+        self._window.append(lost)
+        if lost:
+            self._quiet = 0
+            losses = sum(self._window)
+            if (
+                losses >= self.spec.fallback_losses
+                and self.level < len(RATE_LEVELS) - 1
+            ):
+                self.level += 1
+                self.fallbacks += 1
+                self._window.clear()
+                return "fallback"
+            return None
+        self._quiet += 1
+        if self._quiet >= self.spec.recovery_quiet_packets and self.level > 0:
+            self.level -= 1
+            self.recoveries += 1
+            self._quiet = 0
+            self._window.clear()
+            return "recovery"
+        return None
+
+    def snapshot(self) -> dict:
+        return {
+            "level": self.level,
+            "level_name": self.level_name,
+            "factor": self.factor,
+            "fallbacks": self.fallbacks,
+            "recoveries": self.recoveries,
+        }

@@ -1,0 +1,188 @@
+"""Recorded-trace replay driver for the simulation service.
+
+Instead of synthetic matrices, drive :class:`repro.service.SimulationService`
+with a **captured request stream**: a JSON-lines file of wire-format
+job dicts (see :func:`repro.service.jobs.job_from_dict`), each carrying
+an ``arrival_offset_s`` — seconds after replay start at which the job
+was observed to arrive.  The driver submits each job at its (speed-
+scaled) offset, collects completions, and reports per-job latency — a
+load-generator whose traffic shape is real, not Poisson.
+
+Trace format, one object per line::
+
+    {"job": "cell", "label": "CNL-UFS", "kind": "SLC",
+     "arrival_offset_s": 0.0}
+    {"job": "headline", "arrival_offset_s": 0.25, "trace_id": "req-2"}
+
+Blank lines and ``#`` comments are skipped.  Offsets need not be
+sorted; the driver replays in arrival order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from ..service.jobs import JobSpec, JobValidationError, job_from_dict
+
+__all__ = ["ReplayOutcome", "ReplayReport", "load_job_trace", "replay_jobs",
+           "run_replay"]
+
+
+@dataclass
+class ReplayOutcome:
+    """One replayed job's fate."""
+
+    index: int
+    describe: str
+    arrival_offset_s: float
+    latency_s: float
+    status: str  # "ok" | error code
+    coalesced: bool = False
+
+
+@dataclass
+class ReplayReport:
+    """Roll-up of one trace replay."""
+
+    jobs: int = 0
+    ok: int = 0
+    failed: int = 0
+    coalesced: int = 0
+    wall_s: float = 0.0
+    outcomes: list[ReplayOutcome] = field(default_factory=list)
+
+    @property
+    def latencies_s(self) -> list[float]:
+        return [o.latency_s for o in self.outcomes if o.status == "ok"]
+
+    def text(self) -> str:
+        lats = sorted(self.latencies_s)
+
+        def pct(p: float) -> float:
+            if not lats:
+                return 0.0
+            return lats[min(len(lats) - 1, int(p * len(lats)))]
+
+        lines = [
+            f"trace replay: {self.jobs} jobs in {self.wall_s:.2f}s wall "
+            f"({self.ok} ok, {self.failed} failed, "
+            f"{self.coalesced} coalesced)",
+        ]
+        if lats:
+            lines.append(
+                f"  latency p50 {pct(0.50):.3f}s  p90 {pct(0.90):.3f}s  "
+                f"p99 {pct(0.99):.3f}s  max {lats[-1]:.3f}s"
+            )
+        return "\n".join(lines)
+
+
+def load_job_trace(path: Union[str, os.PathLike]) -> list[JobSpec]:
+    """Parse a JSONL job trace; returns specs in arrival order.
+
+    Malformed JSON or an invalid job raises
+    :class:`~repro.service.jobs.JobValidationError` naming the line —
+    a bad trace fails at load, not minutes into the replay.
+    """
+    specs: list[JobSpec] = []
+    for lineno, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError as exc:
+            raise JobValidationError(
+                f"{path}:{lineno}: not valid JSON ({exc})"
+            ) from None
+        spec = job_from_dict(data)
+        specs.append(spec)
+    specs.sort(key=lambda s: s.arrival_offset_s)  # stable: ties keep file order
+    return specs
+
+
+async def replay_jobs(
+    service,
+    specs: list[JobSpec],
+    speed: float = 1.0,
+) -> ReplayReport:
+    """Drive ``service`` with ``specs`` at their recorded offsets.
+
+    ``speed`` scales the clock: 2.0 replays twice as fast, 0 submits
+    everything immediately (max pressure).  The service must already be
+    started; the driver awaits every completion before returning.
+    """
+    if speed < 0:
+        raise ValueError("speed must be >= 0")
+    report = ReplayReport()
+    t0 = time.perf_counter()
+
+    async def one(index: int, spec: JobSpec) -> ReplayOutcome:
+        offset = spec.arrival_offset_s / speed if speed > 0 else 0.0
+        delay = offset - (time.perf_counter() - t0)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        submitted = time.perf_counter()
+        try:
+            handle = service.submit(spec)
+        except Exception as exc:
+            code = getattr(exc, "code", type(exc).__name__)
+            return ReplayOutcome(
+                index, spec.describe(), spec.arrival_offset_s, 0.0, code
+            )
+        try:
+            await handle.result()
+            status = "ok"
+        except Exception as exc:
+            status = getattr(exc, "code", type(exc).__name__)
+        return ReplayOutcome(
+            index, spec.describe(), spec.arrival_offset_s,
+            time.perf_counter() - submitted, status,
+            coalesced=handle.coalesced,
+        )
+
+    outcomes = await asyncio.gather(
+        *(one(i, s) for i, s in enumerate(specs))
+    )
+    report.outcomes = sorted(outcomes, key=lambda o: o.index)
+    report.jobs = len(report.outcomes)
+    report.ok = sum(1 for o in report.outcomes if o.status == "ok")
+    report.failed = report.jobs - report.ok
+    report.coalesced = sum(1 for o in report.outcomes if o.coalesced)
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def run_replay(
+    path: Union[str, os.PathLike],
+    workers: int = 1,
+    speed: float = 1.0,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    max_concurrency: int = 4,
+) -> ReplayReport:
+    """Load a trace and replay it against an in-process service."""
+    from ..experiments.cache import ResultCache
+    from ..service.server import SimulationService
+
+    specs = load_job_trace(path)
+
+    async def _run() -> ReplayReport:
+        service = SimulationService(
+            workers_per_job=workers,
+            cache=ResultCache(cache_dir),
+            max_concurrency=max_concurrency,
+        )
+        await service.start()
+        try:
+            return await replay_jobs(service, specs, speed=speed)
+        finally:
+            await service.shutdown()
+
+    return asyncio.run(_run())

@@ -1,0 +1,128 @@
+"""Netfault regime description and the per-packet loss oracle.
+
+A :class:`NetFaultSpec` freezes everything the packetized link needs to
+decide: frame size, the seeded loss probability, the go-back-N window
+and retransmission budget, backoff constants, and the adaptive
+rate-fallback thresholds.  Like :class:`~repro.faults.plan.FaultSpec`
+it is JSON-serialisable (:meth:`NetFaultSpec.signature`), picklable,
+and a spec with ``loss_rate == 0`` injects nothing — the packet link is
+then bit-identical to the healthy bulk wire (golden-tested).
+
+The :class:`PacketOracle` is the decision function: every per-packet
+loss verdict hashes ``(seed, link name, transfer seq, packet seq,
+attempt)`` with BLAKE2b — the :mod:`repro.faults.plan` idiom — so two
+runs with the same seed drop **identical** packets at identical sites
+regardless of worker count, scheduling order, or wall-clock.  For a
+fixed site the draw is shared across loss rates, so raising
+``loss_rate`` only ever grows the set of initially-lost packets: the
+saturating-loss sweep degrades monotonically by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["NetFaultSpec", "PacketOracle", "RATE_LEVELS"]
+
+#: adaptive-rate ladder: InfiniBand signalling generations, expressed
+#: as payload-bandwidth factors of the configured (QDR) link.  Step
+#: down on sustained loss, probe back up on quiet periods.
+RATE_LEVELS: tuple[tuple[str, float], ...] = (
+    ("QDR", 1.0),
+    ("DDR", 0.5),
+    ("SDR", 0.25),
+)
+
+
+@dataclass(frozen=True)
+class NetFaultSpec:
+    """Frozen description of one lossy-fabric regime.
+
+    ``loss_rate`` is the per-packet-attempt drop probability; all other
+    fields shape the recovery machinery.  ``loss_rate == 0`` disables
+    the whole overlay (``enabled`` is False) and the packet path must
+    be bit-identical to the bulk wire.
+    """
+
+    seed: int = 0
+    #: P(one packet attempt is dropped on the wire)
+    loss_rate: float = 0.0
+    #: frame payload size (IB MTU); a transfer is ceil(n/mtu) packets
+    mtu_bytes: int = 4096
+    #: go-back-N sender window: packets in flight past an unacked head
+    window_packets: int = 16
+    #: per-packet retransmission budget; exhausting it raises the
+    #: permanent :class:`~repro.faults.errors.LinkUnreachable`
+    max_retransmits: int = 8
+    #: backoff before retransmit attempt ``a`` costs
+    #: ``backoff_base_ns * 2**(a-1)``, capped at ``backoff_cap_ns``
+    backoff_base_ns: int = 20_000
+    backoff_cap_ns: int = 5_000_000
+    #: rate fallback: step down one level when >= ``fallback_losses``
+    #: losses land inside a sliding window of ``fallback_window``
+    #: delivered-or-lost outcomes
+    fallback_window: int = 32
+    fallback_losses: int = 4
+    #: recovery probe: step back up after this many consecutive clean
+    #: deliveries (a quiet period)
+    recovery_quiet_packets: int = 256
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1], got {self.loss_rate!r}"
+            )
+        if self.mtu_bytes < 1:
+            raise ValueError("mtu_bytes must be >= 1")
+        if self.window_packets < 1:
+            raise ValueError("window_packets must be >= 1")
+        if self.max_retransmits < 1:
+            raise ValueError("max_retransmits must be >= 1")
+        if self.backoff_base_ns < 0 or self.backoff_cap_ns < 0:
+            raise ValueError("backoff constants must be >= 0")
+        if self.fallback_window < 1 or self.fallback_losses < 1:
+            raise ValueError("fallback window/losses must be >= 1")
+        if self.recovery_quiet_packets < 1:
+            raise ValueError("recovery_quiet_packets must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.loss_rate > 0.0
+
+    def signature(self) -> dict:
+        """JSON-safe identity for cache keys and wire payloads."""
+        return dataclasses.asdict(self)
+
+    def oracle(self) -> "PacketOracle":
+        return PacketOracle(self)
+
+
+class PacketOracle:
+    """Deterministic per-packet loss oracle over a :class:`NetFaultSpec`.
+
+    Stateless besides the spec: every verdict is a pure function of
+    ``(seed, site)``, independent of call order and process boundaries
+    — the :class:`~repro.faults.plan.FaultPlan` guarantee, specialised
+    to packets.
+    """
+
+    def __init__(self, spec: NetFaultSpec):
+        self.spec = spec
+        self._prefix = f"repro.netfault:{spec.seed}:".encode()
+
+    def uniform(self, *site) -> float:
+        """Deterministic uniform [0, 1) draw for one decision site."""
+        h = hashlib.blake2b(
+            self._prefix + repr(site).encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(h, "big") / 2.0**64
+
+    def lost(self, link: str, transfer_seq: int, pkt_seq: int,
+             attempt: int) -> bool:
+        """Is this packet attempt dropped on the wire?"""
+        rate = self.spec.loss_rate
+        return rate > 0.0 and self.uniform(
+            "pkt", link, transfer_seq, pkt_seq, attempt
+        ) < rate

@@ -1,0 +1,101 @@
+"""Per-packet CSV stats recorder (the net-rl simulator idiom).
+
+One recorder owns one ``net_stats.csv``: a line-buffered row per packet
+event plus running totals, cheap enough to leave on for whole sweeps
+and trivially loadable into pandas/gnuplot.  Unlike the wall-clocked
+:class:`~repro.obs.export.CsvStatsRecorder`, every timestamp here is
+**simulated** nanoseconds — rows are emitted in DES order from the
+coordinator process, so the file is byte-stable across worker counts
+under a fixed seed (pinned by the determinism tests).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import IO, Iterable, Optional, Union
+
+__all__ = ["NetStatsRecorder"]
+
+
+class NetStatsRecorder:
+    """Per-packet event log plus running totals.
+
+    ``log_dir=None`` keeps only the in-memory totals, so links never
+    guard their ``on_packet`` calls.
+    """
+
+    FIELDS = (
+        "t_ns",  # simulated time of the event (deterministic)
+        "link",  # link name
+        "transfer",  # per-link transfer sequence number
+        "pkt",  # packet sequence within the transfer
+        "attempt",  # 0 = first send, n = nth retransmit
+        "event",  # sent|delivered|lost|backoff|fallback|recovery
+        "size_bytes",  # frame payload (0 for control rows)
+        "rate_level",  # QDR|DDR|SDR at the moment of the event
+    )
+
+    def __init__(self, log_dir: Optional[Union[str, os.PathLike]] = None):
+        self.log_dir = str(log_dir) if log_dir is not None else None
+        self._fh: Optional[IO[str]] = None
+        self._writer = None
+        if self.log_dir:
+            os.makedirs(self.log_dir, exist_ok=True)
+            self._fh = open(
+                os.path.join(self.log_dir, "net_stats.csv"), "w", 1
+            )
+            self._writer = csv.writer(self._fh, lineterminator="\n")
+            self._writer.writerow(self.FIELDS)
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.packets_lost = 0
+        self.retransmits = 0
+        self.bytes_delivered = 0
+
+    def _write(self, row: Iterable) -> None:
+        if self._writer is not None:
+            self._writer.writerow(list(row))
+
+    def on_packet(
+        self,
+        t_ns: int,
+        link: str,
+        transfer: int,
+        pkt: int,
+        attempt: int,
+        event: str,
+        size_bytes: int,
+        rate_level: str,
+    ) -> None:
+        if event == "sent":
+            self.packets_sent += 1
+            if attempt > 0:
+                self.retransmits += 1
+        elif event == "delivered":
+            self.packets_delivered += 1
+            self.bytes_delivered += size_bytes
+        elif event == "lost":
+            self.packets_lost += 1
+        self._write(
+            [t_ns, link, transfer, pkt, attempt, event, size_bytes,
+             rate_level]
+        )
+
+    def summary(self) -> dict:
+        return {
+            "packets_sent": self.packets_sent,
+            "packets_delivered": self.packets_delivered,
+            "packets_lost": self.packets_lost,
+            "retransmits": self.retransmits,
+            "bytes_delivered": self.bytes_delivered,
+        }
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            self._writer = None
+
+    def __del__(self):  # net-rl idiom: never leak the handle
+        self.close()

@@ -19,6 +19,7 @@ from .jobs import (
     JobSpec,
     JobValidationError,
     MatrixJob,
+    NetfaultJob,
     ServiceError,
     job_from_dict,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "JobValidationError",
     "LatencyRecorder",
     "MatrixJob",
+    "NetfaultJob",
     "QueueClosed",
     "QueueFull",
     "ServiceClient",

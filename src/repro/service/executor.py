@@ -44,6 +44,7 @@ from .jobs import (
     JobSpec,
     LifetimeJob,
     MatrixJob,
+    NetfaultJob,
     ServiceError,
 )
 from .metrics import ServiceMetrics
@@ -119,6 +120,34 @@ def execute_job(spec: JobSpec, engine: MatrixEngine) -> dict:
             "results": {
                 f"{label}|{kind}|{age:g}": result_to_dict(res)
                 for (label, kind, age), res in report.results.items()
+            },
+            "text": report.text,
+        }
+    if isinstance(spec, NetfaultJob):
+        from ..netfault.exhibit import netfault_exhibit
+
+        report = netfault_exhibit(
+            spec.workload,
+            engine=engine,
+            loss_rates=spec.loss_rates,
+            labels=spec.labels or None,
+            kinds=spec.kinds or None,
+            net_seed=spec.net_seed,
+            mtu_bytes=spec.mtu_bytes,
+            seed=spec.seed,
+        )
+        return {
+            "kind": "netfault",
+            "calibrations": {
+                f"{rate:g}": {
+                    "delivered_factor": cal.delivered_factor,
+                    "unreachable": cal.unreachable,
+                }
+                for rate, cal in report.calibrations.items()
+            },
+            "results": {
+                f"{rate:g}|{label}|{kind}": result_to_payload(res)
+                for (rate, label, kind), res in report.results.items()
             },
             "text": report.text,
         }

@@ -32,6 +32,7 @@ __all__ = [
     "FigureJob",
     "HeadlineJob",
     "LifetimeJob",
+    "NetfaultJob",
     "job_from_dict",
     "FIGURE_NAMES",
 ]
@@ -77,6 +78,11 @@ class JobSpec:
     spans this job produces.  Deliberately **not** part of the
     coalescing key: two identical jobs with different trace ids still
     compute once.
+    ``arrival_offset_s``: seconds after replay start at which this job
+    arrives when driven from a recorded trace
+    (:mod:`repro.netfault.replay`).  Like ``trace_id`` it describes
+    *when* the job was observed, not *what* it computes, so it is
+    excluded from coalescing/cache keys.
     """
 
     workload: Workload = DEFAULT_WORKLOAD
@@ -86,6 +92,7 @@ class JobSpec:
     deadline_s: Optional[float] = None
     timeout_s: Optional[float] = None
     trace_id: Optional[str] = None
+    arrival_offset_s: float = 0.0
 
     job_type = "abstract"
 
@@ -109,6 +116,15 @@ class JobSpec:
         if self.trace_id is not None and not isinstance(self.trace_id, str):
             raise JobValidationError(
                 f"trace_id must be a string, got {self.trace_id!r}"
+            )
+        if (
+            not isinstance(self.arrival_offset_s, (int, float))
+            or isinstance(self.arrival_offset_s, bool)
+            or self.arrival_offset_s < 0
+        ):
+            raise JobValidationError(
+                f"arrival_offset_s must be a non-negative number, "
+                f"got {self.arrival_offset_s!r}"
             )
 
     # -- identity -------------------------------------------------------
@@ -141,6 +157,8 @@ class JobSpec:
             d["timeout_s"] = self.timeout_s
         if self.trace_id is not None:
             d["trace_id"] = self.trace_id
+        if self.arrival_offset_s:
+            d["arrival_offset_s"] = self.arrival_offset_s
         return d
 
     def describe(self) -> str:
@@ -327,12 +345,89 @@ class LifetimeJob(JobSpec):
         )
 
 
+@dataclass(frozen=True)
+class NetfaultJob(JobSpec):
+    """A lossy-fabric sweep: loss rates x labels x kinds.
+
+    Re-plots the CNL-vs-ION gap under fabric degradation (see
+    :mod:`repro.netfault`); ``net_seed`` seeds the per-packet loss
+    oracle, ``mtu_bytes`` sets the frame size.
+    """
+
+    loss_rates: tuple[float, ...] = (0.0, 0.01, 0.05)
+    labels: tuple[str, ...] = ()
+    kinds: tuple[str, ...] = ()
+    net_seed: int = 0
+    mtu_bytes: int = 4096
+
+    job_type = "netfault"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.loss_rates:
+            raise JobValidationError("netfault job needs at least one loss rate")
+        for rate in self.loss_rates:
+            if (
+                not isinstance(rate, (int, float))
+                or isinstance(rate, bool)
+                or not 0.0 <= rate <= 1.0
+            ):
+                raise JobValidationError(
+                    f"loss rates must be fractions in [0, 1], got {rate!r}"
+                )
+        for label in self.labels:
+            if label not in VALID_LABELS:
+                raise JobValidationError(
+                    f"unknown config label {label!r}; have {sorted(VALID_LABELS)}"
+                )
+        for kind in self.kinds:
+            if kind not in VALID_KINDS:
+                raise JobValidationError(
+                    f"unknown NVM kind {kind!r}; have {sorted(VALID_KINDS)}"
+                )
+        if not isinstance(self.net_seed, int) or isinstance(self.net_seed, bool):
+            raise JobValidationError(
+                f"net_seed must be an int, got {self.net_seed!r}"
+            )
+        if not isinstance(self.mtu_bytes, int) or self.mtu_bytes < 1:
+            raise JobValidationError(
+                f"mtu_bytes must be a positive int, got {self.mtu_bytes!r}"
+            )
+
+    def _key_parts(self) -> dict:
+        return {
+            **super()._key_parts(),
+            "loss_rates": [float(r) for r in self.loss_rates],
+            "labels": list(self.labels),
+            "kinds": list(self.kinds),
+            "net_seed": self.net_seed,
+            "mtu_bytes": self.mtu_bytes,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            **super().to_dict(),
+            "loss_rates": [float(r) for r in self.loss_rates],
+            "labels": list(self.labels),
+            "kinds": list(self.kinds),
+            "net_seed": self.net_seed,
+            "mtu_bytes": self.mtu_bytes,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"netfault({len(self.loss_rates)} rates, "
+            f"{len(self.labels) or 'all'}x{len(self.kinds) or 'all'})"
+        )
+
+
 _JOB_TYPES: dict[str, type[JobSpec]] = {
     "cell": CellJob,
     "matrix": MatrixJob,
     "figure": FigureJob,
     "headline": HeadlineJob,
     "lifetime": LifetimeJob,
+    "netfault": NetfaultJob,
 }
 
 
@@ -360,7 +455,7 @@ def job_from_dict(data: Mapping[str, Any]) -> JobSpec:
                 )
             kwargs["workload"] = Workload(**w)
         for name in ("seed", "with_remaining", "priority", "deadline_s",
-                     "timeout_s", "trace_id"):
+                     "timeout_s", "trace_id", "arrival_offset_s"):
             if name in data:
                 kwargs[name] = data[name]
         if cls is CellJob:
@@ -376,6 +471,14 @@ def job_from_dict(data: Mapping[str, Any]) -> JobSpec:
             kwargs["kinds"] = tuple(data.get("kinds", ()))
             kwargs["ages"] = tuple(data.get("ages", (0.0, 0.5, 0.9)))
             kwargs["wear_policy"] = data.get("wear_policy", "dynamic")
+        elif cls is NetfaultJob:
+            kwargs["loss_rates"] = tuple(
+                data.get("loss_rates", (0.0, 0.01, 0.05))
+            )
+            kwargs["labels"] = tuple(data.get("labels", ()))
+            kwargs["kinds"] = tuple(data.get("kinds", ()))
+            kwargs["net_seed"] = data.get("net_seed", 0)
+            kwargs["mtu_bytes"] = data.get("mtu_bytes", 4096)
         spec = cls(**kwargs)
     except JobValidationError:
         raise

@@ -17,7 +17,11 @@ import numpy as np
 from ..ssd.request import PosixRequest
 from .posix import PosixTrace
 
-__all__ = ["ooc_eigensolver_trace", "random_mix_trace"]
+__all__ = [
+    "ooc_eigensolver_trace",
+    "checkpoint_stream_trace",
+    "random_mix_trace",
+]
 
 MiB = 1024 * 1024
 
@@ -68,6 +72,52 @@ def ooc_eigensolver_trace(
                     tag=f"psi[{it}]",
                 )
             )
+    return trace
+
+
+def checkpoint_stream_trace(
+    panels: int = 24,
+    panel_bytes: int = 8 * MiB,
+    iterations: int = 4,
+    think_ns_per_panel: int = 0,
+    client: int = 0,
+    file_id: int = 0,
+    offset: int = 0,
+) -> PosixTrace:
+    """Write-heavy checkpoint stream (defensive I/O, Section 2.1's dual).
+
+    Each iteration writes the full application state — ``panels`` panels
+    of ``panel_bytes`` — into a **double-buffered** checkpoint file:
+    even iterations fill buffer A, odd iterations buffer B, so the same
+    logical blocks are overwritten every other iteration.  That
+    overwrite churn is what separates wear-leveling policies at exhibit
+    scale: garbage collection must relocate still-live cold blocks while
+    the hot buffer region cycles, so write amplification and wear
+    spread diverge between ``none``/``dynamic``/``static`` in a way the
+    read-dominated eigensolver sweep never exercises.
+
+    Deterministic (no RNG): the trace is a pure function of its
+    arguments, like :func:`ooc_eigensolver_trace`.
+    """
+    if panels < 1 or iterations < 1:
+        raise ValueError("panels and iterations must be positive")
+    trace = PosixTrace(client=client, label=f"ckpt-stream-c{client}")
+    buffer_bytes = panels * panel_bytes
+    t = 0
+    for it in range(iterations):
+        buf = it % 2  # double-buffer: A, B, A, B, ...
+        for p in range(panels):
+            trace.append(
+                PosixRequest(
+                    op="write",
+                    file_id=file_id,
+                    offset=offset + buf * buffer_bytes + p * panel_bytes,
+                    nbytes=panel_bytes,
+                    t_issue_ns=t,
+                    tag=f"ckpt[{it}:{p}]",
+                )
+            )
+            t += think_ns_per_panel
     return trace
 
 

@@ -1,0 +1,135 @@
+"""faults/cluster.py determinism across process boundaries, and the
+overlay-vs-netfault composition contract on one link.
+
+The LinkFaultModel guarantee is the FaultPlan guarantee specialised to
+links: decisions hash ``(seed, link name, transfer seq)``, so the same
+spec produces byte-identical overlay sequences and fault logs no matter
+which worker process evaluates them.  These tests compute the overlay
+in spawned pool workers and compare against the in-process run — the
+exact failure mode a process-dependent site would introduce."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.faults import FaultSpec, LinkUnreachable
+from repro.interconnect.links import INFINIBAND_QDR_4X
+from repro.netfault import NetFaultSpec, PacketLink, simulate_packet_ion
+from repro.cluster.ion import IonServiceConfig
+from repro.sim import Simulator
+
+KiB = 1024
+MiB = 1 << 20
+
+SMALL_ION = IonServiceConfig(bytes_per_client=2 * MiB)
+
+
+def overlay_run(spec: FaultSpec, name: str = "ion0", n: int = 200):
+    """Overlay sequence + snapshot of one link model (pool-callable)."""
+    model = spec.plan().link_model(name)
+    seq = [model.transfer_overlay(MiB, 10_000) for _ in range(n)]
+    snap = model.snapshot()
+    return seq, snap
+
+
+def cosim_run(loss_rate: float, flap_ns: int):
+    """Degraded co-sim makespan + link books (pool-callable)."""
+    chaos = FaultSpec(seed=9, link_flap_rate=0.5, link_flap_ns=flap_ns)
+    report, link = simulate_packet_ion(
+        SMALL_ION,
+        NetFaultSpec(seed=3, loss_rate=loss_rate),
+        fault_model=chaos.plan().link_model("ib-port"),
+    )
+    return report.makespan_ns, link.snapshot()
+
+
+@pytest.mark.chaos
+class TestCrossWorkerDeterminism:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(seed=11, link_flap_rate=0.4, link_flap_ns=500_000),
+            FaultSpec(seed=11, link_degraded_factor=0.5),
+            FaultSpec(seed=7, link_flap_rate=0.5, link_flap_ns=500_000,
+                      link_degraded_factor=0.6),
+        ],
+        ids=["flap", "degradation", "combined"],
+    )
+    def test_overlay_identical_in_process_and_pooled(self, spec):
+        local = overlay_run(spec)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pooled = list(pool.map(overlay_run, [spec, spec]))
+        assert pooled[0] == local
+        assert pooled[1] == local  # and both workers agree
+
+    def test_cosim_with_overlay_identical_across_processes(self):
+        local = cosim_run(0.1, 250_000)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pooled = list(pool.map(cosim_run, [0.1, 0.1], [250_000, 250_000]))
+        assert pooled[0] == local == pooled[1]
+
+    def test_same_seed_same_fault_log(self):
+        spec = FaultSpec(seed=5, link_flap_rate=0.3)
+        assert overlay_run(spec) == overlay_run(spec)
+
+    def test_different_links_decorrelate(self):
+        spec = FaultSpec(seed=5, link_flap_rate=0.3)
+        assert overlay_run(spec, "ion0")[0] != overlay_run(spec, "ion1")[0]
+
+
+class TestOverlayNetfaultComposition:
+    """Both impairment layers on one link: the overlay applies to the
+    packetized duration, and each layer keeps its own books."""
+
+    NF = NetFaultSpec(seed=3, loss_rate=0.15)
+
+    def _run(self, fault_model):
+        sim = Simulator()
+        link = PacketLink(
+            sim, INFINIBAND_QDR_4X, self.NF, name="ib",
+            fault_model=fault_model,
+        )
+        for _ in range(4):
+            sim.process(link.transfer(512 * KiB))
+        return sim.run(), link
+
+    def test_degradation_stretches_the_arq_schedule(self):
+        base, base_link = self._run(None)
+        spec = FaultSpec(seed=9, link_degraded_factor=0.5)
+        stretched, link = self._run(spec.plan().link_model("ib"))
+        # factor 0.5 doubles every transfer's wire+request time exactly
+        assert stretched == 2 * base
+        assert link.fault_stats["degraded_transfers"] == 4
+        # the packet layer's own accounting is unchanged by the overlay
+        assert link.packets_lost == base_link.packets_lost
+        assert link.retransmits == base_link.retransmits
+
+    def test_flaps_add_on_top_of_retransmission_time(self):
+        base, _ = self._run(None)
+        spec = FaultSpec(seed=9, link_flap_rate=1.0, link_flap_ns=250_000)
+        flapped, link = self._run(spec.plan().link_model("ib"))
+        assert flapped == base + 4 * 250_000
+        assert link.fault_stats["flaps"] == 4
+
+    def test_composition_is_deterministic(self):
+        spec = FaultSpec(seed=9, link_flap_rate=0.5, link_flap_ns=250_000,
+                         link_degraded_factor=0.8)
+        a, la = self._run(spec.plan().link_model("ib"))
+        b, lb = self._run(spec.plan().link_model("ib"))
+        assert a == b
+        assert la.snapshot() == lb.snapshot()
+
+    def test_budget_exhaustion_still_typed_under_overlay(self):
+        sim = Simulator()
+        spec = FaultSpec(seed=9, link_degraded_factor=0.5)
+        link = PacketLink(
+            sim, INFINIBAND_QDR_4X,
+            NetFaultSpec(seed=1, loss_rate=1.0, max_retransmits=2),
+            name="ib", fault_model=spec.plan().link_model("ib"),
+        )
+        sim.process(link.transfer(64 * KiB))
+        with pytest.raises(LinkUnreachable):
+            sim.run()
+        assert link.unreachable == 1

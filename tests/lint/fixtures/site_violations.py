@@ -15,3 +15,14 @@ def unstable_fstring(plan, txn):
 
 def unstable_event(cls, obj):
     return cls("boom", site=("device", hash(obj)))  # SITE001 via site= kw
+
+
+def unstable_packet_query(oracle, link, seq):
+    return oracle.lost(id(link), seq, 0, 1)  # SITE003: packet oracle
+
+
+def unstable_site_key(tr, link, seq):
+    return tr.sim_span(
+        "net", "transfer", 0, 1,
+        site_key=("netfault", f"{link.name()}", seq),  # SITE003: f-string
+    )

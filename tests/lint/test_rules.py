@@ -69,6 +69,7 @@ def test_site_violations_all_fire():
     rules = rules_in(FIXTURES / "site_violations.py")
     assert rules.count("SITE001") >= 3  # id(), repr(), hash() via site=
     assert "SITE002" in rules
+    assert rules.count("SITE003") == 2  # packet oracle id() + site_key f-string
 
 
 def test_site_clean_file_is_clean():

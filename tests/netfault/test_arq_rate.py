@@ -1,0 +1,177 @@
+"""Go-back-N schedule resolution and the adaptive rate controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import LinkUnreachable
+from repro.interconnect.links import INFINIBAND_QDR_4X, pcie_gen3
+from repro.netfault import (
+    AdaptiveRateController,
+    NetFaultSpec,
+    compute_schedule,
+)
+
+MiB = 1 << 20
+
+
+def _schedule(nbytes, spec, wire=INFINIBAND_QDR_4X, seq=0, record=False):
+    return compute_schedule(
+        wire, spec, spec.oracle(), AdaptiveRateController(spec),
+        "ib", seq, nbytes, record_events=record,
+    )
+
+
+class TestLossFreeTelescoping:
+    @pytest.mark.parametrize("mtu", [1, 512, 4096, 65536])
+    @pytest.mark.parametrize("nbytes", [1, 4095, 4096, 4097, 1 * MiB])
+    def test_durations_sum_exactly_to_bulk_wire_time(self, mtu, nbytes):
+        """The bit-identity invariant: per-packet durations telescope to
+        transfer_ns(nbytes) with zero rounding drift at any MTU."""
+        spec = NetFaultSpec(mtu_bytes=mtu)
+        sched = _schedule(nbytes, spec)
+        assert sched.wire_ns == INFINIBAND_QDR_4X.transfer_ns(nbytes)
+        assert sched.packets_lost == 0
+        assert sched.retransmits == 0
+        assert sched.backoff_ns == 0
+        assert sched.wasted_ns == 0
+        assert sched.payload_ns == sched.wire_ns
+
+    def test_holds_on_other_wires(self):
+        spec = NetFaultSpec(mtu_bytes=4096)
+        wire = pcie_gen3(8)
+        sched = _schedule(3 * MiB + 777, spec, wire=wire)
+        assert sched.wire_ns == wire.transfer_ns(3 * MiB + 777)
+
+    def test_packet_count(self):
+        sched = _schedule(10_000, NetFaultSpec(mtu_bytes=4096))
+        assert sched.n_packets == 3
+
+
+class TestLossySchedules:
+    SPEC = NetFaultSpec(seed=3, loss_rate=0.2, mtu_bytes=4096)
+
+    def test_loss_costs_time(self):
+        healthy = _schedule(1 * MiB, NetFaultSpec(mtu_bytes=4096))
+        lossy = _schedule(1 * MiB, self.SPEC)
+        assert lossy.packets_lost > 0
+        assert lossy.wire_ns > healthy.wire_ns
+        # the accounting identity: wire time decomposes exactly
+        assert (
+            lossy.payload_ns + lossy.lost_frame_ns + lossy.wasted_ns
+            + lossy.backoff_ns
+            == lossy.wire_ns
+        )
+
+    def test_same_inputs_same_schedule(self):
+        a = _schedule(1 * MiB, self.SPEC, record=True)
+        b = _schedule(1 * MiB, self.SPEC, record=True)
+        assert a.events == b.events
+        assert (a.wire_ns, a.packets_sent, a.packets_lost, a.retransmits) == (
+            b.wire_ns, b.packets_sent, b.packets_lost, b.retransmits
+        )
+
+    def test_transfer_seq_decorrelates(self):
+        a = _schedule(1 * MiB, self.SPEC, seq=0)
+        b = _schedule(1 * MiB, self.SPEC, seq=1)
+        assert (a.wire_ns, a.packets_lost) != (b.wire_ns, b.packets_lost)
+
+    def test_events_only_when_recording(self):
+        assert _schedule(1 * MiB, self.SPEC, record=False).events == []
+        assert _schedule(1 * MiB, self.SPEC, record=True).events
+
+    def test_event_stream_is_consistent(self):
+        sched = _schedule(1 * MiB, self.SPEC, record=True)
+        by_kind = {}
+        for ev in sched.events:
+            by_kind[ev.event] = by_kind.get(ev.event, 0) + 1
+        assert by_kind["sent"] == sched.packets_sent
+        assert by_kind.get("lost", 0) == sched.packets_lost
+        assert by_kind["delivered"] == sched.n_packets
+
+    def test_budget_exhaustion_raises_typed_with_partial_counters(self):
+        spec = NetFaultSpec(seed=1, loss_rate=1.0, max_retransmits=3)
+        with pytest.raises(LinkUnreachable) as exc_info:
+            _schedule(64 * 1024, spec)
+        err = exc_info.value
+        assert err.code == "link_unreachable"
+        assert not err.transient
+        assert err.site[0] == "netfault"
+        # the partial schedule rides the exception for caller folding
+        sched = err.schedule
+        assert sched.packets_lost == 4  # initial + 3 retransmits
+        assert sched.retransmits == 3
+        assert sched.wire_ns > 0
+
+    def test_backoff_is_exponential_and_capped(self):
+        spec = NetFaultSpec(
+            seed=1, loss_rate=1.0, max_retransmits=6,
+            backoff_base_ns=1_000, backoff_cap_ns=4_000,
+        )
+        with pytest.raises(LinkUnreachable) as exc_info:
+            _schedule(1024, spec)
+        # attempts 1..6 back off 1k, 2k, 4k, then capped at 4k
+        assert exc_info.value.schedule.backoff_ns == 1_000 + 2_000 + 4 * 4_000
+
+
+class TestAdaptiveRateController:
+    def test_full_rate_stretch_is_exact_noop(self):
+        rate = AdaptiveRateController(NetFaultSpec())
+        for ns in (0, 1, 7, 10**9):
+            assert rate.stretch(ns) == ns
+
+    def test_fallback_after_sustained_loss(self):
+        spec = NetFaultSpec(
+            loss_rate=0.5, fallback_window=8, fallback_losses=3
+        )
+        rate = AdaptiveRateController(spec)
+        moves = [rate.on_outcome(True) for _ in range(3)]
+        assert moves == [None, None, "fallback"]
+        assert rate.level_name == "DDR"
+        assert rate.factor == 0.5
+        assert rate.stretch(1000) == 2000
+
+    def test_falls_all_the_way_to_sdr_then_stops(self):
+        spec = NetFaultSpec(loss_rate=0.5, fallback_window=4,
+                            fallback_losses=2)
+        rate = AdaptiveRateController(spec)
+        for _ in range(32):
+            rate.on_outcome(True)
+        assert rate.level_name == "SDR"
+        assert rate.fallbacks == 2  # ladder has 3 rungs, 2 steps down
+
+    def test_recovery_probe_after_quiet_period(self):
+        spec = NetFaultSpec(
+            loss_rate=0.5, fallback_window=4, fallback_losses=2,
+            recovery_quiet_packets=5,
+        )
+        rate = AdaptiveRateController(spec)
+        rate.on_outcome(True)
+        rate.on_outcome(True)  # -> DDR
+        assert rate.level_name == "DDR"
+        moves = [rate.on_outcome(False) for _ in range(5)]
+        assert moves[-1] == "recovery"
+        assert rate.level_name == "QDR"
+        assert rate.recoveries == 1
+
+    def test_loss_resets_the_quiet_counter(self):
+        spec = NetFaultSpec(
+            loss_rate=0.5, fallback_window=16, fallback_losses=2,
+            recovery_quiet_packets=4,
+        )
+        rate = AdaptiveRateController(spec)
+        rate.on_outcome(True)
+        rate.on_outcome(True)  # -> DDR
+        for _ in range(3):
+            rate.on_outcome(False)
+        rate.on_outcome(True)  # quiet streak broken
+        for _ in range(3):
+            assert rate.on_outcome(False) is None
+        assert rate.level_name == "DDR"
+
+    def test_snapshot_shape(self):
+        snap = AdaptiveRateController(NetFaultSpec()).snapshot()
+        assert snap == {
+            "level": 0, "level_name": "QDR", "factor": 1.0,
+            "fallbacks": 0, "recoveries": 0,
+        }

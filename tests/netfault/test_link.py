@@ -1,0 +1,263 @@
+"""PacketLink DES behaviour: loss-0 bit-identity, typed unreachability,
+fault-overlay composition, counters, spans and the CSV recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cluster.network import SharedLink
+from repro.faults import FaultSpec, LinkUnreachable
+from repro.interconnect.links import INFINIBAND_QDR_4X
+from repro.netfault import NetFaultSpec, NetStatsRecorder, PacketLink
+from repro.obs.export import prometheus_text
+from repro.obs.registry import MetricsRegistry
+from repro.sim import Simulator
+
+MiB = 1 << 20
+
+
+def _run_transfers(link_factory, sizes):
+    """Build a link, move each size as its own process, return makespan."""
+    sim = Simulator()
+    link = link_factory(sim)
+    for n in sizes:
+        sim.process(link.transfer(n))
+    return sim.run(), link
+
+
+def _shared(sim):
+    return SharedLink(sim, INFINIBAND_QDR_4X, name="ib")
+
+
+def _packet(spec):
+    def build(sim):
+        return PacketLink(sim, INFINIBAND_QDR_4X, spec, name="ib")
+    return build
+
+
+class TestLossZeroBitIdentity:
+    @pytest.mark.parametrize(
+        "sizes",
+        [
+            [8 * MiB],
+            [128 * 1024] * 8,  # FIFO contention
+            [1, 4095, 4096, 4097, 3 * MiB + 13],  # odd frame boundaries
+        ],
+    )
+    def test_makespan_matches_shared_link_exactly(self, sizes):
+        healthy, _ = _run_transfers(_shared, sizes)
+        packet, link = _run_transfers(_packet(NetFaultSpec()), sizes)
+        assert packet == healthy
+        assert link.packets_lost == 0
+        assert link.retransmits == 0
+
+    def test_mtu_does_not_move_a_nanosecond(self):
+        base, _ = _run_transfers(_shared, [5 * MiB])
+        for mtu in (512, 4096, 1 * MiB):
+            t, _ = _run_transfers(
+                _packet(NetFaultSpec(mtu_bytes=mtu)), [5 * MiB]
+            )
+            assert t == base, f"mtu={mtu}"
+
+
+class TestLossyBehaviour:
+    SPEC = NetFaultSpec(seed=3, loss_rate=0.2)
+
+    def test_loss_slows_the_link_deterministically(self):
+        healthy, _ = _run_transfers(_shared, [1 * MiB])
+        a, la = _run_transfers(_packet(self.SPEC), [1 * MiB])
+        b, lb = _run_transfers(_packet(self.SPEC), [1 * MiB])
+        assert a == b > healthy
+        assert la.snapshot() == lb.snapshot()
+        assert la.packets_lost > 0
+
+    def test_budget_exhaustion_propagates_and_counts(self):
+        spec = NetFaultSpec(seed=1, loss_rate=1.0, max_retransmits=2)
+        sim = Simulator()
+        link = PacketLink(sim, INFINIBAND_QDR_4X, spec, name="ib")
+        sim.process(link.transfer(64 * 1024))
+        with pytest.raises(LinkUnreachable):
+            sim.run()
+        assert link.unreachable == 1
+        assert link.transfers == 0  # nothing was delivered
+        assert link.packets_lost == 3  # partial counters folded in
+
+    def test_flap_overlay_composes_on_top_of_arq(self):
+        """A LinkFaultModel overlay and the packet machinery ride one
+        link: total time = packetized time + flap penalty."""
+        flap_ns = 1_000_000
+        chaos = FaultSpec(seed=3, link_flap_rate=1.0, link_flap_ns=flap_ns)
+
+        def lossy(sim):
+            return PacketLink(sim, INFINIBAND_QDR_4X, self.SPEC, name="ib")
+
+        def lossy_flapping(sim):
+            return PacketLink(
+                sim, INFINIBAND_QDR_4X, self.SPEC, name="ib",
+                fault_model=chaos.plan().link_model("ib"),
+            )
+
+        plain, _ = _run_transfers(lossy, [1 * MiB])
+        overlaid, link = _run_transfers(lossy_flapping, [1 * MiB])
+        assert overlaid == plain + flap_ns
+        assert link.fault_stats["flaps"] == 1
+
+
+class TestDeliverability:
+    """Satellite: SharedLink raises typed instead of hanging."""
+
+    def test_closed_link_raises_before_acquire(self):
+        sim = Simulator()
+        link = SharedLink(sim, INFINIBAND_QDR_4X, name="ib")
+        link.close()
+        with pytest.raises(LinkUnreachable):
+            sim.process(link.transfer(1024))
+            sim.run()
+        assert link.closed
+        assert link.transfers == 0
+
+    def test_zero_capacity_spec_raises_typed(self):
+        import dataclasses
+
+        dead = dataclasses.replace(INFINIBAND_QDR_4X, packet_efficiency=0.0)
+        sim = Simulator()
+        link = SharedLink(sim, dead, name="ib")
+        with pytest.raises(LinkUnreachable):
+            sim.process(link.transfer(1024))
+            sim.run()
+
+    def test_close_while_queued_raises_the_waiter(self):
+        sim = Simulator()
+        link = SharedLink(sim, INFINIBAND_QDR_4X, name="ib")
+
+        def closer():
+            yield sim.timeout(10)
+            link.close()
+
+        sim.process(link.transfer(8 * MiB))  # holds the wire long enough
+        sim.process(link.transfer(8 * MiB))  # queued; link closes meanwhile
+        sim.process(closer())
+        with pytest.raises(LinkUnreachable):
+            sim.run()
+        assert link.transfers == 1
+
+    def test_packet_link_inherits_the_checks(self):
+        sim = Simulator()
+        link = PacketLink(sim, INFINIBAND_QDR_4X, NetFaultSpec(), name="ib")
+        link.close()
+        with pytest.raises(LinkUnreachable):
+            sim.process(link.transfer(1024))
+            sim.run()
+
+
+class TestCountersAndMetrics:
+    def test_snapshot_flows_through_registry_to_prometheus(self):
+        _, link = _run_transfers(
+            _packet(NetFaultSpec(seed=3, loss_rate=0.2)), [1 * MiB]
+        )
+        registry = MetricsRegistry()
+        registry.absorb(
+            "repro_link", link.snapshot(),
+            monotonic={"transfers", "bytes_moved", "packets_sent",
+                       "packets_lost", "retransmits"},
+        )
+        text = prometheus_text(registry)
+        assert "# TYPE repro_link_transfers counter" in text
+        assert "repro_link_transfers 1.0" in text
+        assert "# TYPE repro_link_packets_lost counter" in text
+        assert "repro_link_rate_factor" in text
+
+    def test_shared_link_snapshot_shape(self):
+        _, link = _run_transfers(_shared, [1 * MiB, 2 * MiB])
+        snap = link.snapshot()
+        assert snap["transfers"] == 2
+        assert snap["bytes_moved"] == 3 * MiB
+        assert snap["busy_ns"] > 0
+        assert snap["closed"] is False
+
+
+class TestObservability:
+    def _traced_run(self, spec, sizes):
+        tracer = obs.install(obs.Tracer())
+        try:
+            _run_transfers(_packet(spec), sizes)
+        finally:
+            obs.uninstall()
+        return [s for s in tracer.spans if s.domain == "sim"]
+
+    def test_loss_free_transfer_tiles_its_root(self):
+        spans = self._traced_run(NetFaultSpec(), [1 * MiB])
+        roots = [s for s in spans if s.parent == ""]
+        assert len(roots) == 1
+        children = [s for s in spans if s.parent == roots[0].site]
+        covered = sum(s.end - s.start for s in children)
+        assert covered == roots[0].end - roots[0].start
+        assert {s.layer for s in children} == {"net"}
+
+    def test_lossy_transfer_stays_fully_attributed(self):
+        spans = self._traced_run(
+            NetFaultSpec(seed=3, loss_rate=0.2), [1 * MiB]
+        )
+        roots = [s for s in spans if s.parent == ""]
+        children = [s for s in spans if s.parent == roots[0].site]
+        covered = sum(s.end - s.start for s in children)
+        assert covered == roots[0].end - roots[0].start
+        names = {s.name for s in children}
+        assert "retransmit" in names and "backoff" in names
+        # per-loss detail spans are grandchildren of the retransmit part
+        retrans = next(s for s in children if s.name == "retransmit")
+        losses = [s for s in spans if s.parent == retrans.site]
+        assert losses and all(s.name == "loss" for s in losses)
+
+
+class TestNetStatsRecorder:
+    def test_totals_without_a_log_dir(self):
+        stats = NetStatsRecorder()
+        _, link = _run_transfers(
+            lambda sim: PacketLink(
+                sim, INFINIBAND_QDR_4X, NetFaultSpec(seed=3, loss_rate=0.2),
+                name="ib", stats=stats,
+            ),
+            [1 * MiB],
+        )
+        s = stats.summary()
+        assert s["packets_sent"] == link.packets_sent
+        assert s["packets_lost"] == link.packets_lost
+        assert s["retransmits"] == link.retransmits
+        assert s["bytes_delivered"] == 1 * MiB
+
+    def test_csv_rows_match_totals_and_are_simulated_time(self, tmp_path):
+        stats = NetStatsRecorder(tmp_path)
+        _run_transfers(
+            lambda sim: PacketLink(
+                sim, INFINIBAND_QDR_4X, NetFaultSpec(seed=3, loss_rate=0.2),
+                name="ib", stats=stats,
+            ),
+            [256 * 1024],
+        )
+        stats.close()
+        lines = (tmp_path / "net_stats.csv").read_text().splitlines()
+        assert lines[0] == ",".join(NetStatsRecorder.FIELDS)
+        rows = [ln.split(",") for ln in lines[1:]]
+        sent = [r for r in rows if r[5] == "sent"]
+        assert len(sent) == stats.packets_sent
+        # timestamps are integer simulated ns, nondecreasing per link
+        ts = [int(r[0]) for r in rows]
+        assert ts == sorted(ts)
+
+    def test_two_runs_write_identical_bytes(self, tmp_path):
+        outs = []
+        for d in ("a", "b"):
+            stats = NetStatsRecorder(tmp_path / d)
+            _run_transfers(
+                lambda sim: PacketLink(
+                    sim, INFINIBAND_QDR_4X,
+                    NetFaultSpec(seed=7, loss_rate=0.1),
+                    name="ib", stats=stats,
+                ),
+                [512 * 1024, 512 * 1024],
+            )
+            stats.close()
+            outs.append((tmp_path / d / "net_stats.csv").read_bytes())
+        assert outs[0] == outs[1]

@@ -1,0 +1,194 @@
+"""Trace-driven replay: JSONL loading, the async driver, and the
+NetfaultJob wire format."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments import Workload
+from repro.netfault import load_job_trace, replay_jobs, run_replay
+from repro.service import NetfaultJob, SimulationService
+from repro.service.jobs import (
+    CellJob,
+    JobValidationError,
+    job_from_dict,
+)
+
+KiB = 1024
+TINY_WL = {"panels": 2, "panel_bytes": 64 * KiB}
+
+
+def _write_trace(path, lines):
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestLoadJobTrace:
+    def test_parses_sorts_and_skips_comments(self, tmp_path):
+        trace = _write_trace(tmp_path / "t.jsonl", [
+            "# captured 2026-08-08",
+            json.dumps({"job": "cell", "label": "CNL-UFS", "kind": "SLC",
+                        "arrival_offset_s": 0.5}),
+            "",
+            json.dumps({"job": "cell", "label": "ION-GPFS", "kind": "SLC"}),
+        ])
+        specs = load_job_trace(trace)
+        assert [s.label for s in specs] == ["ION-GPFS", "CNL-UFS"]
+        assert [s.arrival_offset_s for s in specs] == [0.0, 0.5]
+
+    def test_stable_order_on_tied_offsets(self, tmp_path):
+        trace = _write_trace(tmp_path / "t.jsonl", [
+            json.dumps({"job": "cell", "label": lb, "kind": "SLC"})
+            for lb in ("CNL-UFS", "CNL-EXT2", "CNL-EXT3")
+        ])
+        assert [s.label for s in load_job_trace(trace)] == [
+            "CNL-UFS", "CNL-EXT2", "CNL-EXT3"
+        ]
+
+    def test_bad_json_names_the_line(self, tmp_path):
+        trace = _write_trace(tmp_path / "t.jsonl", [
+            json.dumps({"job": "cell", "label": "CNL-UFS", "kind": "SLC"}),
+            "{not json",
+        ])
+        with pytest.raises(JobValidationError, match=r"t\.jsonl:2"):
+            load_job_trace(trace)
+
+    def test_invalid_job_rejected_at_load(self, tmp_path):
+        trace = _write_trace(tmp_path / "t.jsonl", [
+            json.dumps({"job": "cell", "label": "NOPE", "kind": "SLC"}),
+        ])
+        with pytest.raises(JobValidationError):
+            load_job_trace(trace)
+
+
+class TestArrivalOffset:
+    def test_defaults_to_zero_and_round_trips(self):
+        spec = CellJob(label="CNL-UFS", kind="SLC")
+        assert spec.arrival_offset_s == 0.0
+        assert "arrival_offset_s" not in spec.to_dict()
+        timed = CellJob(label="CNL-UFS", kind="SLC", arrival_offset_s=1.5)
+        wire = timed.to_dict()
+        assert wire["arrival_offset_s"] == 1.5
+        assert job_from_dict(wire).arrival_offset_s == 1.5
+
+    def test_rejects_negative_or_bool(self):
+        with pytest.raises(JobValidationError):
+            CellJob(label="CNL-UFS", kind="SLC",
+                    arrival_offset_s=-1.0).validate()
+        with pytest.raises(JobValidationError):
+            CellJob(label="CNL-UFS", kind="SLC",
+                    arrival_offset_s=True).validate()
+
+    def test_offset_does_not_change_the_key(self):
+        a = CellJob(label="CNL-UFS", kind="SLC")
+        b = CellJob(label="CNL-UFS", kind="SLC", arrival_offset_s=9.0)
+        assert a.key() == b.key()
+
+
+class TestNetfaultJob:
+    def test_valid_and_describe(self):
+        job = NetfaultJob(loss_rates=(0.0, 0.1), labels=("CNL-UFS",),
+                          kinds=("SLC",))
+        job.validate()
+        assert job.job_type == "netfault"
+        assert "netfault" in job.describe()
+
+    def test_validation(self):
+        with pytest.raises(JobValidationError):
+            NetfaultJob(loss_rates=()).validate()
+        with pytest.raises(JobValidationError):
+            NetfaultJob(loss_rates=(1.5,)).validate()
+        with pytest.raises(JobValidationError):
+            NetfaultJob(loss_rates=(0.0,), labels=("NOPE",)).validate()
+        with pytest.raises(JobValidationError):
+            NetfaultJob(loss_rates=(0.0,), mtu_bytes=0).validate()
+
+    def test_wire_round_trip(self):
+        job = NetfaultJob(
+            loss_rates=(0.0, 0.05), labels=("ION-GPFS",), kinds=("SLC",),
+            net_seed=7, mtu_bytes=8192, arrival_offset_s=0.25,
+        )
+        back = job_from_dict(job.to_dict())
+        assert back == job
+        assert back.key() == job.key()
+
+    def test_regime_fields_change_the_key(self):
+        base = NetfaultJob(loss_rates=(0.0, 0.05))
+        assert NetfaultJob(loss_rates=(0.0, 0.1)).key() != base.key()
+        assert NetfaultJob(loss_rates=(0.0, 0.05),
+                           net_seed=1).key() != base.key()
+        assert NetfaultJob(loss_rates=(0.0, 0.05),
+                           mtu_bytes=512).key() != base.key()
+
+
+class TestReplayDriver:
+    def _specs(self):
+        return load_job_trace_from([
+            {"job": "cell", "label": "CNL-UFS", "kind": "SLC",
+             "workload": TINY_WL, "arrival_offset_s": 0.0},
+            {"job": "cell", "label": "CNL-UFS", "kind": "SLC",
+             "workload": TINY_WL, "arrival_offset_s": 0.01},
+            {"job": "cell", "label": "ION-GPFS", "kind": "SLC",
+             "workload": TINY_WL, "arrival_offset_s": 0.02},
+        ])
+
+    def test_replay_completes_and_coalesces(self, tmp_path):
+        async def scenario():
+            service = SimulationService(max_concurrency=2)
+            await service.start()
+            try:
+                return await replay_jobs(service, self._specs(), speed=0)
+            finally:
+                await service.shutdown()
+
+        report = asyncio.run(scenario())
+        assert report.jobs == 3
+        assert report.ok == 3 and report.failed == 0
+        assert report.coalesced >= 1  # the duplicate CNL-UFS cell
+        assert "3 jobs" in report.text()
+        assert len(report.latencies_s) == 3
+
+    def test_rejects_negative_speed(self):
+        async def scenario():
+            await replay_jobs(None, [], speed=-1.0)
+
+        with pytest.raises(ValueError):
+            asyncio.run(scenario())
+
+    def test_run_replay_end_to_end(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(
+            json.dumps({"job": "cell", "label": "CNL-UFS", "kind": "SLC",
+                        "workload": TINY_WL}) + "\n"
+        )
+        report = run_replay(trace, speed=0)
+        assert report.ok == 1
+
+
+def load_job_trace_from(dicts):
+    return [job_from_dict(d) for d in dicts]
+
+
+class TestNetfaultJobExecution:
+    def test_service_runs_a_netfault_job(self):
+        async def scenario():
+            service = SimulationService(max_concurrency=1)
+            await service.start()
+            try:
+                handle = service.submit(NetfaultJob(
+                    loss_rates=(0.0, 0.05), labels=("CNL-UFS", "ION-GPFS"),
+                    kinds=("SLC",), workload=Workload(panels=2,
+                                                      panel_bytes=64 * KiB),
+                ))
+                return await handle.result()
+            finally:
+                await service.shutdown()
+
+        payload = asyncio.run(scenario())
+        assert payload["kind"] == "netfault"
+        assert payload["calibrations"]["0"]["delivered_factor"] == 1.0
+        assert "0.05|ION-GPFS|SLC" in payload["results"]
+        assert "CNL vs ION" in payload["text"]

@@ -1,0 +1,103 @@
+"""NetFaultSpec validation and PacketOracle determinism."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.netfault import RATE_LEVELS, NetFaultSpec, PacketOracle
+
+
+class TestSpecValidation:
+    def test_defaults_are_disabled(self):
+        spec = NetFaultSpec()
+        assert not spec.enabled
+        assert spec.loss_rate == 0.0
+
+    def test_loss_rate_enables(self):
+        assert NetFaultSpec(loss_rate=0.01).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_rate": -0.1},
+            {"loss_rate": 1.5},
+            {"mtu_bytes": 0},
+            {"window_packets": 0},
+            {"max_retransmits": 0},
+            {"backoff_base_ns": -1},
+            {"fallback_window": 0},
+            {"fallback_losses": 0},
+            {"recovery_quiet_packets": 0},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            NetFaultSpec(**kwargs)
+
+    def test_signature_is_json_safe_and_total(self):
+        spec = NetFaultSpec(seed=7, loss_rate=0.05)
+        sig = spec.signature()
+        assert sig["seed"] == 7 and sig["loss_rate"] == 0.05
+        # the signature is the full identity: rebuilding round-trips
+        assert NetFaultSpec(**sig) == spec
+
+    def test_spec_is_picklable(self):
+        spec = NetFaultSpec(seed=3, loss_rate=0.2)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_rate_ladder_shape(self):
+        names = [n for n, _f in RATE_LEVELS]
+        factors = [f for _n, f in RATE_LEVELS]
+        assert names == ["QDR", "DDR", "SDR"]
+        assert factors == sorted(factors, reverse=True)
+        assert factors[0] == 1.0
+
+
+class TestPacketOracle:
+    def test_same_seed_same_verdicts(self):
+        a = PacketOracle(NetFaultSpec(seed=5, loss_rate=0.3))
+        b = PacketOracle(NetFaultSpec(seed=5, loss_rate=0.3))
+        sites = [("ib", t, p, at) for t in range(8) for p in range(16)
+                 for at in range(2)]
+        assert [a.lost(*s) for s in sites] == [b.lost(*s) for s in sites]
+
+    def test_different_seeds_differ(self):
+        a = PacketOracle(NetFaultSpec(seed=1, loss_rate=0.5))
+        b = PacketOracle(NetFaultSpec(seed=2, loss_rate=0.5))
+        sites = [("ib", 0, p, 0) for p in range(256)]
+        assert [a.lost(*s) for s in sites] != [b.lost(*s) for s in sites]
+
+    def test_verdict_is_order_independent(self):
+        oracle = PacketOracle(NetFaultSpec(seed=9, loss_rate=0.4))
+        first = oracle.lost("ib", 3, 7, 1)
+        # interleave unrelated queries, then re-ask: pure function
+        for p in range(64):
+            oracle.lost("other", 0, p, 0)
+        assert oracle.lost("ib", 3, 7, 1) == first
+
+    def test_zero_rate_never_drops(self):
+        oracle = PacketOracle(NetFaultSpec(seed=5, loss_rate=0.0))
+        assert not any(oracle.lost("ib", 0, p, 0) for p in range(512))
+
+    def test_rate_one_always_drops(self):
+        oracle = PacketOracle(NetFaultSpec(seed=5, loss_rate=1.0))
+        assert all(oracle.lost("ib", 0, p, 0) for p in range(64))
+
+    def test_loss_sets_nest_across_rates(self):
+        """Shared per-site draws: raising the rate only grows the set of
+        dropped packets, the monotone-degradation precondition."""
+        lo = PacketOracle(NetFaultSpec(seed=11, loss_rate=0.05))
+        hi = PacketOracle(NetFaultSpec(seed=11, loss_rate=0.3))
+        sites = [("ib", 0, p, 0) for p in range(2048)]
+        dropped_lo = {s for s in sites if lo.lost(*s)}
+        dropped_hi = {s for s in sites if hi.lost(*s)}
+        assert dropped_lo < dropped_hi
+
+    def test_uniform_range_and_spread(self):
+        oracle = PacketOracle(NetFaultSpec(seed=2))
+        draws = [oracle.uniform("x", i) for i in range(1000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        mean = sum(draws) / len(draws)
+        assert 0.45 < mean < 0.55

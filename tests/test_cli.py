@@ -71,3 +71,57 @@ class TestCli:
     def test_lifetime_in_list_output(self, capsys):
         assert main(["list"]) == 0
         assert "lifetime" in capsys.readouterr().out
+
+    def test_lifetime_checkpoint_workload(self, capsys):
+        assert main([
+            "lifetime", "--scale", "0.2", "--labels", "CNL-UFS",
+            "--kinds", "SLC", "--ages", "0", "--workload", "checkpoint",
+        ]) == 0
+        assert "Device lifetime sweep" in capsys.readouterr().out
+
+    def test_netfault_subcommand(self, tmp_path, capsys):
+        assert main([
+            "netfault", "--scale", "0.2", "--loss-rates", "0,0.05",
+            "--labels", "CNL-UFS,ION-GPFS", "--kinds", "SLC",
+            "--stats-dir", str(tmp_path / "stats"),
+            "--prom", str(tmp_path / "metrics.txt"),
+            "-o", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CNL vs ION under fabric degradation" in out
+        assert "[netfault: 4 cells" in out
+        assert "[net stats:" in out
+        assert (tmp_path / "netfault.txt").exists()
+        assert (tmp_path / "stats" / "net_stats.csv").exists()
+        prom = (tmp_path / "metrics.txt").read_text()
+        assert "repro_netfault_delivered_factor" in prom
+
+    def test_netfault_rejects_bad_loss_rates(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["netfault", "--loss-rates", "0,nope"])
+        assert exc.value.code == 2
+        assert "loss-rates" in capsys.readouterr().err
+
+    def test_netfault_rejects_unknown_label(self, capsys):
+        assert main(["netfault", "--scale", "0.2", "--loss-rates", "0",
+                     "--labels", "NOPE"]) == 2
+        assert "netfault sweep" in capsys.readouterr().err
+
+    def test_netfault_replay_mode(self, tmp_path, capsys):
+        trace = tmp_path / "jobs.jsonl"
+        trace.write_text(
+            '{"job": "cell", "label": "CNL-UFS", "kind": "SLC", '
+            '"workload": {"panels": 2, "panel_bytes": 65536}}\n'
+        )
+        assert main(["netfault", "--replay", str(trace), "--speed", "0"]) == 0
+        assert "trace replay: 1 jobs" in capsys.readouterr().out
+
+    def test_netfault_replay_bad_trace(self, tmp_path, capsys):
+        trace = tmp_path / "jobs.jsonl"
+        trace.write_text("{broken\n")
+        assert main(["netfault", "--replay", str(trace)]) == 2
+        assert "netfault replay" in capsys.readouterr().err
+
+    def test_netfault_in_list_output(self, capsys):
+        assert main(["list"]) == 0
+        assert "netfault" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""The write-heavy checkpoint stream and its Workload dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Workload, run_config
+from repro.trace.synth import checkpoint_stream_trace
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+class TestCheckpointStreamTrace:
+    def test_all_writes_double_buffered(self):
+        trace = checkpoint_stream_trace(panels=4, panel_bytes=64 * KiB,
+                                        iterations=4)
+        reqs = list(trace)
+        assert len(reqs) == 16
+        assert all(r.op == "write" for r in reqs)
+        buffer_bytes = 4 * 64 * KiB
+        # even iterations fill buffer A, odd iterations buffer B
+        for i, r in enumerate(reqs):
+            it, p = divmod(i, 4)
+            want = (it % 2) * buffer_bytes + p * 64 * KiB
+            assert r.offset == want, (it, p)
+
+    def test_same_blocks_rewritten_every_other_iteration(self):
+        trace = checkpoint_stream_trace(panels=2, panel_bytes=64 * KiB,
+                                        iterations=4)
+        offsets = [r.offset for r in trace]
+        assert offsets[:2] == offsets[4:6]  # iteration 0 == iteration 2
+        assert offsets[2:4] == offsets[6:8]  # iteration 1 == iteration 3
+        assert set(offsets[:2]).isdisjoint(offsets[2:4])
+
+    def test_deterministic_and_offset_shifts_the_region(self):
+        a = checkpoint_stream_trace(panels=2, panel_bytes=64 * KiB)
+        b = checkpoint_stream_trace(panels=2, panel_bytes=64 * KiB)
+        assert [(r.op, r.offset, r.nbytes) for r in a] == [
+            (r.op, r.offset, r.nbytes) for r in b
+        ]
+        shifted = checkpoint_stream_trace(panels=2, panel_bytes=64 * KiB,
+                                          offset=1 * MiB)
+        assert all(
+            s.offset == r.offset + 1 * MiB for s, r in zip(shifted, a)
+        )
+
+    def test_rejects_empty_shapes(self):
+        with pytest.raises(ValueError):
+            checkpoint_stream_trace(panels=0)
+        with pytest.raises(ValueError):
+            checkpoint_stream_trace(iterations=0)
+
+
+class TestWorkloadStreamDispatch:
+    def test_default_stream_is_the_eigensolver(self):
+        wl = Workload(panels=2, panel_bytes=64 * KiB)
+        assert wl.stream == "eigensolver"
+        assert all(r.op == "read" for r in wl.traces(1)[0])
+
+    def test_checkpoint_stream_generates_writes(self):
+        wl = Workload(panels=2, panel_bytes=64 * KiB, iterations=2,
+                      stream="checkpoint")
+        traces = wl.traces(2)
+        assert all(r.op == "write" for t in traces for r in t)
+        # per-client double-buffered regions never overlap
+        spans = [
+            {(r.offset, r.offset + r.nbytes) for r in t} for t in traces
+        ]
+        assert spans[0].isdisjoint(spans[1])
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload stream"):
+            Workload(panels=2, panel_bytes=64 * KiB, stream="sequential")
+
+    def test_checkpoint_cell_runs_end_to_end(self):
+        wl = Workload(panels=2, panel_bytes=64 * KiB, iterations=2,
+                      stream="checkpoint")
+        result = run_config("CNL-UFS", "SLC", wl, with_remaining=False)
+        assert result.bandwidth_mb > 0
