@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Static-analysis gate, mirroring the CI `lint` job exactly:
-#   1. python -m repro lint   (DET/UNIT/SITE/POOL/SCHEMA, baseline-gated)
-#   2. ruff                   (pyflakes-class errors, pinned version)
-#   3. mypy                   (strict on repro.lint + repro.faults)
+#   1. python -m repro lint   (DET/UNIT/SITE/POOL/SCHEMA/FLOW, baseline-gated)
+#   2. python -m repro flow   (whole-program dataflow, reuses the lint cache)
+#   3. ruff                   (pyflakes-class errors, pinned version)
+#   4. mypy                   (strict on repro.lint + repro.faults)
 # ruff/mypy are skipped with a warning when not installed locally
 # (install them with `pip install -e .[lint]`); CI always installs the
 # pinned versions from pyproject.toml, so the gate is authoritative there.
@@ -14,12 +15,22 @@ status=0
 
 echo "== repro lint =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro lint \
-    --baseline lint-baseline.json "$@"
+    --baseline lint-baseline.json --changed-only "$@"
 rc=$?
 if [ $rc -ne 0 ]; then
     status=$rc
     echo "repro lint failed (exit $rc). Reproduce with:" >&2
     echo "  PYTHONPATH=src python -m repro lint --baseline lint-baseline.json" >&2
+fi
+
+echo "== repro flow =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro flow \
+    --baseline lint-baseline.json --changed-only "$@"
+rc=$?
+if [ $rc -ne 0 ]; then
+    status=$rc
+    echo "repro flow failed (exit $rc). Reproduce with:" >&2
+    echo "  PYTHONPATH=src python -m repro flow --baseline lint-baseline.json" >&2
 fi
 
 echo "== ruff =="

@@ -13,6 +13,7 @@ Usage::
     python -m repro figure7 --faults        # deterministic fault injection
     python -m repro serve --port 8077       # simulation-as-a-service
     python -m repro lint                    # determinism/invariant analyzer
+    python -m repro flow                    # whole-program dataflow analyzer
     python -m repro table2 --trace t.jsonl  # record an obs trace
     python -m repro obs report t.jsonl      # per-layer time breakdown
     python -m repro lifetime                # aged-device capacity sweep
@@ -581,6 +582,10 @@ def main(argv: list[str] | None = None) -> int:
         from .lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "flow":
+        from .flow.cli import main as flow_main
+
+        return flow_main(argv[1:])
     if argv and argv[0] == "obs":
         from .obs.report import main as obs_main
 

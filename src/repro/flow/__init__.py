@@ -1,0 +1,22 @@
+"""repro.flow — whole-program dataflow analysis for the repro tree.
+
+Interprocedural companion to :mod:`repro.lint`: where the lint rules
+judge one file at a time, this package builds a project-wide symbol
+table and call graph, then propagates three taint lattices —
+clock-domain (``FLOW001``), seed/site provenance (``FLOW002``) and
+pool-escape (``FLOW003``) — through assignments, calls, returns and
+dataclass fields, so a wall-clock read laundered through a helper
+function is still caught at the ``sim_span`` three calls away.
+
+Run it as ``python -m repro flow`` (findings/noqa/baseline machinery
+shared with ``repro lint``), or get the same findings from ``python -m
+repro lint`` via the registered FLOW project checker.  The dynamic
+counterpart is ``scripts/detsan.py`` (DetSan), which perturbs hash
+seeds, DES tie-breaking, worker counts and backends and diffs the
+results byte-for-byte.
+"""
+
+from .analysis import FLOW_CODES, FlowAnalyzer, analyze_contexts
+from .symbols import ProjectIndex
+
+__all__ = ["FLOW_CODES", "FlowAnalyzer", "ProjectIndex", "analyze_contexts"]

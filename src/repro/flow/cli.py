@@ -1,0 +1,33 @@
+"""``python -m repro flow`` — the whole-program dataflow front-end.
+
+A family-restricted view of the lint CLI: same baseline, same noqa,
+same SARIF/json/text formats and ``--changed-only`` cache, but the
+default (and only permitted) selection is the interprocedural FLOW
+rules.  ``python -m repro lint`` runs these too; this front exists so
+the whole-program pass can run (and export SARIF) without paying for
+or re-reporting the per-file families.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..lint.cli import run_cli
+
+__all__ = ["main"]
+
+FAMILIES = ("FLOW",)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return run_cli(
+        argv,
+        prog="python -m repro flow",
+        description=(
+            "Whole-program dataflow analyzer for the repro codebase: "
+            "clock-domain taint (FLOW001), seed/site provenance "
+            "(FLOW002), and pool-escape (FLOW003), tracked across "
+            "function and module boundaries."
+        ),
+        families=FAMILIES,
+    )

@@ -3,6 +3,9 @@
 Exit codes: ``0`` clean (baselined findings and stale entries warn but
 do not fail), ``1`` at least one new finding **or** a baseline entry
 without a justification, ``2`` usage error.
+
+:func:`run_cli` is the shared engine: ``python -m repro flow`` is the
+same CLI restricted to the FLOW family (see :mod:`repro.flow.cli`).
 """
 
 from __future__ import annotations
@@ -14,12 +17,14 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .baseline import Baseline
+from .cache import DEFAULT_CACHE_DIR, AnalysisCache
 from .context import LintConfig
 from .fingerprint import default_fingerprint_path, write_fingerprints
 from .registry import all_rule_codes
 from .runner import LintResult, lint_paths
+from .sarif import to_sarif
 
-__all__ = ["main"]
+__all__ = ["main", "run_cli"]
 
 _DEFAULT_BASELINE = "lint-baseline.json"
 
@@ -29,23 +34,23 @@ def _package_root() -> Path:
     return Path(__file__).resolve().parents[1]
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro lint",
-        description=(
-            "AST-based determinism & invariant analyzer for the repro "
-            "codebase (rules: DET, UNIT, SITE, POOL, SCHEMA)."
-        ),
-    )
+def _family(code: str) -> str:
+    return code.rstrip("0123456789")
+
+
+def _build_parser(
+    prog: str, description: str, families: Optional[Sequence[str]]
+) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=description)
     parser.add_argument(
         "paths",
         nargs="*",
         type=Path,
-        help="files or directories to lint (default: the repro package)",
+        help="files or directories to analyze (default: the repro package)",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default text)",
     )
@@ -53,6 +58,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--select",
         default=None,
         help="comma-separated rule codes or families, e.g. DET,UNIT003",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="reuse cached findings for files whose content is unchanged "
+        f"(cache under ./{DEFAULT_CACHE_DIR}/)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        help="cache directory for --changed-only "
+        f"(default ./{DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
         "--baseline",
@@ -81,12 +99,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print findings suppressed by the baseline",
     )
-    parser.add_argument(
-        "--update-schema-fingerprint",
-        action="store_true",
-        help="regenerate the committed cache-key fingerprint snapshot "
-        "(do this after an intentional SCHEMA_VERSION bump)",
-    )
+    if families is None:
+        parser.add_argument(
+            "--update-schema-fingerprint",
+            action="store_true",
+            help="regenerate the committed cache-key fingerprint snapshot "
+            "(do this after an intentional SCHEMA_VERSION bump)",
+        )
     parser.add_argument(
         "--list-rules",
         action="store_true",
@@ -132,13 +151,36 @@ def _print_text(result: LintResult, show_baselined: bool) -> None:
     )
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = _build_parser()
+def run_cli(
+    argv: Optional[Sequence[str]] = None,
+    *,
+    prog: str = "python -m repro lint",
+    description: str = (
+        "AST-based determinism & invariant analyzer for the repro "
+        "codebase (rules: DET, UNIT, SITE, POOL, SCHEMA, FLOW)."
+    ),
+    families: Optional[Sequence[str]] = None,
+) -> int:
+    """Shared CLI for ``repro lint`` and its family-restricted fronts.
+
+    ``families`` restricts the run to those rule families: they become
+    the default ``--select``, user selections outside them are usage
+    errors, and fingerprint maintenance flags are hidden.
+    """
+    parser = _build_parser(prog, description, families)
     args = parser.parse_args(list(argv) if argv is not None else None)
 
+    rule_codes = all_rule_codes()
+    if families is not None:
+        rule_codes = {
+            code: desc
+            for code, desc in rule_codes.items()
+            if _family(code) in families
+        }
+
     if args.list_rules:
-        for code, description in all_rule_codes().items():
-            print(f"{code}  {description}")
+        for code, description_ in rule_codes.items():
+            print(f"{code}  {description_}")
         return 0
 
     paths = [Path(p) for p in args.paths] or [_package_root()]
@@ -146,7 +188,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not p.exists():
             parser.error(f"no such file or directory: {p}")
 
-    if args.update_schema_fingerprint:
+    if families is None and args.update_schema_fingerprint:
         root = _package_root()
         out = default_fingerprint_path()
         state = write_fingerprints(root, out)
@@ -168,10 +210,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         select = frozenset(
             s.strip().upper() for s in args.select.split(",") if s.strip()
         )
+        if families is not None:
+            outside = sorted(
+                s for s in select if _family(s) not in families
+            )
+            if outside:
+                parser.error(
+                    f"{', '.join(outside)} outside the "
+                    f"{'/'.join(families)} family; use `repro lint` for "
+                    "the full rule set"
+                )
+    elif families is not None:
+        select = frozenset(families)
     config = LintConfig(select=select)
 
     baseline_path = _resolve_baseline_path(args)
     baseline = Baseline.load(baseline_path)
+
+    cache = AnalysisCache(args.cache_dir) if args.changed_only else None
 
     if args.write_baseline:
         if baseline_path is None:
@@ -181,7 +237,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "--write-baseline requires --justification explaining why "
                 "these findings are grandfathered rather than fixed"
             )
-        result = lint_paths(paths, config, Baseline())
+        result = lint_paths(paths, config, Baseline(), cache=cache)
         merged = Baseline.from_findings(result.findings, args.justification)
         merged.save(baseline_path)
         print(
@@ -190,11 +246,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
 
-    result = lint_paths(paths, config, baseline)
+    result = lint_paths(paths, config, baseline, cache=cache)
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        tool = "repro-lint" if families is None else (
+            "repro-" + "-".join(f.lower() for f in families)
+        )
+        sarif = to_sarif(result, rule_codes, tool_name=tool)
+        print(json.dumps(sarif, indent=2, sort_keys=True))
     else:
         _print_text(result, args.show_baselined)
     if result.findings or result.unjustified_entries:
         return 1
     return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return run_cli(argv)

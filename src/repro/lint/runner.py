@@ -5,9 +5,10 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from .baseline import Baseline, BaselineEntry
+from .cache import AnalysisCache
 from .context import FileContext, LintConfig
 from .findings import Finding
 from .noqa import is_suppressed, noqa_lines
@@ -104,12 +105,26 @@ def _build_context(path: Path, config: LintConfig) -> FileContext | Finding:
     )
 
 
+def _any_selected(cls: type, config: LintConfig) -> bool:
+    codes = getattr(cls, "codes", {})
+    return config.select is None or any(config.selects(c) for c in codes)
+
+
 def lint_paths(
     paths: Sequence[Path],
     config: LintConfig | None = None,
     baseline: Baseline | None = None,
+    cache: Optional[AnalysisCache] = None,
 ) -> LintResult:
-    """Lint ``paths`` and fold in noqa suppressions and the baseline."""
+    """Lint ``paths`` and fold in noqa suppressions and the baseline.
+
+    ``cache`` (the ``--changed-only`` path) reuses raw findings for
+    files whose content hash is unchanged, and the whole-program pass
+    for an unchanged tree; with a cache active every checker runs (or
+    is reused) so cached entries are always complete, and ``select``
+    filtering stays post-hoc.  Without a cache, checkers none of whose
+    codes are selected are skipped outright.
+    """
     config = config or LintConfig()
     baseline = baseline or Baseline()
     result = LintResult()
@@ -125,14 +140,51 @@ def lint_paths(
         contexts.append(built)
         result.files_scanned += 1
 
-    checkers = [cls() for cls in file_checkers()]
+    if cache is None:
+        file_cls = [c for c in file_checkers() if _any_selected(c, config)]
+        project_cls = [
+            c for c in project_checkers() if _any_selected(c, config)
+        ]
+    else:
+        file_cls = list(file_checkers())
+        project_cls = list(project_checkers())
+
+    checkers = [cls() for cls in file_cls]
+    digests: dict[str, str] = {}
     noqa_by_path: dict[str, dict[int, frozenset[str] | None]] = {}
     for ctx in contexts:
         noqa_by_path[ctx.relpath] = noqa_lines(ctx.source)
-        for checker in checkers:
-            raw.extend(checker.check(ctx))
-    for pchecker_cls in project_checkers():
-        raw.extend(pchecker_cls().check_project(contexts, config))
+        if cache is not None:
+            digest = AnalysisCache.file_hash(ctx.source)
+            digests[ctx.relpath] = digest
+            cached = cache.get_file(ctx.relpath, digest)
+            if cached is not None:
+                raw.extend(cached)
+                continue
+            fresh: list[Finding] = []
+            for checker in checkers:
+                fresh.extend(checker.check(ctx))
+            cache.put_file(ctx.relpath, digest, fresh)
+            raw.extend(fresh)
+        else:
+            for checker in checkers:
+                raw.extend(checker.check(ctx))
+
+    if cache is not None:
+        tree_digest = AnalysisCache.tree_hash(digests)
+        project_findings = cache.get_project(tree_digest)
+        if project_findings is None:
+            project_findings = []
+            for pchecker_cls in project_cls:
+                project_findings.extend(
+                    pchecker_cls().check_project(contexts, config)
+                )
+            cache.put_project(tree_digest, project_findings)
+        raw.extend(project_findings)
+        cache.save()
+    else:
+        for pchecker_cls in project_cls:
+            raw.extend(pchecker_cls().check_project(contexts, config))
 
     kept: list[Finding] = []
     for f in raw:

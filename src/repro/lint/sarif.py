@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 output for ``repro lint`` / ``repro flow``.
+
+One run per invocation; findings become ``results`` with
+``partialFingerprints`` carrying the baseline fingerprint (so a SARIF
+consumer dedupes across line-shifting edits exactly like the baseline
+does), and baselined findings are emitted as suppressed results rather
+than dropped — the PR annotation UI shows them greyed out instead of
+pretending they do not exist.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .findings import Finding
+    from .runner import LintResult
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: fingerprint key: version-suffixed as the SARIF spec recommends
+FINGERPRINT_KEY = "reproLintFingerprint/v1"
+
+
+def _result(finding: "Finding", suppressed: bool) -> dict[str, object]:
+    out: dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": finding.col + 1,
+                        "snippet": {"text": finding.snippet},
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint()},
+    }
+    if suppressed:
+        out["suppressions"] = [
+            {"kind": "external", "justification": "lint-baseline.json entry"}
+        ]
+    return out
+
+
+def to_sarif(
+    result: "LintResult",
+    rules: dict[str, str],
+    tool_name: str = "repro-lint",
+) -> dict[str, object]:
+    """Render one lint/flow run as a SARIF 2.1.0 log object."""
+    driver = {
+        "name": tool_name,
+        "informationUri": "https://example.invalid/repro",
+        "rules": [
+            {
+                "id": code,
+                "shortDescription": {"text": description},
+            }
+            for code, description in sorted(rules.items())
+        ],
+    }
+    results = [_result(f, suppressed=False) for f in result.findings]
+    results += [_result(f, suppressed=True) for f in result.baselined]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "columnKind": "unicodeCodePoints",
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///./"}},
+                "results": results,
+            }
+        ],
+    }

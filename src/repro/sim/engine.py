@@ -16,15 +16,20 @@ Processes are Python generators that ``yield`` *events*:
   sent back into the generator).
 
 Determinism: ties in the event queue are broken by insertion sequence
-number, so identical runs replay identically.
+number, so identical runs replay identically.  A model whose *results*
+are correct must not depend on that tie order, only on simulated time;
+``Simulator(tie_break="lifo")`` (or ``REPRO_SIM_TIEBREAK=lifo``)
+reverses same-timestamp ordering so the DetSan harness
+(``scripts/detsan.py``) can flush out accidental tie-order coupling.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, Generator, Iterable, Optional
 
-__all__ = ["Event", "Process", "Simulator", "Interrupt"]
+__all__ = ["Event", "Process", "Simulator", "Interrupt", "TIE_BREAKS"]
 
 
 class Interrupt(Exception):
@@ -125,10 +130,29 @@ class Process(Event):
             nxt.callbacks.append(self._resume)
 
 
-class Simulator:
-    """Event loop with an integer-nanosecond clock."""
+#: Recognized tie-break orders for same-timestamp events.
+TIE_BREAKS = ("fifo", "lifo")
 
-    def __init__(self):
+
+class Simulator:
+    """Event loop with an integer-nanosecond clock.
+
+    ``tie_break`` picks the order of same-timestamp events: ``"fifo"``
+    (insertion order, the default) or ``"lifo"`` (reverse insertion
+    order, a sanitizer mode — any result that changes under it was
+    depending on scheduling accidents rather than simulated time).
+    ``None`` reads ``REPRO_SIM_TIEBREAK`` from the environment so the
+    DetSan harness can flip every simulator in a subprocess at once.
+    """
+
+    def __init__(self, tie_break: Optional[str] = None):
+        if tie_break is None:
+            tie_break = os.environ.get("REPRO_SIM_TIEBREAK", "fifo")
+        if tie_break not in TIE_BREAKS:
+            raise ValueError(
+                f"tie_break must be one of {TIE_BREAKS}, got {tie_break!r}"
+            )
+        self.tie_break = tie_break
         self.now: int = 0
         self._queue: list[tuple[int, int, Event]] = []
         self._seq = 0
@@ -138,7 +162,8 @@ class Simulator:
         if when < self.now:
             raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
         self._seq += 1
-        heapq.heappush(self._queue, (int(when), self._seq, event))
+        seq = -self._seq if self.tie_break == "lifo" else self._seq
+        heapq.heappush(self._queue, (int(when), seq, event))
 
     def event(self) -> Event:
         """A fresh untriggered event."""

@@ -1,0 +1,25 @@
+"""Site identities built from unstable values, across functions."""
+
+import hashlib
+
+from .ident import heap_tag, process_tag
+
+
+def digest_for(payload):
+    return hashlib.blake2b(payload).hexdigest()
+
+
+def cache_key(obj):
+    return digest_for(str(heap_tag(obj)).encode())
+
+
+def site_label(obj):
+    return f"cell-{heap_tag(obj)}"
+
+
+def decide(plan, obj):
+    return plan.uniform("device", site_label(obj))
+
+
+def worker_site(plan):
+    return plan.uniform("worker", process_tag())

@@ -1,0 +1,10 @@
+"""A MatrixEngine-alike whose ``map`` is a process-pool boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Engine:
+    def map(self, fn, items):
+        with ProcessPoolExecutor() as pool:
+            futures = [pool.submit(fn, item) for item in items]
+        return [f.result() for f in futures]

@@ -1,0 +1,11 @@
+"""Process-dependent identities (FLOW002 sources), sink elsewhere."""
+
+import os
+
+
+def process_tag():
+    return os.getpid()
+
+
+def heap_tag(obj):
+    return id(obj)

@@ -1,0 +1,38 @@
+"""Unpicklable payloads reaching pool submissions (FLOW003)."""
+
+from .engine import Engine
+
+
+def make_payload(path):
+    handle = open(path)
+    return {"handle": handle, "rows": 1}
+
+
+def work(payload):
+    return payload
+
+
+def fan_out(pool, path):
+    payload = make_payload(path)
+    pool.submit(work, payload)
+
+
+def closure_fan_out(tracer, items):
+    engine = Engine()
+
+    def bump(item):
+        tracer.wall_event("flow", "bump", 1.0)
+        return item
+
+    return engine.map(bump, items)
+
+
+class CellWriter:
+    """Field flow: the handle is bound in __init__, escapes in a method."""
+
+    def __init__(self, path):
+        self.sink_file = open(path, "a")
+
+    def flush_all(self, pool, rows):
+        for row in rows:
+            pool.submit(work, (row, self.sink_file))

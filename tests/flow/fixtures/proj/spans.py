@@ -1,0 +1,8 @@
+"""Sink file: the wall value arrives through two calls and a module."""
+
+from .timing import read_clock, widen
+
+
+def record_replay(tr):
+    t0 = widen(read_clock())
+    tr.sim_span("device", "replay", t0, t0 + 10)

@@ -1,0 +1,15 @@
+"""Wall-clock readings laundered through helpers (FLOW001 sources).
+
+No sink in this file: only the whole-program pass can connect
+``read_clock`` to the span emission in :mod:`.spans`.
+"""
+
+import time
+
+
+def read_clock():
+    return time.perf_counter_ns()
+
+
+def widen(value):
+    return value + 0

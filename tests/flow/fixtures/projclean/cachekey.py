@@ -1,0 +1,15 @@
+"""Clean mirror of proj/cachekey.py: stable identities only."""
+
+import hashlib
+
+
+def digest_for(payload):
+    return hashlib.blake2b(payload).hexdigest()
+
+
+def cache_key(label, kind):
+    return digest_for(f"{label}|{kind}".encode())
+
+
+def decide(plan, label, kind):
+    return plan.uniform("device", label, kind)

@@ -1,0 +1,13 @@
+"""Clean mirror of proj/pools.py: picklable payloads only."""
+
+
+def make_payload(path):
+    return {"path": str(path), "rows": 1}
+
+
+def work(payload):
+    return payload
+
+
+def fan_out(pool, path):
+    pool.submit(work, make_payload(path))

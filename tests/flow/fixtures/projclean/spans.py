@@ -1,0 +1,10 @@
+"""Clean mirror of proj/spans.py: sim-derived timestamps only."""
+
+
+def stamp(makespan):
+    return 0, int(makespan)
+
+
+def record_replay(tr, makespan):
+    start, end = stamp(makespan)
+    tr.sim_span("device", "replay", start, end)

@@ -1,0 +1,39 @@
+"""DetSan harness: the detector must catch its own planted race."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+DETSAN = REPO / "scripts" / "detsan.py"
+
+
+def test_self_test_detects_the_planted_tie_order_race():
+    proc = subprocess.run(
+        [sys.executable, str(DETSAN), "--self-test"],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "planted race detected" in proc.stdout
+    assert "healthy model stable" in proc.stdout
+
+
+def test_payload_is_canonical_and_deterministic():
+    """Two in-process payload runs are byte-identical (the base-variant
+    invariant the subprocess harness builds on)."""
+    sys.path.insert(0, str(REPO / "scripts"))
+    try:
+        import detsan
+    finally:
+        sys.path.pop(0)
+
+    kwargs = dict(
+        labels=["CNL-EXT4"], kinds=["MLC"], scale=0.5, workers=1,
+        backend="batch",
+    )
+    one = detsan.canonical_payload(**kwargs)
+    two = detsan.canonical_payload(**kwargs)
+    assert one == two
+    assert '"cells"' in one and '"ion_des"' in one and '"sim_spans"' in one

@@ -1,0 +1,58 @@
+"""Simulator tie-break hook: fifo default, lifo sanitizer mode."""
+
+import pytest
+
+from repro.sim.engine import TIE_BREAKS, Simulator
+
+
+def _race_order(tie_break: str) -> list[str]:
+    """Arrival order of four completions at the same instant."""
+    sim = Simulator(tie_break=tie_break)
+    out: list[str] = []
+
+    def worker(tag: str, warmup: int):
+        yield sim.timeout(warmup)
+        yield sim.timeout(10 - warmup)  # all complete at t=10
+        out.append(tag)
+
+    for i, tag in enumerate("abcd"):
+        sim.process(worker(tag, i + 1))
+    sim.run()
+    return out
+
+
+def test_fifo_is_the_default_and_keeps_insertion_order():
+    assert Simulator().tie_break == "fifo"
+    assert _race_order("fifo") == ["a", "b", "c", "d"]
+
+
+def test_lifo_reverses_same_timestamp_ordering():
+    assert _race_order("lifo") == ["d", "c", "b", "a"]
+
+
+def test_lifo_only_permutes_within_a_timestamp():
+    """Different timestamps are untouched: only ties are adversarial."""
+    sim = Simulator(tie_break="lifo")
+    out: list[tuple[int, str]] = []
+
+    def worker(tag: str, delay: int):
+        yield sim.timeout(delay)
+        out.append((sim.now, tag))
+
+    for i, tag in enumerate("abc"):
+        sim.process(worker(tag, 10 * (i + 1)))
+    sim.run()
+    assert out == [(10, "a"), (20, "b"), (30, "c")]
+
+
+def test_env_var_sets_the_default(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_TIEBREAK", "lifo")
+    assert Simulator().tie_break == "lifo"
+    # an explicit argument beats the environment
+    assert Simulator(tie_break="fifo").tie_break == "fifo"
+
+
+def test_unknown_tie_break_rejected():
+    with pytest.raises(ValueError, match="tie_break"):
+        Simulator(tie_break="random")
+    assert TIE_BREAKS == ("fifo", "lifo")
